@@ -1,0 +1,116 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. **Queue discipline**: the paper's model assumes an M/M/k shared
+   queue; real Storm hashes tuples to per-executor queues.  We measure
+   all three simulated disciplines (shared / jsq / hashed) against the
+   model estimate, quantifying how much of the model's accuracy depends
+   on load balancing.
+2. **Greedy vs exhaustive**: Theorem 1 says Algorithm 1 is exact; this
+   ablation measures how much cheaper it is than brute force while
+   asserting equal solution quality.
+3. **Smoothing**: alpha vs window smoothing of measured rates, checking
+   both converge to the true rates on a steady workload.
+"""
+
+import time
+
+import pytest
+
+from repro.config import MeasurementConfig, SmoothingKind
+from repro.experiments.harness import run_passive
+from repro.model import PerformanceModel
+from repro.scheduler import (
+    Allocation,
+    assign_processors,
+    exhaustive_best_allocation,
+)
+from repro.sim.runtime import RuntimeOptions
+from repro.topology import TopologyBuilder
+
+
+def _mmk_topology():
+    return (
+        TopologyBuilder("mmk")
+        .add_spout("src", rate=8.0)
+        .add_operator("op", mu=1.0)
+        .connect("src", "op")
+        .build()
+    )
+
+
+@pytest.mark.parametrize("discipline", ["shared", "jsq", "hashed"])
+def test_queue_discipline_ablation(benchmark, discipline):
+    topology = _mmk_topology()
+    model = PerformanceModel.from_topology(topology)
+    theory = model.expected_sojourn([10])
+
+    def run():
+        stats, _ = run_passive(
+            topology,
+            Allocation(["op"], [10]),
+            1200.0,
+            options=RuntimeOptions(queue_discipline=discipline, seed=3),
+            warmup=120.0,
+        )
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = stats.mean_sojourn / theory
+    print(
+        f"\n  discipline={discipline}: measured/theory ratio = {ratio:.3f}"
+        f" (measured {stats.mean_sojourn * 1000:.0f} ms,"
+        f" M/M/k theory {theory * 1000:.0f} ms)"
+    )
+    if discipline in ("shared", "jsq"):
+        assert 0.85 < ratio < 1.15
+    else:  # random per-executor queues behave like k x M/M/1
+        assert ratio > 1.5
+
+
+def test_greedy_vs_exhaustive(benchmark):
+    model = PerformanceModel.from_measurements(
+        ["a", "b", "c"],
+        [10.0, 20.0, 8.0],
+        [4.0, 6.0, 5.0],
+        external_rate=10.0,
+    )
+    kmax = model.min_total_processors() + 8
+
+    greedy = benchmark(assign_processors, model, kmax)
+
+    started = time.perf_counter()
+    best, best_value = exhaustive_best_allocation(model, kmax)
+    exhaustive_seconds = time.perf_counter() - started
+    greedy_value = model.expected_sojourn(list(greedy.vector))
+    print(
+        f"\n  greedy == exhaustive: {greedy == best}"
+        f" (E[T] {greedy_value:.6f} vs {best_value:.6f});"
+        f" exhaustive took {exhaustive_seconds * 1000:.1f} ms"
+    )
+    assert greedy_value == pytest.approx(best_value, rel=1e-9)
+
+
+@pytest.mark.parametrize("kind", [SmoothingKind.ALPHA, SmoothingKind.WINDOW])
+def test_smoothing_ablation(benchmark, kind):
+    """Both smoothing options converge to the true rates on steady load."""
+    topology = _mmk_topology()
+
+    def run():
+        config = MeasurementConfig(smoothing=kind, alpha=0.7, window=6)
+        stats, runtime = run_passive(
+            topology,
+            Allocation(["op"], [12]),
+            400.0,
+            options=RuntimeOptions(seed=9, measurement=config),
+            warmup=50.0,
+        )
+        return runtime.reports[-1]
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n  smoothing={kind.value}: lambda_hat ="
+        f" {report.arrival_rates[0]:.2f}/s (true 8.0),"
+        f" mu_hat = {report.service_rates[0]:.2f}/s (true 1.0)"
+    )
+    assert report.arrival_rates[0] == pytest.approx(8.0, rel=0.15)
+    assert report.service_rates[0] == pytest.approx(1.0, rel=0.15)

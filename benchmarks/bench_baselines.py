@@ -1,0 +1,39 @@
+"""DRS vs baseline allocators (extension beyond the paper's figures).
+
+Compares Algorithm 1 against uniform, load-proportional, reactive
+threshold, and random allocation on both applications — by model E[T]
+(where Theorem 1 guarantees DRS wins) and by measured sojourn time.
+"""
+
+from repro.experiments import baselines, report
+from benchmarks.conftest import full_scale
+
+
+def test_baselines_vld(benchmark):
+    duration = 600.0 if full_scale() else 300.0
+
+    def run():
+        return baselines.compare("vld", duration=duration, warmup=60.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_baselines(result))
+    assert result.drs_wins_model()
+    drs = result.row("drs")
+    assert drs.spec == "10:11:1"
+    assert drs.measured_sojourn < result.row("uniform").measured_sojourn
+    assert drs.measured_sojourn < result.row("random").measured_sojourn
+
+
+def test_baselines_fpd(benchmark):
+    duration = 400.0 if full_scale() else 240.0
+
+    def run():
+        return baselines.compare("fpd", duration=duration, warmup=60.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_baselines(result))
+    assert result.drs_wins_model()
+    drs = result.row("drs")
+    assert drs.measured_sojourn <= result.row("uniform").measured_sojourn

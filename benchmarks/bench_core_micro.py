@@ -1,0 +1,88 @@
+"""Microbenchmarks of the core primitives.
+
+Not a paper artefact — these guard the performance properties the rest
+of the suite relies on: sub-microsecond Erlang evaluation, fast traffic
+equation solves, Algorithm 1 at large Kmax, and simulator event
+throughput.
+"""
+
+import pytest
+
+from repro.model import PerformanceModel
+from repro.queueing import erlang
+from repro.scheduler import Allocation, assign_processors
+from repro.sim import RuntimeOptions, Simulator, TopologyRuntime
+from repro.topology import TopologyBuilder
+from repro.topology.routing import GainMatrix, external_arrival_vector
+
+
+def test_erlang_sojourn_eval(benchmark):
+    benchmark(erlang.expected_sojourn_time, 130.0, 17.5, 11)
+
+
+def test_erlang_large_k(benchmark):
+    benchmark(erlang.expected_sojourn_time, 9000.0, 1.0, 9500)
+
+
+def test_marginal_benefit(benchmark):
+    benchmark(erlang.marginal_benefit, 130.0, 17.5, 11)
+
+
+def test_traffic_equations_loop(benchmark):
+    topology = (
+        TopologyBuilder("loopy")
+        .add_spout("src", rate=5.0)
+        .add_operator("a", mu=10.0)
+        .add_operator("b", mu=8.0)
+        .add_operator("c", mu=12.0)
+        .add_operator("e", mu=15.0)
+        .connect("src", "a")
+        .connect("a", "b", gain=0.6)
+        .connect("a", "c", gain=0.4)
+        .connect("b", "e")
+        .connect("c", "e")
+        .connect("e", "a", gain=0.2)
+        .build()
+    )
+    gains = GainMatrix(topology)
+    ext = external_arrival_vector(topology)
+    benchmark(gains.solve_traffic, ext)
+
+
+@pytest.mark.parametrize("kmax", [24, 192, 1024])
+def test_assign_processors_scaling(benchmark, kmax):
+    model = PerformanceModel.from_measurements(
+        ["a", "b", "c"],
+        [13.0, 130.0, 39.0],
+        [4.0, 40.0, 300.0],
+        external_rate=13.0,
+    )
+    benchmark(assign_processors, model, kmax)
+
+
+def test_simulator_event_throughput(benchmark):
+    """Events per second of the full VLD pipeline simulation."""
+    topology = (
+        TopologyBuilder("vld")
+        .add_spout("frames", rate=13.0)
+        .add_operator("sift", mu=1.75)
+        .add_operator("matcher", mu=17.5)
+        .add_operator("aggregator", mu=150.0)
+        .connect("frames", "sift")
+        .connect("sift", "matcher", gain=10.0)
+        .connect("matcher", "aggregator", gain=0.3)
+        .build()
+    )
+    allocation = Allocation(["sift", "matcher", "aggregator"], [10, 11, 1])
+
+    def run():
+        simulator = Simulator()
+        runtime = TopologyRuntime(
+            simulator, topology, allocation, RuntimeOptions(seed=1)
+        )
+        runtime.start()
+        simulator.run_until(120.0)
+        return simulator.processed_events
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 10_000

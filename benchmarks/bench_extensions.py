@@ -1,0 +1,64 @@
+"""Microbenchmarks of the extension features.
+
+Heterogeneous assignment and the percentile solver sit in the
+controller's decision path in extended deployments; they must stay in
+the same "almost negligible" cost class as Algorithm 1 (Table II).
+"""
+
+import pytest
+
+from repro.model import PerformanceModel, RefinedPerformanceModel
+from repro.scheduler import (
+    ProcessorClass,
+    assign_heterogeneous,
+    assign_processors,
+    min_processors_for_quantile,
+    sojourn_quantile_bound,
+)
+
+
+def _model():
+    return PerformanceModel.from_measurements(
+        ["a", "b", "c"],
+        [13.0, 130.0, 39.0],
+        [4.0, 40.0, 300.0],
+        external_rate=13.0,
+    )
+
+
+def test_heterogeneous_assignment(benchmark):
+    model = _model()
+    classes = [
+        ProcessorClass("fast", speed=2.0, count=6),
+        ProcessorClass("standard", speed=1.0, count=18),
+    ]
+    assignment = benchmark(assign_heterogeneous, model, classes)
+    placed = sum(
+        assignment.total_processors(name) for name in model.operator_names
+    )
+    assert placed == 24
+
+
+def test_percentile_solver(benchmark):
+    model = _model()
+    allocation = benchmark(min_processors_for_quantile, model, 1.2, q=0.95)
+    assert (
+        sojourn_quantile_bound(model, list(allocation.vector), q=0.95) <= 1.2
+    )
+
+
+def test_quantile_bound_eval(benchmark):
+    model = _model()
+    benchmark(sojourn_quantile_bound, model, [6, 6, 2], 0.95)
+
+
+def test_refined_model_assignment(benchmark):
+    refined = RefinedPerformanceModel.from_measurements(
+        ["a", "b", "c"],
+        [13.0, 130.0, 39.0],
+        [4.0, 40.0, 300.0],
+        external_rate=13.0,
+        service_scvs=[1.5, 1.5, 0.2],
+    )
+    allocation = benchmark(assign_processors, refined, 24)
+    assert allocation.total == 24

@@ -1,0 +1,44 @@
+"""Fig. 10 — Tmax-driven machine scaling (ExpA scale-out, ExpB scale-in).
+
+Regenerates both curves: ExpA starts under-provisioned (4 machines,
+Kmax=17, 8:8:1), violates Tmax, and DRS adds a machine (boot-time spike)
+before settling below the target; ExpB starts over-provisioned (5
+machines, 10:11:1) and DRS releases a machine while staying within its
+looser target.
+"""
+
+from repro.experiments import fig10, report
+from benchmarks.conftest import full_scale
+
+
+def _protocol():
+    if full_scale():
+        return dict(enable_at=780.0, duration=1620.0, bucket=60.0)
+    return dict(enable_at=240.0, duration=720.0, bucket=30.0)
+
+
+def test_fig10_exp_a(benchmark):
+    def run():
+        return fig10.run_exp_a(**_protocol())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_fig10([result]))
+    assert result.final_machines == result.initial_machines + 1
+    assert sum(int(x) for x in result.final_spec.split(":")) == 22
+    assert result.meets_target_after_scaling()
+    # The scaling minute shows a visible spike above the settled level.
+    assert result.spike_sojourn > result.settled_sojourn
+
+
+def test_fig10_exp_b(benchmark):
+    def run():
+        return fig10.run_exp_b(**_protocol())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_fig10([result]))
+    assert result.final_machines == result.initial_machines - 1
+    assert sum(int(x) for x in result.final_spec.split(":")) == 17
+    assert result.meets_target_after_scaling()
+    assert result.spike_sojourn > result.settled_sojourn

@@ -1,0 +1,43 @@
+"""Fig. 7 — estimated vs measured sojourn time per allocation.
+
+Regenerates both scatter plots and checks the paper's observations:
+strong rank correlation (monotonicity), accurate estimates for the
+computation-intensive VLD, systematic underestimation for the
+data-intensive FPD, and a good polynomial-regression fit.
+"""
+
+from repro.experiments import fig7, report
+from benchmarks.conftest import full_scale
+
+
+def test_fig7_vld(benchmark):
+    duration = 600.0 if full_scale() else 480.0
+
+    def run():
+        return fig7.run_vld(duration=duration, warmup=60.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_fig7(result))
+    assert result.rank_correlation > 0.7
+    assert result.calibration_r_squared > 0.7
+    # VLD is computation-intensive: estimates within ~2x of measurements.
+    for point in result.points:
+        assert 0.4 < point.ratio < 2.5
+
+
+def test_fig7_fpd(benchmark):
+    duration = 600.0 if full_scale() else 360.0
+    scale = 1.0 if full_scale() else 0.5
+
+    def run():
+        return fig7.run_fpd(duration=duration, warmup=90.0, scale=scale)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_fig7(result))
+    assert result.rank_correlation > 0.85
+    # FPD is data-intensive: the model under-estimates everywhere...
+    assert all(p.ratio > 1.0 for p in result.points)
+    # ...but stays strongly correlated, so regression can correct it.
+    assert result.calibration_r_squared > 0.8

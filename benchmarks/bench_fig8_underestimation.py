@@ -1,0 +1,24 @@
+"""Fig. 8 — measured/estimated ratio vs total bolt CPU time.
+
+Regenerates the synthetic-chain curve: the degree of underestimation
+falls monotonically from a large ratio (framework overhead dominates
+tiny CPU budgets) toward 1 as per-tuple CPU time grows to 309 ms.
+"""
+
+from repro.experiments import fig8, report
+from benchmarks.conftest import full_scale
+
+
+def test_fig8_underestimation(benchmark):
+    duration = 600.0 if full_scale() else 250.0
+
+    def run():
+        return fig8.run(duration=duration, warmup=30.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_fig8(result))
+    assert result.is_decreasing()
+    ratios = result.ratios()
+    assert ratios[0] > 10.0  # 0.567 ms CPU: gross underestimation
+    assert ratios[-1] < 1.15  # 309 ms CPU: model accurate

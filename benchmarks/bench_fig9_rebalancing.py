@@ -1,0 +1,47 @@
+"""Fig. 9 — re-balancing disabled then enabled: convergence timelines.
+
+Regenerates both panels: three initial allocations per application;
+once re-balancing is enabled the two non-optimal runs migrate to the
+optimal allocation (the optimal run is left alone), with only a small
+transient in the rebalance window.
+"""
+
+from repro.experiments import fig9, report
+from benchmarks.conftest import full_scale
+
+
+def _protocol():
+    if full_scale():
+        # The paper's 27 minutes with the switch after minute 13.
+        return dict(enable_at=780.0, duration=1620.0, bucket=60.0)
+    return dict(enable_at=300.0, duration=660.0, bucket=30.0)
+
+
+def test_fig9_vld(benchmark):
+    def run():
+        return fig9.run_vld(**_protocol())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_fig9(result))
+    assert result.all_converged()
+    by_start = {c.initial_spec: c for c in result.curves}
+    assert by_start["8:12:2"].was_rebalanced
+    assert by_start["11:9:2"].was_rebalanced
+    assert not by_start["10:11:1"].was_rebalanced
+
+
+def test_fig9_fpd(benchmark):
+    scale = 1.0 if full_scale() else 0.4
+
+    def run():
+        return fig9.run_fpd(scale=scale, **_protocol())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_fig9(result))
+    assert result.all_converged()
+    by_start = {c.initial_spec: c for c in result.curves}
+    assert by_start["8:12:2"].was_rebalanced
+    assert by_start["7:13:2"].was_rebalanced
+    assert not by_start["6:13:3"].was_rebalanced

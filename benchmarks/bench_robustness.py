@@ -1,0 +1,29 @@
+"""Robustness benchmark — the model under assumption violations.
+
+Quantifies the paper's Sec. V observation that the model "is clearly
+robust to these variations of the conditions": a 4x5 grid of arrival
+processes x service distributions, reporting measured/estimated ratios
+and whether the model still ranks allocations correctly.
+"""
+
+from repro.experiments import robustness
+
+
+def test_robustness_grid(benchmark):
+    def run():
+        return robustness.run(duration=1000.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(robustness.render(result))
+    # Mild violations: accurate and order-preserving.
+    mild = [
+        p
+        for p in result.points
+        if p.arrival in ("poisson", "deterministic", "uniform_rate")
+    ]
+    assert all(0.7 < p.ratio < 1.3 for p in mild)
+    assert all(p.ranking_preserved for p in mild)
+    # Strong burstiness is the model's honest limit.
+    bursty = [p for p in result.points if p.arrival == "bursty_mmpp"]
+    assert all(p.ratio > 3.0 for p in bursty)

@@ -1,0 +1,40 @@
+"""Table II — computation overheads of the DRS layer.
+
+Times (a) Algorithm 1's allocation computation for Kmax in
+{12, 24, 48, 96, 192} on the fixed 3-operator model and (b) one
+measurement-processing pull, reproducing the paper's two rows:
+scheduling cost grows roughly linearly with Kmax while measurement
+processing is independent of it, and everything stays sub-millisecond
+scale ("almost negligible").
+"""
+
+import pytest
+
+from repro.experiments import report, table2
+from repro.experiments.table2 import KMAX_VALUES, _reference_model
+from repro.scheduler.assign import assign_processors
+
+
+def test_table2_rows(benchmark):
+    def run():
+        return table2.run(repetitions=2000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render_table2(result))
+    assert result.scheduling_is_increasing()
+    assert result.measurement_is_flat()
+    for row in result.rows:
+        assert row.scheduling_ms < 5.0
+        assert row.measurement_ms < 5.0
+    # Roughly linear growth in Kmax: the 16x budget costs well under
+    # 100x (the paper's own numbers grow ~15x for 16x).
+    first, last = result.rows[0], result.rows[-1]
+    assert last.scheduling_ms / first.scheduling_ms < 60.0
+
+
+@pytest.mark.parametrize("kmax", KMAX_VALUES)
+def test_scheduling_cost_per_kmax(benchmark, kmax):
+    """Per-Kmax timing of Algorithm 1 (the Scheduling row, per column)."""
+    model = _reference_model()
+    benchmark(assign_processors, model, kmax)

@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+The figure/table benchmarks run the full (scaled) experiment once per
+benchmark round and print the paper-style rows, so `pytest benchmarks/
+--benchmark-only -s` both times the reproduction and shows its output.
+
+Environment knobs:
+
+- ``DRS_BENCH_FULL=1`` runs paper-length protocols (10-minute Fig. 6
+  runs, 27-minute Fig. 9/10 timelines).  Default is a scaled protocol
+  that preserves every qualitative result.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("DRS_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """(duration_factor) applied to experiment durations."""
+    return 1.0 if not full_scale() else 2.0

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Advanced scheduling: config-driven topologies, tail targets,
+heterogeneous processors, and the refined G/G/k model.
+
+Everything here goes beyond the paper's figures while staying on its
+machinery — the features a production deployment of DRS would reach for
+first.
+
+Run:  python examples/advanced_scheduling.py
+"""
+
+import json
+
+from repro import PerformanceModel, RefinedPerformanceModel, assign_processors
+from repro.scheduler import (
+    ProcessorClass,
+    assign_heterogeneous,
+    expected_sojourn_heterogeneous,
+    min_processors_for_quantile,
+    min_processors_for_target,
+    sojourn_quantile_bound,
+)
+from repro.topology import topology_from_dict
+
+
+# A JSON-ready description of the VLD pipeline — what you would keep in
+# a config file next to the topology deployment descriptor.
+TOPOLOGY_SPEC = json.loads(
+    """
+    {
+      "name": "vld",
+      "spouts": [{"name": "frames", "uniform_rate": {"low": 1, "high": 25}}],
+      "operators": [
+        {"name": "sift",
+         "service_time": {"type": "lognormal", "mean": 0.5714, "scv": 1.5}},
+        {"name": "matcher",
+         "service_time": {"type": "lognormal", "mean": 0.05714, "scv": 1.5}},
+        {"name": "aggregator", "mu": 150.0}
+      ],
+      "edges": [
+        {"source": "frames", "target": "sift"},
+        {"source": "sift", "target": "matcher", "gain": 10.0},
+        {"source": "matcher", "target": "aggregator", "gain": 0.3,
+         "grouping": {"type": "fields", "fields": ["root"]}}
+      ]
+    }
+    """
+)
+
+
+def main() -> None:
+    topology = topology_from_dict(TOPOLOGY_SPEC)
+    print(f"loaded topology {topology.name!r} from a JSON spec")
+    print()
+
+    # ------------------------------------------------------------------
+    # Plain vs refined model: the refined one reads the declared (or
+    # measured) service-time SCVs and corrects the waiting terms.
+    # ------------------------------------------------------------------
+    plain = PerformanceModel.from_topology(topology)
+    refined = RefinedPerformanceModel.from_topology(topology)
+    allocation = assign_processors(plain, 22)
+    print(f"Kmax=22 optimum: {allocation.spec()}")
+    print(
+        f"  plain M/M/k estimate : "
+        f"{plain.expected_sojourn(list(allocation.vector)) * 1000:.0f} ms"
+    )
+    print(
+        f"  refined G/G/k (SCV {refined.service_scvs}) : "
+        f"{refined.expected_sojourn(list(allocation.vector)) * 1000:.0f} ms"
+    )
+    refined_allocation = assign_processors(refined, 22)
+    print(f"  refined model's own optimum: {refined_allocation.spec()}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Mean vs tail targets: a p95 SLO needs more headroom than a mean
+    # target at the same number.
+    # ------------------------------------------------------------------
+    tmax = 2.5
+    by_mean = min_processors_for_target(plain, tmax)
+    by_p95 = min_processors_for_quantile(plain, tmax, q=0.95)
+    print(f"target {tmax:.1f}s on the MEAN : {by_mean.spec()} "
+          f"({by_mean.total} executors)")
+    print(
+        f"target {tmax:.1f}s on the P95  : {by_p95.spec()} "
+        f"({by_p95.total} executors; bound "
+        f"{sojourn_quantile_bound(plain, list(by_p95.vector), q=0.95) * 1000:.0f} ms)"
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # Heterogeneous pools: 4 fast cores + a rack of standard ones.
+    # ------------------------------------------------------------------
+    classes = [
+        ProcessorClass("fast", speed=2.0, count=4),
+        ProcessorClass("standard", speed=1.0, count=14),
+    ]
+    assignment = assign_heterogeneous(plain, classes)
+    print("heterogeneous pool (4x speed-2.0 + 14x speed-1.0):")
+    for name in plain.operator_names:
+        counts = assignment.counts(name)
+        detail = ", ".join(f"{c}x {cls}" for cls, c in sorted(counts.items()))
+        print(f"  {name:>11}: {detail or 'none'}")
+    value = expected_sojourn_heterogeneous(plain, assignment)
+    print(f"  expected sojourn: {value * 1000:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

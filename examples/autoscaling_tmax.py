@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Tmax-driven auto-scaling — the paper's Fig. 10 (ExpA / ExpB).
+
+Two runs of the VLD workload with a MIN_RESOURCE controller and a
+simulated machine pool (5 executor slots per machine, 3 reserved):
+
+- **ExpA**: tight latency target; the run starts under-provisioned on
+  4 machines (Kmax=17, allocation 8:8:1), violates the target, and DRS
+  boots a fifth machine, re-balancing to 22 executors.
+- **ExpB**: loose target; the run starts over-provisioned on 5 machines
+  (10:11:1) and DRS releases a machine, settling at 17 executors while
+  still meeting the target.
+
+Run:  python examples/autoscaling_tmax.py
+"""
+
+from repro.experiments import fig10, report
+
+
+def main() -> None:
+    print("running ExpA (scale-out)... ", flush=True)
+    exp_a = fig10.run_exp_a(enable_at=240.0, duration=720.0, bucket=30.0)
+    print("running ExpB (scale-in)... ", flush=True)
+    exp_b = fig10.run_exp_b(enable_at=240.0, duration=720.0, bucket=30.0)
+    print()
+    print(report.render_fig10([exp_a, exp_b]))
+    print()
+    for run in (exp_a, exp_b):
+        print(f"{run.name} timeline (mean sojourn per 30 s bucket):")
+        for start, mean, count in run.buckets:
+            if mean is None:
+                continue
+            marker = ""
+            if run.scaled_at is not None and start <= run.scaled_at < start + 30:
+                marker = "  <- machines changed here"
+            bar = "#" * min(60, int(mean * 20))
+            print(f"  t={start:5.0f}s {mean * 1000:8.0f} ms {bar}{marker}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Statistics helpers for experiment analysis and validation."""
+
+from repro.analysis.stats import (
+    summarise,
+    SummaryStats,
+    confidence_interval_mean,
+    relative_error,
+)
+from repro.analysis.correlation import pearson, spearman, kendall_tau
+
+__all__ = [
+    "summarise",
+    "SummaryStats",
+    "confidence_interval_mean",
+    "relative_error",
+    "pearson",
+    "spearman",
+    "kendall_tau",
+]

@@ -1,0 +1,80 @@
+"""Descriptive statistics used when summarising experiment output."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.utils.math_helpers import percentile
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+
+def summarise(values: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` for a non-empty sample."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((v - mean) ** 2 for v in ordered) / n
+    return SummaryStats(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        p50=percentile(ordered, 50.0),
+        p95=percentile(ordered, 95.0),
+        p99=percentile(ordered, 99.0),
+        maximum=ordered[-1],
+    )
+
+
+def confidence_interval_mean(
+    values: Sequence[float], *, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the sample mean.
+
+    Adequate for the thousands of sojourn samples the simulator
+    produces; not meant for tiny samples.
+    """
+    if len(values) < 2:
+        raise ValueError("need at least two samples for an interval")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    # Inverse-normal quantile via Acklam's rational approximation is
+    # overkill here; the experiments only use 90/95/99%.
+    z_table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    z = z_table.get(round(confidence, 2))
+    if z is None:
+        raise ValueError(
+            f"unsupported confidence {confidence}; use one of"
+            f" {sorted(z_table)}"
+        )
+    half_width = z * math.sqrt(variance / n)
+    return mean - half_width, mean + half_width
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """``|measured - expected| / |expected|`` (inf-safe)."""
+    if expected == 0:
+        return math.inf if measured != 0 else 0.0
+    if math.isinf(expected):
+        return 0.0 if math.isinf(measured) else math.inf
+    return abs(measured - expected) / abs(expected)

@@ -1,0 +1,180 @@
+"""Frequent Pattern Detection (FPD) — paper Sec. V-A, Fig. 5.
+
+Topology::
+
+    spout+ ─┐
+            ├─> pattern_generator ─> detector ─> reporter
+    spout- ─┘                          ^  │
+                                       └──┘  (feedback loop)
+
+- two spouts emit an event when a tweet *enters* (+) or *leaves* (-)
+  the 50k-tweet sliding window — at steady state both run at the tweet
+  arrival rate (Poisson, 320 tweets/s in the paper);
+- the pattern generator expands each event into candidate itemsets
+  (variable count — "an exponential number of possible combinations");
+- the detector keeps occurrence counts + MFP flags; a state change
+  emits a notification to the reporter *and back to itself through the
+  loop* so all partitions learn of it;
+- the reporter writes result updates out.
+
+The paper observes FPD is *data- rather than computation-intensive*:
+per-tuple CPU is small, so network/framework overhead dominates and the
+model under-estimates sojourn times while preserving their order
+(Fig. 7 right).  We reproduce that with small service times plus a
+non-zero per-hop latency (see ``default_hop_latency``).
+
+Offered loads are calibrated so the DRS optimum at ``Kmax = 22`` is the
+paper's ``6:13:3`` and all six Fig. 6 configurations are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.randomness.distributions import LogNormal
+from repro.scheduler.allocation import Allocation
+from repro.topology.builder import TopologyBuilder
+from repro.topology.graph import Topology
+from repro.utils.validation import check_positive
+
+
+#: The six allocations evaluated in Fig. 6 (FPD panel), paper order.
+FIG6_CONFIGS = ["5:14:3", "6:12:4", "6:13:3", "7:12:3", "7:13:2", "8:12:2"]
+
+#: DRS's recommendation at Kmax = 22 (starred in Fig. 6).
+RECOMMENDED = "6:13:3"
+
+#: Initial allocations of the Fig. 9 rebalancing experiment (FPD panel).
+FIG9_INITIAL = ["8:12:2", "7:13:2", "6:13:3"]
+
+
+@dataclass(frozen=True)
+class FPDWorkload:
+    """Parameterised FPD workload; ``build()`` yields the topology.
+
+    ``scale`` multiplies all rates, preserving offered loads (and the
+    optimal allocation) while shrinking the simulated event count —
+    FPD at full scale is ~5k events per simulated second.
+    """
+
+    scale: float = 1.0
+    tweet_rate: float = 320.0
+    candidates_per_event: float = 3.0
+    loop_gain: float = 0.05
+    report_gain: float = 0.1
+    generator_offered_load: float = 4.8
+    detector_offered_load: float = 11.8
+    reporter_offered_load: float = 1.9
+    service_scv: float = 1.0
+    fanout_scv: float = 0.6
+    #: Per-hop transport/framework latency making FPD "data-intensive"
+    #: (value at scale = 1; use :attr:`hop_latency` for the scaled value).
+    default_hop_latency: float = 0.020
+
+    @property
+    def hop_latency(self) -> float:
+        """Transport latency in this workload's time scale.
+
+        Scaling rates by ``s`` dilates every duration by ``1/s``; the
+        hop latency must dilate identically or the relative weight of
+        the unmodelled network cost (the Fig. 7 FPD story) would change
+        with ``scale``.
+        """
+        return self.default_hop_latency / self.scale
+
+    def __post_init__(self):
+        check_positive("scale", self.scale)
+        check_positive("tweet_rate", self.tweet_rate)
+        if not 0 <= self.loop_gain < 1:
+            raise ValueError(f"loop_gain must be in [0, 1), got {self.loop_gain}")
+
+    # ------------------------------------------------------------------
+    # derived rates
+    # ------------------------------------------------------------------
+    @property
+    def external_rate(self) -> float:
+        """``lambda_0`` — enter + leave events per second."""
+        return 2.0 * self.tweet_rate * self.scale
+
+    @property
+    def generator_arrival_rate(self) -> float:
+        return self.external_rate
+
+    @property
+    def detector_arrival_rate(self) -> float:
+        base = self.generator_arrival_rate * self.candidates_per_event
+        return base / (1.0 - self.loop_gain)
+
+    @property
+    def reporter_arrival_rate(self) -> float:
+        return self.detector_arrival_rate * self.report_gain
+
+    @property
+    def generator_rate(self) -> float:
+        """``mu`` of one pattern-generator executor."""
+        return self.generator_arrival_rate / self.generator_offered_load
+
+    @property
+    def detector_rate(self) -> float:
+        return self.detector_arrival_rate / self.detector_offered_load
+
+    @property
+    def reporter_rate(self) -> float:
+        return self.reporter_arrival_rate / self.reporter_offered_load
+
+    @property
+    def operator_names(self) -> List[str]:
+        return ["pattern_generator", "detector", "reporter"]
+
+    def build(self) -> Topology:
+        """Construct the FPD topology (loop included)."""
+        rate = self.tweet_rate * self.scale
+        return (
+            TopologyBuilder("fpd")
+            .add_spout("spout_plus", rate=rate)
+            .add_spout("spout_minus", rate=rate)
+            .add_operator(
+                "pattern_generator",
+                service_time=LogNormal(
+                    mean=1.0 / self.generator_rate, scv=self.service_scv
+                ),
+            )
+            .add_operator(
+                "detector",
+                service_time=LogNormal(
+                    mean=1.0 / self.detector_rate, scv=self.service_scv
+                ),
+                stateful=True,
+            )
+            .add_operator(
+                "reporter",
+                service_time=LogNormal(
+                    mean=1.0 / self.reporter_rate, scv=self.service_scv
+                ),
+            )
+            .connect("spout_plus", "pattern_generator")
+            .connect("spout_minus", "pattern_generator")
+            .connect(
+                "pattern_generator",
+                "detector",
+                gain=self.candidates_per_event,
+                fanout=LogNormal(
+                    mean=self.candidates_per_event, scv=self.fanout_scv
+                ),
+            )
+            # State-change notifications loop back to the detector so all
+            # partitions see them (paper: sent "to itself through the
+            # loop back link").
+            .connect("detector", "detector", gain=self.loop_gain)
+            .connect("detector", "reporter", gain=self.report_gain)
+            .build()
+        )
+
+    def allocation(self, spec: str) -> Allocation:
+        """Parse an ``"x1:x2:x3"`` spec against this topology's operators."""
+        return Allocation.parse(self.operator_names, spec)
+
+    def fig6_allocations(self) -> List[Allocation]:
+        """The six Fig. 6 configurations, paper order."""
+        return [self.allocation(spec) for spec in FIG6_CONFIGS]

@@ -1,0 +1,89 @@
+"""The synthetic chain topology of the Fig. 8 underestimation study.
+
+Paper Sec. V-C: "a separate experiment over a synthetic topology with a
+simple chain of three operators.  Each operator simply performs some
+computations (such as empty for-loops) with varying load ... We used 30
+executors ... We tried 6 different workloads in terms of total CPU time
+(excluding the queue time) of the three bolts, from 0.567 millisecond,
+to 309.1 milliseconds".
+
+The experiment measures the *ratio of measured to estimated* average
+sojourn time as a function of the bolts' total CPU time: when CPU time
+is tiny, unmodelled per-hop framework/network overhead dominates and
+the model under-estimates badly; as CPU grows the ratio approaches 1.
+Our simulator reproduces the unmodelled overhead with a fixed
+``hop_latency`` per emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.randomness.distributions import Deterministic
+from repro.scheduler.allocation import Allocation
+from repro.topology.builder import TopologyBuilder
+from repro.topology.graph import Topology
+from repro.utils.validation import check_positive
+
+
+#: Total-CPU workloads (seconds) spanning the paper's 0.567 ms - 309.1 ms.
+FIG8_TOTAL_CPU = [0.000567, 0.002, 0.008, 0.030, 0.100, 0.3091]
+
+
+@dataclass(frozen=True)
+class SyntheticChainWorkload:
+    """Three-bolt chain with deterministic per-tuple CPU cost.
+
+    ``total_cpu`` seconds are split evenly over the three bolts ("empty
+    for-loops" have deterministic cost, hence :class:`Deterministic`
+    service times).  ``arrival_rate`` is kept low enough that even the
+    heaviest workload stays stable on 10 executors per bolt.
+    """
+
+    total_cpu: float = 0.030
+    arrival_rate: float = 20.0
+    executors_per_bolt: int = 10
+    #: Per-hop framework/transport latency the model does not see.
+    hop_latency: float = 0.004
+
+    def __post_init__(self):
+        check_positive("total_cpu", self.total_cpu)
+        check_positive("arrival_rate", self.arrival_rate)
+        if self.executors_per_bolt < 1:
+            raise ValueError("executors_per_bolt must be >= 1")
+        per_bolt = self.total_cpu / 3.0
+        utilisation = self.arrival_rate * per_bolt / self.executors_per_bolt
+        if utilisation >= 1.0:
+            raise ValueError(
+                f"workload is unstable: per-executor utilisation"
+                f" {utilisation:.3f} >= 1"
+            )
+
+    @property
+    def per_bolt_cpu(self) -> float:
+        """CPU seconds per tuple per bolt (total split three ways)."""
+        return self.total_cpu / 3.0
+
+    @property
+    def operator_names(self) -> List[str]:
+        return ["bolt1", "bolt2", "bolt3"]
+
+    def build(self) -> Topology:
+        """Construct the chain with deterministic service times."""
+        service = Deterministic(self.per_bolt_cpu)
+        return (
+            TopologyBuilder("synthetic_chain")
+            .add_spout("source", rate=self.arrival_rate)
+            .add_operator("bolt1", service_time=service)
+            .add_operator("bolt2", service_time=service)
+            .add_operator("bolt3", service_time=service)
+            .connect("source", "bolt1")
+            .connect("bolt1", "bolt2")
+            .connect("bolt2", "bolt3")
+            .build()
+        )
+
+    def allocation(self) -> Allocation:
+        """Even split: ``executors_per_bolt`` on each of the three bolts."""
+        return Allocation(self.operator_names, [self.executors_per_bolt] * 3)

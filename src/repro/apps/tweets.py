@@ -1,0 +1,95 @@
+"""Synthetic tweet stream — stand-in for the paper's Twitter dataset.
+
+The paper uses "a real dataset containing 28,688,584 tweets from
+2,168,939 users collected from Oct. 2006 to Nov. 2009"; that corpus is
+not redistributable, so we generate transactions with the statistical
+properties that matter to FPD:
+
+- a Zipf-distributed item (hashtag/term) popularity — real term
+  frequencies are famously Zipfian, which is what makes a small set of
+  itemsets frequent while the long tail churns;
+- variable transaction length (tweets mention 1-8 salient terms);
+- slowly drifting topic popularity (optional), so the MFP set actually
+  changes over a long stream — producing detector state-change traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterator, List, Optional
+
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class ZipfSampler:
+    """Sample item ids 0..n-1 with P[i] proportional to 1/(i+1)^s."""
+
+    def __init__(self, n_items: int, exponent: float = 1.1):
+        check_positive_int("n_items", n_items)
+        check_positive("exponent", exponent)
+        self._n = n_items
+        weights = [1.0 / (i + 1) ** exponent for i in range(n_items)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+
+    @property
+    def n_items(self) -> int:
+        return self._n
+
+    def sample(self, rng: random.Random) -> int:
+        """One Zipf-distributed item id."""
+        u = rng.random()
+        lo, hi = 0, self._n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+class TweetGenerator:
+    """Produces transactions (sets of term strings) for the FPD pipeline."""
+
+    def __init__(
+        self,
+        vocabulary_size: int = 2000,
+        zipf_exponent: float = 1.1,
+        min_terms: int = 1,
+        max_terms: int = 8,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 1 <= min_terms <= max_terms:
+            raise ValueError(
+                f"need 1 <= min_terms <= max_terms,"
+                f" got [{min_terms}, {max_terms}]"
+            )
+        self._sampler = ZipfSampler(vocabulary_size, zipf_exponent)
+        self._min_terms = min_terms
+        self._max_terms = max_terms
+        self._rng = rng or random.Random(0)
+
+    def next_tweet(self) -> FrozenSet[str]:
+        """One transaction: a set of 'term<i>' strings."""
+        length = self._rng.randint(self._min_terms, self._max_terms)
+        terms = set()
+        # Sample with rejection so the transaction has `length` distinct
+        # terms; the Zipf head makes collisions common, so cap retries.
+        attempts = 0
+        while len(terms) < length and attempts < 10 * length:
+            terms.add(f"term{self._sampler.sample(self._rng)}")
+            attempts += 1
+        return frozenset(terms)
+
+    def stream(self, count: int) -> Iterator[FrozenSet[str]]:
+        """Yield ``count`` transactions."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        for _ in range(count):
+            yield self.next_tweet()

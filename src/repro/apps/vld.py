@@ -1,0 +1,142 @@
+"""Video Logo Detection (VLD) — paper Sec. V-A, Fig. 4.
+
+Topology: ``frames (spout) -> sift -> matcher -> aggregator``.
+
+Workload model (substituting the paper's soccer-video trace):
+
+- frame rate uniformly distributed in [1, 25] fps, mean 13 (exactly the
+  paper's "typical Internet video experience");
+- SIFT extraction is expensive and highly variable ("the number of
+  result SIFT features may vary dramatically on different frames"):
+  log-normal service times, and a log-normal feature count per frame
+  with mean ``features_per_frame``;
+- the matcher checks each feature against the logo library; ~30% of
+  features produce a match forwarded to the aggregator;
+- the aggregator counts matches per frame (hash-grouped by frame id).
+
+Service rates are calibrated so that the DRS optimum is the paper's:
+``10:11:1`` at ``Kmax = 22`` and ``8:8:1`` at ``Kmax = 17``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.randomness.arrival import UniformRateProcess
+from repro.randomness.distributions import LogNormal
+from repro.scheduler.allocation import Allocation
+from repro.topology.builder import TopologyBuilder
+from repro.topology.graph import Topology
+from repro.topology.grouping import FieldsGrouping
+from repro.utils.validation import check_positive
+
+
+#: The six allocations evaluated in Fig. 6 (VLD panel), paper order.
+FIG6_CONFIGS = ["8:12:2", "9:11:2", "10:11:1", "11:9:2", "11:10:1", "12:9:1"]
+
+#: DRS's recommendation at Kmax = 22 (starred in Fig. 6).
+RECOMMENDED = "10:11:1"
+
+#: Initial allocations of the Fig. 9 rebalancing experiment (VLD panel).
+FIG9_INITIAL = ["8:12:2", "11:9:2", "10:11:1"]
+
+#: DRS's recommendation at Kmax = 17 (Fig. 10 ExpA initial state).
+RECOMMENDED_K17 = "8:8:1"
+
+
+@dataclass(frozen=True)
+class VLDWorkload:
+    """Parameterised VLD workload; ``build()`` yields the topology.
+
+    ``scale`` multiplies both arrival and service rates, preserving all
+    offered loads (hence the optimal allocation and the *relative* shape
+    of every experiment) while shrinking the number of simulated events.
+    ``service_scv`` / ``fanout_scv`` control how far service times and
+    per-frame feature counts deviate from the model's assumptions.
+    """
+
+    scale: float = 1.0
+    mean_frame_rate: float = 13.0
+    min_frame_rate: float = 1.0
+    max_frame_rate: float = 25.0
+    features_per_frame: float = 10.0
+    match_fraction: float = 0.3
+    sift_rate: float = 1.75
+    matcher_rate: float = 17.5
+    aggregator_rate: float = 150.0
+    service_scv: float = 1.5
+    fanout_scv: float = 0.5
+
+    def __post_init__(self):
+        check_positive("scale", self.scale)
+        check_positive("features_per_frame", self.features_per_frame)
+        if not 0 < self.match_fraction <= 1:
+            raise ValueError(
+                f"match_fraction must be in (0, 1], got {self.match_fraction}"
+            )
+
+    # ------------------------------------------------------------------
+    # derived rates
+    # ------------------------------------------------------------------
+    @property
+    def external_rate(self) -> float:
+        """``lambda_0`` — mean frames per second."""
+        return self.mean_frame_rate * self.scale
+
+    @property
+    def operator_names(self) -> List[str]:
+        return ["sift", "matcher", "aggregator"]
+
+    def build(self) -> Topology:
+        """Construct the VLD topology with the calibrated parameters."""
+        s = self.scale
+        arrivals = UniformRateProcess(
+            self.min_frame_rate * s, self.max_frame_rate * s
+        )
+        return (
+            TopologyBuilder("vld")
+            .add_spout("frames", arrivals=arrivals)
+            .add_operator(
+                "sift",
+                service_time=LogNormal(
+                    mean=1.0 / (self.sift_rate * s), scv=self.service_scv
+                ),
+            )
+            .add_operator(
+                "matcher",
+                service_time=LogNormal(
+                    mean=1.0 / (self.matcher_rate * s), scv=self.service_scv
+                ),
+            )
+            .add_operator(
+                "aggregator",
+                service_time=LogNormal(
+                    mean=1.0 / (self.aggregator_rate * s), scv=self.service_scv
+                ),
+            )
+            .connect("frames", "sift")
+            .connect(
+                "sift",
+                "matcher",
+                gain=self.features_per_frame,
+                fanout=LogNormal(
+                    mean=self.features_per_frame, scv=self.fanout_scv
+                ),
+            )
+            .connect(
+                "matcher",
+                "aggregator",
+                gain=self.match_fraction,
+                grouping=FieldsGrouping(["root"]),
+            )
+            .build()
+        )
+
+    def allocation(self, spec: str) -> Allocation:
+        """Parse an ``"x1:x2:x3"`` spec against this topology's operators."""
+        return Allocation.parse(self.operator_names, spec)
+
+    def fig6_allocations(self) -> List[Allocation]:
+        """The six Fig. 6 configurations, paper order."""
+        return [self.allocation(spec) for spec in FIG6_CONFIGS]

@@ -1,0 +1,35 @@
+"""Baseline allocators DRS is compared against.
+
+The paper's evaluation compares DRS's recommendation against nearby
+allocations (Fig. 6) and implicitly against what an operator would do by
+hand.  For the benchmark suite we implement the standard alternatives
+from the auto-scaling literature:
+
+- :class:`UniformAllocator` — split ``Kmax`` evenly (naive manual tuning);
+- :class:`ProportionalAllocator` — split ``Kmax`` proportionally to the
+  per-operator offered load ``lambda_i / mu_i`` (load-aware heuristic,
+  what "monitor the workload in each operator and adjust accordingly"
+  from the paper's introduction amounts to);
+- :class:`ThresholdScaler` — a Dhalion/Storm-reactive-style controller:
+  no model, scale an operator up when its utilisation crosses a high
+  water mark, down when it falls below a low water mark;
+- :class:`RandomAllocator` — random feasible allocation (sanity floor).
+
+All allocators respect the per-operator stability minimum
+``ceil(lambda_i/mu_i)`` — without it they would diverge in simulation
+and comparisons would be meaningless.
+"""
+
+from repro.baselines.static import (
+    UniformAllocator,
+    ProportionalAllocator,
+    RandomAllocator,
+)
+from repro.baselines.threshold import ThresholdScaler
+
+__all__ = [
+    "UniformAllocator",
+    "ProportionalAllocator",
+    "RandomAllocator",
+    "ThresholdScaler",
+]

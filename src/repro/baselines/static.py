@@ -1,0 +1,107 @@
+"""Static baseline allocators (model-free, one-shot).
+
+Each allocator answers the same question as Algorithm 1 — "place
+``Kmax`` processors over ``N`` operators" — without the queueing model.
+They all start from the stability minimum ``ceil(lambda_i / mu_i)`` and
+distribute the remaining budget by their own rule.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.exceptions import InfeasibleAllocationError
+from repro.model.performance import PerformanceModel
+from repro.scheduler.allocation import Allocation
+
+
+def _stability_floor(model: PerformanceModel, kmax: int) -> List[int]:
+    counts = model.min_allocation()
+    if sum(counts) > kmax:
+        raise InfeasibleAllocationError(
+            f"minimal stable allocation needs {sum(counts)} > Kmax={kmax}"
+        )
+    return counts
+
+
+class UniformAllocator:
+    """Spread the remaining budget as evenly as possible.
+
+    Represents naive manual tuning with no knowledge of per-operator
+    load: every operator looks equally important.
+    """
+
+    def allocate(self, model: PerformanceModel, kmax: int) -> Allocation:
+        """Return a feasible allocation using all ``kmax`` processors."""
+        counts = _stability_floor(model, kmax)
+        remaining = kmax - sum(counts)
+        n = len(counts)
+        index = 0
+        while remaining > 0:
+            counts[index % n] += 1
+            index += 1
+            remaining -= 1
+        return Allocation(model.operator_names, counts)
+
+    def __repr__(self) -> str:
+        return "UniformAllocator()"
+
+
+class ProportionalAllocator:
+    """Distribute the extra budget proportionally to offered load.
+
+    Offered load ``a_i = lambda_i / mu_i`` is the mean number of busy
+    processors operator *i* needs; giving each operator headroom
+    proportional to ``a_i`` is the classic "monitor each operator's
+    workload" heuristic from the paper's introduction.  It ignores how
+    *waiting time* responds to extra servers, which is exactly the gap
+    DRS's convex model closes.
+    """
+
+    def allocate(self, model: PerformanceModel, kmax: int) -> Allocation:
+        """Return a feasible allocation using all ``kmax`` processors."""
+        counts = _stability_floor(model, kmax)
+        network = model.network
+        offered = [
+            load.arrival_rate / load.service_rate for load in network.loads
+        ]
+        total_offered = sum(offered)
+        remaining = kmax - sum(counts)
+        if total_offered <= 0 or remaining == 0:
+            return Allocation(model.operator_names, counts)
+        # Largest-remainder apportionment of the extra budget.
+        shares = [remaining * a / total_offered for a in offered]
+        integral = [int(s) for s in shares]
+        leftover = remaining - sum(integral)
+        remainders = sorted(
+            range(len(shares)),
+            key=lambda i: shares[i] - integral[i],
+            reverse=True,
+        )
+        for i in remainders[:leftover]:
+            integral[i] += 1
+        counts = [c + extra for c, extra in zip(counts, integral)]
+        return Allocation(model.operator_names, counts)
+
+    def __repr__(self) -> str:
+        return "ProportionalAllocator()"
+
+
+class RandomAllocator:
+    """Uniformly random placement of the extra budget (sanity floor)."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self._rng = rng or random.Random(0)
+
+    def allocate(self, model: PerformanceModel, kmax: int) -> Allocation:
+        """Return a random feasible allocation using all ``kmax``."""
+        counts = _stability_floor(model, kmax)
+        remaining = kmax - sum(counts)
+        n = len(counts)
+        for _ in range(remaining):
+            counts[self._rng.randrange(n)] += 1
+        return Allocation(model.operator_names, counts)
+
+    def __repr__(self) -> str:
+        return "RandomAllocator()"

@@ -1,0 +1,113 @@
+"""Reactive threshold scaling — the model-free controller baseline.
+
+This is the strategy used by practical reactive auto-scalers (Dhalion's
+backpressure-driven resolvers, Flink's reactive mode): watch each
+operator's utilisation and
+
+- add a processor where utilisation exceeds ``high_watermark``;
+- remove one where it falls below ``low_watermark`` (never dropping
+  below 1 or breaking stability).
+
+It needs no model and no topology knowledge, but it converges one step
+per control interval, oscillates around the optimum, and cannot reason
+about *where* a marginal processor buys the most latency — the
+comparisons in ``benchmarks/bench_baselines.py`` quantify exactly that
+gap against Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import SchedulingError
+from repro.scheduler.allocation import Allocation
+from repro.utils.validation import check_probability
+
+
+class ThresholdScaler:
+    """Stateful reactive scaler stepping one processor at a time.
+
+    Parameters
+    ----------
+    high_watermark / low_watermark:
+        Utilisation bounds triggering scale-up / scale-down.
+    max_steps_per_update:
+        How many single-processor moves one control cycle may make
+        (reactive systems usually apply one action per cycle).
+    """
+
+    def __init__(
+        self,
+        high_watermark: float = 0.85,
+        low_watermark: float = 0.5,
+        max_steps_per_update: int = 1,
+    ):
+        self._high = check_probability("high_watermark", high_watermark)
+        self._low = check_probability("low_watermark", low_watermark)
+        if self._low >= self._high:
+            raise SchedulingError(
+                f"low_watermark {low_watermark} must be < high_watermark"
+                f" {high_watermark}"
+            )
+        if max_steps_per_update < 1:
+            raise SchedulingError("max_steps_per_update must be >= 1")
+        self._max_steps = max_steps_per_update
+
+    def update(
+        self,
+        current: Allocation,
+        arrival_rates: Sequence[float],
+        service_rates: Sequence[float],
+        kmax: Optional[int] = None,
+    ) -> Allocation:
+        """One reactive control step; returns the next allocation.
+
+        Scale-ups take priority over scale-downs (protect latency before
+        saving resources).  A ``kmax`` cap, when given, bounds the total.
+        """
+        if len(arrival_rates) != len(current) or len(service_rates) != len(current):
+            raise SchedulingError("rate vectors must match the allocation size")
+        counts: List[int] = list(current.vector)
+        names = current.names
+        steps = 0
+
+        def utilisation(i: int) -> float:
+            return arrival_rates[i] / (counts[i] * service_rates[i])
+
+        # Scale up the most overloaded operators first.
+        while steps < self._max_steps:
+            over = [
+                (utilisation(i), i)
+                for i in range(len(counts))
+                if utilisation(i) > self._high
+            ]
+            if not over:
+                break
+            if kmax is not None and sum(counts) >= kmax:
+                break
+            over.sort(reverse=True)
+            counts[over[0][1]] += 1
+            steps += 1
+
+        # Then scale down clearly idle operators.
+        while steps < self._max_steps:
+            under = [
+                (utilisation(i), i)
+                for i in range(len(counts))
+                if counts[i] > 1 and utilisation(i) < self._low
+                # removing one processor must keep the queue stable
+                and arrival_rates[i] / ((counts[i] - 1) * service_rates[i]) < 1.0
+            ]
+            if not under:
+                break
+            under.sort()
+            counts[under[0][1]] -= 1
+            steps += 1
+
+        return Allocation(names, counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"ThresholdScaler(high={self._high}, low={self._low},"
+            f" steps={self._max_steps})"
+        )

@@ -1,0 +1,177 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro fig6 --app vld --duration 600
+    python -m repro fig7 --app fpd
+    python -m repro fig8
+    python -m repro fig9 --app vld
+    python -m repro fig10
+    python -m repro table2
+    python -m repro baselines --app vld
+    python -m repro all            # everything, scaled protocols
+
+The CLI is a thin wrapper over :mod:`repro.experiments`; it prints the
+same text reports the benchmarks do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import baselines, fig6, fig7, fig8, fig9, fig10, report, table2
+
+
+def _fig6(args) -> str:
+    if args.app == "vld":
+        result = fig6.run_vld(duration=args.duration, warmup=args.warmup)
+    else:
+        result = fig6.run_fpd(
+            duration=args.duration, warmup=args.warmup, scale=args.scale
+        )
+    return report.render_fig6(result)
+
+
+def _fig7(args) -> str:
+    if args.app == "vld":
+        result = fig7.run_vld(duration=args.duration, warmup=args.warmup)
+    else:
+        result = fig7.run_fpd(
+            duration=args.duration, warmup=args.warmup, scale=args.scale
+        )
+    return report.render_fig7(result)
+
+
+def _fig8(args) -> str:
+    return report.render_fig8(
+        fig8.run(duration=args.duration, warmup=args.warmup)
+    )
+
+
+def _fig9(args) -> str:
+    kwargs = dict(
+        enable_at=args.enable_at, duration=args.duration, bucket=args.bucket
+    )
+    if args.app == "vld":
+        result = fig9.run_vld(**kwargs)
+    else:
+        result = fig9.run_fpd(scale=args.scale, **kwargs)
+    return report.render_fig9(result)
+
+
+def _fig10(args) -> str:
+    kwargs = dict(
+        enable_at=args.enable_at, duration=args.duration, bucket=args.bucket
+    )
+    runs = [fig10.run_exp_a(**kwargs), fig10.run_exp_b(**kwargs)]
+    return report.render_fig10(runs)
+
+
+def _table2(args) -> str:
+    return report.render_table2(table2.run(repetitions=args.repetitions))
+
+
+def _baselines(args) -> str:
+    result = baselines.compare(
+        args.app, duration=args.duration, warmup=args.warmup
+    )
+    return report.render_baselines(result)
+
+
+def _all(args) -> str:
+    sections = []
+    for app in ("vld", "fpd"):
+        scale = 1.0 if app == "vld" else 0.5
+        sections.append(
+            report.render_fig6(
+                fig6.run_vld(duration=480, warmup=60)
+                if app == "vld"
+                else fig6.run_fpd(duration=300, warmup=60, scale=scale)
+            )
+        )
+    sections.append(report.render_fig8(fig8.run(duration=250, warmup=30)))
+    sections.append(
+        report.render_fig9(fig9.run_vld(enable_at=300, duration=660, bucket=30))
+    )
+    sections.append(
+        report.render_fig10(
+            [
+                fig10.run_exp_a(enable_at=240, duration=720, bucket=30),
+                fig10.run_exp_b(enable_at=240, duration=720, bucket=30),
+            ]
+        )
+    )
+    sections.append(report.render_table2(table2.run(repetitions=1000)))
+    return "\n\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the DRS paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_app(p, default_duration):
+        p.add_argument("--app", choices=["vld", "fpd"], default="vld")
+        p.add_argument("--duration", type=float, default=default_duration)
+        p.add_argument("--warmup", type=float, default=60.0)
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=0.5,
+            help="rate scale for FPD (events shrink, shape preserved)",
+        )
+
+    p6 = sub.add_parser("fig6", help="sojourn mean/std per allocation")
+    add_app(p6, 480.0)
+    p6.set_defaults(handler=_fig6)
+
+    p7 = sub.add_parser("fig7", help="estimated vs measured sojourn")
+    add_app(p7, 480.0)
+    p7.set_defaults(handler=_fig7)
+
+    p8 = sub.add_parser("fig8", help="underestimation vs bolt CPU time")
+    p8.add_argument("--duration", type=float, default=250.0)
+    p8.add_argument("--warmup", type=float, default=30.0)
+    p8.set_defaults(handler=_fig8)
+
+    p9 = sub.add_parser("fig9", help="re-balancing convergence timelines")
+    p9.add_argument("--app", choices=["vld", "fpd"], default="vld")
+    p9.add_argument("--enable-at", dest="enable_at", type=float, default=300.0)
+    p9.add_argument("--duration", type=float, default=660.0)
+    p9.add_argument("--bucket", type=float, default=30.0)
+    p9.add_argument("--scale", type=float, default=0.4)
+    p9.set_defaults(handler=_fig9)
+
+    p10 = sub.add_parser("fig10", help="Tmax-driven machine scaling")
+    p10.add_argument("--enable-at", dest="enable_at", type=float, default=240.0)
+    p10.add_argument("--duration", type=float, default=720.0)
+    p10.add_argument("--bucket", type=float, default=30.0)
+    p10.set_defaults(handler=_fig10)
+
+    pt = sub.add_parser("table2", help="DRS-layer computation overheads")
+    pt.add_argument("--repetitions", type=int, default=2000)
+    pt.set_defaults(handler=_table2)
+
+    pb = sub.add_parser("baselines", help="DRS vs baseline allocators")
+    add_app(pb, 300.0)
+    pb.set_defaults(handler=_baselines)
+
+    pa = sub.add_parser("all", help="every artefact, scaled protocols")
+    pa.set_defaults(handler=_all)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.handler(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

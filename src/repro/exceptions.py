@@ -1,0 +1,59 @@
+"""Exception hierarchy for the DRS reproduction library.
+
+All library errors derive from :class:`DRSError` so callers can catch a
+single base class.  Sub-classes mirror the layers of the system: topology
+construction, queueing-model evaluation, scheduling, measurement, and the
+simulated CSP (cloud streaming platform) layer.
+"""
+
+from __future__ import annotations
+
+
+class DRSError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(DRSError):
+    """An invalid or inconsistent configuration parameter was supplied."""
+
+
+class TopologyError(DRSError):
+    """The operator topology is malformed (bad edges, names, groupings)."""
+
+
+class RoutingError(TopologyError):
+    """Routing/selectivity information is inconsistent with the topology."""
+
+
+class StabilityError(DRSError):
+    """The queueing network is unstable (utilisation >= 1 somewhere, or a
+    feedback loop amplifies traffic without bound)."""
+
+
+class ModelError(DRSError):
+    """The performance model could not be evaluated."""
+
+
+class InfeasibleAllocationError(DRSError):
+    """No allocation satisfies the constraints.
+
+    Raised by Algorithm 1 when ``sum(ceil(lambda_i / mu_i)) > Kmax`` (the
+    paper's line 5 exception) and by the Program-6 solver when ``Tmax``
+    cannot be met within the processor budget.
+    """
+
+
+class SchedulingError(DRSError):
+    """A scheduling operation failed (bad allocation vector, etc.)."""
+
+
+class MeasurementError(DRSError):
+    """A measurement operation failed or produced unusable statistics."""
+
+
+class SimulationError(DRSError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class NegotiationError(DRSError):
+    """The resource negotiator could not satisfy a machine request."""

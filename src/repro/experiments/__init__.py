@@ -1,0 +1,24 @@
+"""Experiment drivers regenerating every table and figure of Sec. V.
+
+Each module reproduces one artefact:
+
+- :mod:`repro.experiments.fig6` — sojourn mean/std across allocations;
+- :mod:`repro.experiments.fig7` — estimated vs measured sojourn;
+- :mod:`repro.experiments.fig8` — underestimation vs bolt CPU time;
+- :mod:`repro.experiments.fig9` — rebalancing timelines;
+- :mod:`repro.experiments.fig10` — Tmax-driven machine scaling;
+- :mod:`repro.experiments.table2` — DRS-layer computation overheads;
+- :mod:`repro.experiments.baselines` — DRS vs baseline allocators
+  (extension beyond the paper).
+
+The shared machinery (passive runs, the live DRS-to-simulator binding)
+lives in :mod:`repro.experiments.harness`.
+"""
+
+from repro.experiments.harness import (
+    run_passive,
+    passive_recommendation,
+    DRSBinding,
+)
+
+__all__ = ["run_passive", "passive_recommendation", "DRSBinding"]

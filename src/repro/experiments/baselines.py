@@ -1,0 +1,125 @@
+"""DRS vs. baseline allocators — an extension beyond the paper's plots.
+
+The paper compares DRS's recommendation against *nearby* allocations
+(Fig. 6).  Here we compare against the standard alternatives a
+practitioner would actually use: uniform split, load-proportional
+split, a reactive threshold scaler, and random placement.  Each
+allocator receives the same measured load and budget; we report both
+the model's ``E[T]`` and the simulator's measured sojourn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.vld import VLDWorkload
+from repro.apps.fpd import FPDWorkload
+from repro.baselines import (
+    ProportionalAllocator,
+    RandomAllocator,
+    ThresholdScaler,
+    UniformAllocator,
+)
+from repro.experiments.harness import run_passive
+from repro.model.performance import PerformanceModel
+from repro.scheduler.allocation import Allocation
+from repro.scheduler.assign import assign_processors
+from repro.sim.runtime import RuntimeOptions
+
+
+@dataclass(frozen=True)
+class BaselineRow:
+    """One allocator's outcome on one application."""
+
+    allocator: str
+    spec: str
+    model_sojourn: float
+    measured_sojourn: Optional[float]
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """All allocators on one application."""
+
+    application: str
+    kmax: int
+    rows: List[BaselineRow]
+
+    def drs_wins_model(self) -> bool:
+        """DRS has the lowest model E[T] (guaranteed by Theorem 1)."""
+        drs = next(r for r in self.rows if r.allocator == "drs")
+        return all(drs.model_sojourn <= r.model_sojourn for r in self.rows)
+
+    def row(self, allocator: str) -> BaselineRow:
+        for r in self.rows:
+            if r.allocator == allocator:
+                return r
+        raise KeyError(allocator)
+
+
+def _threshold_converged(
+    model: PerformanceModel, start: Allocation, kmax: int, *, iterations: int = 50
+) -> Allocation:
+    """Run the reactive scaler to convergence on static measured load."""
+    scaler = ThresholdScaler()
+    allocation = start
+    lams = model.network.arrival_rates
+    mus = model.network.service_rates
+    for _ in range(iterations):
+        updated = scaler.update(allocation, lams, mus, kmax=kmax)
+        if updated == allocation:
+            break
+        allocation = updated
+    return allocation
+
+
+def compare(
+    application: str = "vld",
+    *,
+    kmax: int = 22,
+    duration: float = 300.0,
+    warmup: float = 60.0,
+    seed: int = 37,
+    simulate: bool = True,
+) -> BaselineComparison:
+    """Compare allocators on ``application`` ("vld" or "fpd")."""
+    if application == "vld":
+        workload = VLDWorkload()
+        hop = 0.002
+    elif application == "fpd":
+        workload = FPDWorkload(scale=0.5)
+        hop = workload.hop_latency
+    else:
+        raise ValueError(f"unknown application {application!r}")
+    topology = workload.build()
+    model = PerformanceModel.from_topology(topology)
+
+    candidates: Dict[str, Allocation] = {
+        "drs": assign_processors(model, kmax),
+        "uniform": UniformAllocator().allocate(model, kmax),
+        "proportional": ProportionalAllocator().allocate(model, kmax),
+        "random": RandomAllocator().allocate(model, kmax),
+    }
+    candidates["threshold"] = _threshold_converged(
+        model, candidates["uniform"], kmax
+    )
+
+    rows: List[BaselineRow] = []
+    for name, allocation in candidates.items():
+        measured = None
+        if simulate:
+            options = RuntimeOptions(seed=seed, hop_latency=hop)
+            stats, _ = run_passive(
+                topology, allocation, duration, options=options, warmup=warmup
+            )
+            measured = stats.mean_sojourn
+        rows.append(
+            BaselineRow(
+                allocator=name,
+                spec=allocation.spec(),
+                model_sojourn=model.expected_sojourn(list(allocation.vector)),
+                measured_sojourn=measured,
+            )
+        )
+    return BaselineComparison(application=application, kmax=kmax, rows=rows)

@@ -1,0 +1,146 @@
+"""Fig. 7 — estimated vs measured average sojourn time.
+
+The paper plots, for the six allocations of each application, the model
+estimate (x) against the measurement (y) and observes: (a) strict
+monotonicity — the model ranks allocations correctly; (b) accurate
+estimates for the computation-intensive VLD (slight underestimation);
+(c) larger underestimation for the data-intensive FPD, still strongly
+correlated, so "a polynomial regression can be used straightforwardly
+to make accurate predictions".
+
+This module reruns the comparison, quantifies monotonicity with
+Spearman rank correlation, and fits the suggested regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.correlation import spearman
+from repro.apps import fpd as fpd_app
+from repro.apps import vld as vld_app
+from repro.experiments.harness import run_passive
+from repro.model.calibration import PolynomialCalibrator
+from repro.model.performance import PerformanceModel
+from repro.sim.runtime import RuntimeOptions
+
+
+@dataclass(frozen=True)
+class EstimatePoint:
+    """One point of Fig. 7: (estimated, measured) for an allocation."""
+
+    spec: str
+    estimated: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / estimated — > 1 means the model under-estimates."""
+        return self.measured / self.estimated
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """One panel of Fig. 7 plus the derived statistics."""
+
+    application: str
+    points: List[EstimatePoint]
+    rank_correlation: float
+    calibration_r_squared: float
+
+    def is_monotone(self) -> bool:
+        """Strict monotonicity — the paper's key observation."""
+        ordered = sorted(self.points, key=lambda p: p.estimated)
+        return all(
+            a.measured < b.measured for a, b in zip(ordered, ordered[1:])
+        )
+
+
+def run_vld(
+    *,
+    duration: float = 600.0,
+    warmup: float = 60.0,
+    seed: int = 11,
+    hop_latency: float = 0.002,
+) -> Fig7Result:
+    """VLD panel of Fig. 7."""
+    workload = vld_app.VLDWorkload()
+    return _run_panel(
+        "vld",
+        workload.build(),
+        [workload.allocation(s) for s in vld_app.FIG6_CONFIGS],
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        hop_latency=hop_latency,
+    )
+
+
+def run_fpd(
+    *,
+    duration: float = 600.0,
+    warmup: float = 60.0,
+    seed: int = 13,
+    scale: float = 1.0,
+    hop_latency: Optional[float] = None,
+) -> Fig7Result:
+    """FPD panel of Fig. 7 (data-intensive: expect underestimation)."""
+    workload = fpd_app.FPDWorkload(scale=scale)
+    if hop_latency is None:
+        hop_latency = workload.hop_latency
+    return _run_panel(
+        "fpd",
+        workload.build(),
+        [workload.allocation(s) for s in fpd_app.FIG6_CONFIGS],
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        hop_latency=hop_latency,
+    )
+
+
+def _run_panel(
+    application: str,
+    topology,
+    allocations,
+    *,
+    duration: float,
+    warmup: float,
+    seed: int,
+    hop_latency: float,
+) -> Fig7Result:
+    model = PerformanceModel.from_topology(topology)
+    points: List[EstimatePoint] = []
+    for allocation in allocations:
+        estimated = model.expected_sojourn(list(allocation.vector))
+        options = RuntimeOptions(seed=seed, hop_latency=hop_latency)
+        stats, _ = run_passive(
+            topology, allocation, duration, options=options, warmup=warmup
+        )
+        if stats.mean_sojourn is None:
+            raise RuntimeError(
+                f"{application} {allocation.spec()}: no completed tuples"
+            )
+        points.append(
+            EstimatePoint(
+                spec=allocation.spec(),
+                estimated=estimated,
+                measured=stats.mean_sojourn,
+            )
+        )
+    correlation = spearman(
+        [p.estimated for p in points], [p.measured for p in points]
+    )
+    calibrator = PolynomialCalibrator(degree=1).fit(
+        [p.estimated for p in points], [p.measured for p in points]
+    )
+    r_squared = calibrator.r_squared(
+        [p.estimated for p in points], [p.measured for p in points]
+    )
+    return Fig7Result(
+        application=application,
+        points=points,
+        rank_correlation=correlation,
+        calibration_r_squared=r_squared,
+    )

@@ -1,0 +1,85 @@
+"""Fig. 8 — model underestimation vs. total bolt CPU time.
+
+The paper's synthetic-chain experiment: vary the three bolts' total CPU
+time from 0.567 ms to 309.1 ms and plot the *ratio of measured to
+estimated* average sojourn time.  When per-tuple CPU is tiny, the
+fixed per-hop framework/network overhead (which the model ignores)
+dominates and the ratio is large; as CPU grows the ratio approaches 1
+— "a clear decreasing trend of the degree of underestimation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.apps.synthetic import FIG8_TOTAL_CPU, SyntheticChainWorkload
+from repro.experiments.harness import run_passive
+from repro.model.performance import PerformanceModel
+from repro.sim.runtime import RuntimeOptions
+
+
+@dataclass(frozen=True)
+class UnderestimationPoint:
+    """One x-position of Fig. 8."""
+
+    total_cpu: float
+    estimated: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / estimated — the figure's y-axis."""
+        return self.measured / self.estimated
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """The full curve."""
+
+    points: List[UnderestimationPoint]
+
+    def ratios(self) -> List[float]:
+        return [p.ratio for p in self.points]
+
+    def is_decreasing(self) -> bool:
+        """The paper's claim: the ratio falls as CPU time grows."""
+        ratios = self.ratios()
+        return all(a > b for a, b in zip(ratios, ratios[1:]))
+
+
+def run(
+    *,
+    workloads: Sequence[float] = tuple(FIG8_TOTAL_CPU),
+    duration: float = 300.0,
+    warmup: float = 30.0,
+    seed: int = 17,
+    hop_latency: float = 0.004,
+    arrival_rate: float = 20.0,
+) -> Fig8Result:
+    """Sweep the total-CPU workloads and collect measured/estimated ratios."""
+    points: List[UnderestimationPoint] = []
+    for total_cpu in workloads:
+        workload = SyntheticChainWorkload(
+            total_cpu=total_cpu,
+            arrival_rate=arrival_rate,
+            hop_latency=hop_latency,
+        )
+        topology = workload.build()
+        model = PerformanceModel.from_topology(topology)
+        allocation = workload.allocation()
+        estimated = model.expected_sojourn(list(allocation.vector))
+        options = RuntimeOptions(seed=seed, hop_latency=hop_latency)
+        stats, _ = run_passive(
+            topology, allocation, duration, options=options, warmup=warmup
+        )
+        if stats.mean_sojourn is None:
+            raise RuntimeError(f"total_cpu={total_cpu}: no completed tuples")
+        points.append(
+            UnderestimationPoint(
+                total_cpu=total_cpu,
+                estimated=estimated,
+                measured=stats.mean_sojourn,
+            )
+        )
+    return Fig8Result(points=points)

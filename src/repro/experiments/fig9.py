@@ -1,0 +1,184 @@
+"""Fig. 9 — re-balancing disabled, then enabled: convergence timelines.
+
+The paper runs each application for 27 minutes from three different
+initial allocations.  Re-balancing is disabled until the end of the
+13th minute; once enabled, DRS migrates the two non-optimal runs to the
+optimal allocation within the 14th minute at negligible cost, after
+which all three curves coincide.
+
+Durations here are parameterised (defaults are a scaled-down protocol —
+the ratio of disabled to enabled phases is preserved) because the full
+27-minute FPD run is ~10M simulated events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.apps import fpd as fpd_app
+from repro.apps import vld as vld_app
+from repro.config import MeasurementConfig
+from repro.experiments.harness import DRSBinding, make_kmax_controller
+from repro.model.performance import PerformanceModel
+from repro.scheduler.assign import assign_processors
+from repro.scheduler.allocation import Allocation
+from repro.sim.engine import Simulator
+from repro.sim.runtime import RuntimeOptions, TopologyRuntime
+
+
+@dataclass(frozen=True)
+class TimelineCurve:
+    """One curve of a Fig. 9 panel."""
+
+    initial_spec: str
+    final_spec: str
+    buckets: List[Tuple[float, Optional[float], int]]
+    rebalanced_at: Optional[float]
+
+    @property
+    def was_rebalanced(self) -> bool:
+        return self.rebalanced_at is not None
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """One panel (application) of Fig. 9.
+
+    ``near_optimal_specs`` contains the optimum plus every single-move
+    neighbour whose model E[T] is within 2% of it: with measured (noisy)
+    rates, DRS may land on any member of this equivalence class — the
+    paper's own 10:11:1 vs 11:10:1 differ by under 1% in the model.
+    """
+
+    application: str
+    optimal_spec: str
+    near_optimal_specs: List[str]
+    curves: List[TimelineCurve]
+
+    def all_converged(self) -> bool:
+        """Every curve ends on a model-near-optimal allocation."""
+        return all(
+            c.final_spec in self.near_optimal_specs for c in self.curves
+        )
+
+
+def run_vld(
+    *,
+    enable_at: float = 390.0,
+    duration: float = 810.0,
+    bucket: float = 30.0,
+    seed: int = 19,
+    hop_latency: float = 0.002,
+) -> Fig9Result:
+    """VLD panel.  Defaults scale the paper's 13/27-minute protocol by
+    half (6.5 min disabled, 13.5 min total) with 30 s buckets."""
+    workload = vld_app.VLDWorkload()
+    return _run_panel(
+        "vld",
+        workload.build(),
+        [workload.allocation(s) for s in vld_app.FIG9_INITIAL],
+        vld_app.RECOMMENDED,
+        enable_at=enable_at,
+        duration=duration,
+        bucket=bucket,
+        seed=seed,
+        hop_latency=hop_latency,
+    )
+
+
+def run_fpd(
+    *,
+    enable_at: float = 390.0,
+    duration: float = 810.0,
+    bucket: float = 30.0,
+    seed: int = 23,
+    scale: float = 0.5,
+    hop_latency: Optional[float] = None,
+) -> Fig9Result:
+    """FPD panel (rates scaled by default to bound event counts)."""
+    workload = fpd_app.FPDWorkload(scale=scale)
+    if hop_latency is None:
+        hop_latency = workload.hop_latency
+    return _run_panel(
+        "fpd",
+        workload.build(),
+        [workload.allocation(s) for s in fpd_app.FIG9_INITIAL],
+        fpd_app.RECOMMENDED,
+        enable_at=enable_at,
+        duration=duration,
+        bucket=bucket,
+        seed=seed,
+        hop_latency=hop_latency,
+    )
+
+
+def _run_panel(
+    application: str,
+    topology,
+    initial_allocations: List[Allocation],
+    optimal_spec: str,
+    *,
+    enable_at: float,
+    duration: float,
+    bucket: float,
+    seed: int,
+    hop_latency: float,
+) -> Fig9Result:
+    curves: List[TimelineCurve] = []
+    for initial in initial_allocations:
+        simulator = Simulator()
+        # Heavy smoothing (alpha = 0.85 over 10 s pulls gives a ~1-minute
+        # memory) plus a 12% hysteresis keep measurement noise from
+        # flapping the optimum between near-equivalent allocations — the
+        # role the paper assigns to the measurer's smoothing options.
+        options = RuntimeOptions(
+            seed=seed,
+            hop_latency=hop_latency,
+            timeline_bucket=bucket,
+            measurement=MeasurementConfig(alpha=0.85),
+        )
+        runtime = TopologyRuntime(simulator, topology, initial, options)
+        controller = make_kmax_controller(
+            topology, kmax=22, rebalance_threshold=0.12
+        )
+        binding = DRSBinding(
+            runtime, controller, enable_at=enable_at, min_action_gap=60.0
+        )
+        runtime.start()
+        simulator.run_until(duration)
+        applied = binding.applied_events
+        curves.append(
+            TimelineCurve(
+                initial_spec=initial.spec(),
+                final_spec=runtime.allocation.spec(),
+                buckets=runtime.timeline(),
+                rebalanced_at=applied[0].time if applied else None,
+            )
+        )
+    return Fig9Result(
+        application=application,
+        optimal_spec=optimal_spec,
+        near_optimal_specs=_near_optimal_specs(topology, kmax=22),
+        curves=curves,
+    )
+
+
+def _near_optimal_specs(topology, *, kmax: int, tolerance: float = 0.02) -> List[str]:
+    """The optimum and its single-move neighbours within ``tolerance``."""
+    model = PerformanceModel.from_topology(topology)
+    best = assign_processors(model, kmax)
+    best_value = model.expected_sojourn(list(best.vector))
+    specs = [best.spec()]
+    names = list(best.names)
+    for take in names:
+        if best[take] <= 1:
+            continue
+        for give in names:
+            if give == take:
+                continue
+            candidate = best.decrement(take).increment(give)
+            value = model.expected_sojourn(list(candidate.vector))
+            if value <= best_value * (1.0 + tolerance):
+                specs.append(candidate.spec())
+    return specs

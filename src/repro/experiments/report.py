@@ -1,0 +1,144 @@
+"""Plain-text rendering of experiment results (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.baselines import BaselineComparison
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.fig9 import Fig9Result
+from repro.experiments.fig10 import ScalingRun
+from repro.experiments.table2 import Table2Result
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f} ms"
+
+
+def render_fig6(result: Fig6Result) -> str:
+    """The Fig. 6 bars as a table: allocation, mean +- std."""
+    lines = [f"Fig. 6 ({result.application}): sojourn time per allocation"]
+    for row in result.rows:
+        star = " *" if row.is_recommended else "  "
+        lines.append(
+            f"  {row.spec:>10}{star}  mean={_ms(row.mean_sojourn):>12}"
+            f"  std={_ms(row.std_sojourn):>12}  n={row.completed_trees}"
+        )
+    lines.append(
+        f"  passive DRS recommendation: {result.drs_recommendation}"
+        f"  (best measured: {result.best_spec()})"
+    )
+    return "\n".join(lines)
+
+
+def render_fig7(result: Fig7Result) -> str:
+    """The Fig. 7 scatter as a table plus correlation statistics."""
+    lines = [f"Fig. 7 ({result.application}): estimated vs measured"]
+    for point in sorted(result.points, key=lambda p: p.estimated):
+        lines.append(
+            f"  {point.spec:>10}  est={_ms(point.estimated):>12}"
+            f"  meas={_ms(point.measured):>12}  ratio={point.ratio:.2f}"
+        )
+    lines.append(
+        f"  spearman={result.rank_correlation:.3f}"
+        f"  monotone={result.is_monotone()}"
+        f"  calibration R^2={result.calibration_r_squared:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def render_fig8(result: Fig8Result) -> str:
+    """The Fig. 8 curve: total CPU vs measured/estimated ratio."""
+    lines = ["Fig. 8: underestimation vs total bolt CPU time"]
+    for point in result.points:
+        lines.append(
+            f"  cpu={point.total_cpu * 1000:>8.3f} ms"
+            f"  est={_ms(point.estimated):>12}"
+            f"  meas={_ms(point.measured):>12}"
+            f"  ratio={point.ratio:>7.2f}"
+        )
+    lines.append(f"  decreasing={result.is_decreasing()}")
+    return "\n".join(lines)
+
+
+def render_fig9(result: Fig9Result) -> str:
+    """The Fig. 9 timelines: one line per bucket per curve."""
+    lines = [
+        f"Fig. 9 ({result.application}): re-balancing timelines"
+        f" (optimal={result.optimal_spec})"
+    ]
+    for curve in result.curves:
+        reb = (
+            f"rebalanced at t={curve.rebalanced_at:.0f}s"
+            if curve.was_rebalanced
+            else "never rebalanced"
+        )
+        lines.append(
+            f"  start {curve.initial_spec} -> end {curve.final_spec} ({reb})"
+        )
+        for start, mean, count in curve.buckets:
+            value = _ms(mean) if mean is not None else "-"
+            lines.append(f"    t={start:>6.0f}s  mean={value:>12}  n={count}")
+    lines.append(f"  all converged to optimum: {result.all_converged()}")
+    return "\n".join(lines)
+
+
+def render_fig10(runs: List[ScalingRun]) -> str:
+    """The Fig. 10 panels: machines, allocations and spikes."""
+    lines = ["Fig. 10: Tmax-driven scaling (VLD)"]
+    for run in runs:
+        lines.append(
+            f"  {run.name}: Tmax={_ms(run.tmax)}"
+            f"  machines {run.initial_machines}->{run.final_machines}"
+            f"  allocation {run.initial_spec}->{run.final_spec}"
+        )
+        spike = _ms(run.spike_sojourn) if run.spike_sojourn is not None else "-"
+        settled = (
+            _ms(run.settled_sojourn) if run.settled_sojourn is not None else "-"
+        )
+        scaled = f"{run.scaled_at:.0f}s" if run.scaled_at is not None else "-"
+        lines.append(
+            f"      scaled at t={scaled}  spike={spike}  settled={settled}"
+            f"  meets Tmax: {run.meets_target_after_scaling()}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(result: Table2Result) -> str:
+    """Table II rows: Kmax, scheduling ms, measurement ms."""
+    lines = ["Table II: DRS-layer computation overheads (ms)"]
+    header = "  Kmax        " + "".join(f"{r.kmax:>10}" for r in result.rows)
+    sched = "  Scheduling  " + "".join(
+        f"{r.scheduling_ms:>10.3f}" for r in result.rows
+    )
+    meas = "  Measurement " + "".join(
+        f"{r.measurement_ms:>10.3f}" for r in result.rows
+    )
+    lines.extend([header, sched, meas])
+    lines.append(
+        f"  scheduling increasing: {result.scheduling_is_increasing()};"
+        f" measurement flat: {result.measurement_is_flat()}"
+    )
+    return "\n".join(lines)
+
+
+def render_baselines(result: BaselineComparison) -> str:
+    """DRS vs baseline allocators."""
+    lines = [
+        f"Baselines ({result.application}, Kmax={result.kmax}):"
+        f" allocator / allocation / model E[T] / measured"
+    ]
+    for row in sorted(result.rows, key=lambda r: r.model_sojourn):
+        measured = (
+            _ms(row.measured_sojourn)
+            if row.measured_sojourn is not None
+            else "-"
+        )
+        lines.append(
+            f"  {row.allocator:>12}  {row.spec:>10}"
+            f"  model={_ms(row.model_sojourn):>12}  measured={measured:>12}"
+        )
+    lines.append(f"  DRS optimal by model: {result.drs_wins_model()}")
+    return "\n".join(lines)

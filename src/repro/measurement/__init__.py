@@ -1,0 +1,35 @@
+"""The DRS measurer layer (paper Sec. IV + Appendix B).
+
+Collects the statistics the optimiser needs with bounded overhead:
+
+- per-operator local metrics: mean arrival rate ``lambda_hat_i`` and
+  mean service rate ``mu_hat_i`` (service times sampled every ``Nm``
+  tuples — the paper's bi-layer sampling);
+- global metrics: external arrival rate ``lambda_hat_0`` and the mean
+  total sojourn time ``E[T_hat]`` measured acker-style over complete
+  tuple-processing trees;
+- pre-processing: operator-level aggregation across executor instances
+  and smoothing (alpha-weighted or window-based averaging).
+"""
+
+from repro.measurement.smoothing import Smoother, AlphaSmoother, WindowSmoother, make_smoother
+from repro.measurement.metrics import (
+    IntervalCounter,
+    SampledAccumulator,
+    WelfordAccumulator,
+)
+from repro.measurement.sojourn import TupleTreeTracker
+from repro.measurement.measurer import Measurer, MeasurementReport
+
+__all__ = [
+    "Smoother",
+    "AlphaSmoother",
+    "WindowSmoother",
+    "make_smoother",
+    "IntervalCounter",
+    "SampledAccumulator",
+    "WelfordAccumulator",
+    "TupleTreeTracker",
+    "Measurer",
+    "MeasurementReport",
+]

@@ -1,0 +1,252 @@
+"""The central measurer module (paper Sec. IV, Appendix B).
+
+One :class:`Measurer` instance plays the role of the paper's dedicated
+measurement operator:
+
+- executors report arrivals and (sampled) service times through cheap
+  per-operator recording calls;
+- the tuple-tree tracker reports completed-tree sojourn times;
+- every ``Tm`` seconds (driven by the simulator's measurement tick) the
+  measurer *pulls*: converts interval counts to rates, aggregates at the
+  operator level, applies the configured smoothing, and emits a
+  :class:`MeasurementReport` for the optimiser.
+
+The raw-to-smoothed pipeline mirrors Appendix B exactly: per-instance
+sampling (``Nm``) -> operator-level aggregation -> alpha/window
+smoothing.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import MeasurementConfig
+from repro.exceptions import MeasurementError
+from repro.measurement.metrics import (
+    IntervalCounter,
+    SampledAccumulator,
+    WelfordAccumulator,
+)
+from repro.measurement.smoothing import Smoother, make_smoother
+
+
+@dataclass(frozen=True)
+class MeasurementReport:
+    """One pull's smoothed, operator-level view of the system.
+
+    ``service_rates`` entries may be ``None`` for operators that have
+    processed no sampled tuple yet; callers fall back to nominal rates.
+    ``measured_sojourn`` is ``None`` until at least one tuple tree has
+    completed.  ``processing_time`` is the wall-clock cost of producing
+    this report (the quantity Table II reports as "Measurement").
+    """
+
+    timestamp: float
+    operator_names: Sequence[str]
+    arrival_rates: Sequence[Optional[float]]
+    service_rates: Sequence[Optional[float]]
+    service_scvs: Sequence[Optional[float]]
+    external_rate: Optional[float]
+    measured_sojourn: Optional[float]
+    sojourn_std: Optional[float]
+    completed_trees: int
+    processing_time: float
+
+    def is_complete(self) -> bool:
+        """True when every operator has both rates and a sojourn exists."""
+        return (
+            all(r is not None for r in self.arrival_rates)
+            and all(r is not None for r in self.service_rates)
+            and self.external_rate is not None
+            and self.measured_sojourn is not None
+        )
+
+
+class _OperatorChannel:
+    """Per-operator measurement state (aggregated over its executors)."""
+
+    def __init__(self, config: MeasurementConfig):
+        self.arrivals = IntervalCounter()
+        self.service = SampledAccumulator(config.sample_every)
+        self.rate_smoother: Smoother = make_smoother(config)
+        self.service_smoother: Smoother = make_smoother(config)
+        self.scv_smoother: Smoother = make_smoother(config)
+
+
+class Measurer:
+    """Collects, aggregates and smooths runtime metrics.
+
+    Parameters
+    ----------
+    operator_names:
+        Canonical operator order (reports follow it).
+    config:
+        Sampling and smoothing parameters (``Nm``, ``Tm``, alpha/window).
+    """
+
+    def __init__(
+        self,
+        operator_names: Sequence[str],
+        config: Optional[MeasurementConfig] = None,
+    ):
+        if not operator_names:
+            raise MeasurementError("measurer needs at least one operator")
+        self._config = config or MeasurementConfig()
+        self._names = list(operator_names)
+        self._channels: Dict[str, _OperatorChannel] = {
+            name: _OperatorChannel(self._config) for name in self._names
+        }
+        self._external = IntervalCounter()
+        self._external_smoother = make_smoother(self._config)
+        self._sojourn_interval = WelfordAccumulator()
+        self._sojourn_smoother = make_smoother(self._config)
+        self._sojourn_std_smoother = make_smoother(self._config)
+        self._completed_trees = 0
+        self._last_pull: Optional[float] = None
+
+    @property
+    def config(self) -> MeasurementConfig:
+        return self._config
+
+    @property
+    def operator_names(self) -> List[str]:
+        return list(self._names)
+
+    # ------------------------------------------------------------------
+    # recording (hot path, called by executors / the tracker)
+    # ------------------------------------------------------------------
+    def record_arrival(self, operator: str, external: bool = False) -> None:
+        """One tuple arrived at ``operator``'s queue tail.
+
+        The paper stresses the rate must be measured at the queue *tail*
+        (all offered tuples), not the head (only the processed ones).
+        """
+        channel = self._channels.get(operator)
+        if channel is None:
+            raise MeasurementError(f"unknown operator {operator!r}")
+        channel.arrivals.record()
+        if external:
+            self._external.record()
+
+    def record_service(self, operator: str, duration: float) -> None:
+        """One tuple's processing took ``duration`` at ``operator``."""
+        channel = self._channels.get(operator)
+        if channel is None:
+            raise MeasurementError(f"unknown operator {operator!r}")
+        if duration < 0:
+            raise MeasurementError(f"negative service duration {duration}")
+        channel.service.offer(duration)
+
+    def record_sojourn(self, sojourn: float) -> None:
+        """One external tuple's tree completed with this total sojourn."""
+        if sojourn < 0:
+            raise MeasurementError(f"negative sojourn {sojourn}")
+        self._sojourn_interval.add(sojourn)
+        self._completed_trees += 1
+
+    def lifetime_arrivals(self, operator: str) -> int:
+        """Total arrivals ever recorded at ``operator`` (never reset)."""
+        channel = self._channels.get(operator)
+        if channel is None:
+            raise MeasurementError(f"unknown operator {operator!r}")
+        return channel.arrivals.lifetime_total
+
+    # ------------------------------------------------------------------
+    # pulling (once per Tm)
+    # ------------------------------------------------------------------
+    def pull(self, now: float) -> MeasurementReport:
+        """Harvest the interval, smooth, and emit a report."""
+        started = _time.perf_counter()
+        elapsed = None if self._last_pull is None else now - self._last_pull
+        self._last_pull = now
+
+        arrival_rates: List[Optional[float]] = []
+        service_rates: List[Optional[float]] = []
+        service_scvs: List[Optional[float]] = []
+        for name in self._names:
+            channel = self._channels[name]
+            raw_rate = (
+                channel.arrivals.harvest(elapsed) if elapsed else None
+            )
+            if raw_rate is not None:
+                channel.rate_smoother.update(raw_rate)
+            arrival_rates.append(
+                channel.rate_smoother.value
+                if channel.rate_smoother.has_value
+                else None
+            )
+            moments = channel.service.harvest_moments()
+            if moments is not None:
+                raw_service, raw_scv = moments
+                if raw_service > 0:
+                    channel.service_smoother.update(1.0 / raw_service)
+                if raw_scv is not None:
+                    channel.scv_smoother.update(raw_scv)
+            service_rates.append(
+                channel.service_smoother.value
+                if channel.service_smoother.has_value
+                else None
+            )
+            service_scvs.append(
+                channel.scv_smoother.value
+                if channel.scv_smoother.has_value
+                else None
+            )
+
+        raw_external = self._external.harvest(elapsed) if elapsed else None
+        if raw_external is not None:
+            self._external_smoother.update(raw_external)
+        external = (
+            self._external_smoother.value
+            if self._external_smoother.has_value
+            else None
+        )
+
+        if self._sojourn_interval.count > 0:
+            self._sojourn_smoother.update(self._sojourn_interval.mean)
+            self._sojourn_std_smoother.update(self._sojourn_interval.std)
+            self._sojourn_interval.reset()
+        sojourn = (
+            self._sojourn_smoother.value
+            if self._sojourn_smoother.has_value
+            else None
+        )
+        sojourn_std = (
+            self._sojourn_std_smoother.value
+            if self._sojourn_std_smoother.has_value
+            else None
+        )
+
+        processing = _time.perf_counter() - started
+        return MeasurementReport(
+            timestamp=now,
+            operator_names=list(self._names),
+            arrival_rates=arrival_rates,
+            service_rates=service_rates,
+            service_scvs=service_scvs,
+            external_rate=external,
+            measured_sojourn=sojourn,
+            sojourn_std=sojourn_std,
+            completed_trees=self._completed_trees,
+            processing_time=processing,
+        )
+
+    def reset_smoothing(self) -> None:
+        """Forget smoothed state (called after a rebalance: old metrics
+        describe the pre-migration configuration)."""
+        for channel in self._channels.values():
+            channel.rate_smoother.reset()
+            channel.service_smoother.reset()
+            channel.scv_smoother.reset()
+        self._external_smoother.reset()
+        self._sojourn_smoother.reset()
+        self._sojourn_std_smoother.reset()
+        self._sojourn_interval.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"Measurer(operators={len(self._names)},"
+            f" completed_trees={self._completed_trees})"
+        )

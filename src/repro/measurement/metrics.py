@@ -1,0 +1,205 @@
+"""Low-level metric accumulators used by the measurer.
+
+These are deliberately tiny — they run on the simulator's hot path (one
+call per tuple) and their cost is itself part of what Table II reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.exceptions import MeasurementError
+
+
+class IntervalCounter:
+    """Counts events and converts to a rate when an interval is harvested.
+
+    ``harvest(elapsed)`` returns events/second over the interval and
+    resets the count — the pull-based collection pattern of the paper's
+    measurer.
+    """
+
+    def __init__(self):
+        self._count = 0
+        self._total = 0
+
+    def record(self, n: int = 1) -> None:
+        """Count ``n`` events."""
+        if n < 0:
+            raise MeasurementError(f"cannot record a negative count: {n}")
+        self._count += n
+        self._total += n
+
+    @property
+    def pending(self) -> int:
+        """Events recorded since the last harvest."""
+        return self._count
+
+    @property
+    def lifetime_total(self) -> int:
+        """Events recorded since construction (never reset)."""
+        return self._total
+
+    def harvest(self, elapsed: float) -> Optional[float]:
+        """Rate over the elapsed interval; ``None`` when elapsed <= 0."""
+        if elapsed <= 0:
+            return None
+        rate = self._count / elapsed
+        self._count = 0
+        return rate
+
+    def reset(self) -> None:
+        self._count = 0
+
+
+class SampledAccumulator:
+    """Mean of every ``Nm``-th observation (the paper's bi-layer sampling).
+
+    Recording an observation costs one comparison unless it is the
+    sampled one; ``harvest()`` returns the interval's sampled mean and
+    resets.  The estimate is unbiased as long as the sampling phase is
+    independent of the value sequence, which holds for arrival-ordered
+    tuple streams.
+    """
+
+    def __init__(self, sample_every: int = 1):
+        if not isinstance(sample_every, int) or sample_every < 1:
+            raise MeasurementError(
+                f"sample_every (Nm) must be an int >= 1, got {sample_every}"
+            )
+        self._every = sample_every
+        self._phase = 0
+        self._sum = 0.0
+        self._sum_squares = 0.0
+        self._n = 0
+
+    @property
+    def sample_every(self) -> int:
+        return self._every
+
+    def offer(self, value: float) -> None:
+        """Offer one observation; it is recorded when the phase matches."""
+        self._phase += 1
+        if self._phase >= self._every:
+            self._phase = 0
+            self._sum += value
+            self._sum_squares += value * value
+            self._n += 1
+
+    @property
+    def sampled_count(self) -> int:
+        """Observations actually recorded since the last harvest."""
+        return self._n
+
+    def harvest(self) -> Optional[float]:
+        """Sampled mean of the interval, or ``None`` if nothing sampled."""
+        moments = self.harvest_moments()
+        return None if moments is None else moments[0]
+
+    def harvest_moments(self) -> Optional[tuple]:
+        """(mean, scv) of the interval's samples, or ``None`` if empty.
+
+        The squared coefficient of variation feeds the G/G/k refined
+        model (:mod:`repro.model.refined`); with fewer than two samples
+        the SCV is reported as ``None``.
+        """
+        if self._n == 0:
+            return None
+        mean = self._sum / self._n
+        scv = None
+        if self._n >= 2 and mean > 0:
+            variance = max(0.0, self._sum_squares / self._n - mean * mean)
+            scv = variance / (mean * mean)
+        self._sum = 0.0
+        self._sum_squares = 0.0
+        self._n = 0
+        return mean, scv
+
+    def reset(self) -> None:
+        self._sum = 0.0
+        self._sum_squares = 0.0
+        self._n = 0
+        self._phase = 0
+
+
+class WelfordAccumulator:
+    """Streaming mean / variance / extrema (Welford's algorithm).
+
+    Used for the experiment-level statistics (Fig. 6 plots mean and
+    standard deviation of sojourn times) without storing every sample.
+    """
+
+    def __init__(self):
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Add one observation."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise MeasurementError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance (consistent with the paper's std-dev bars)."""
+        if self._n == 0:
+            raise MeasurementError("no observations")
+        return self._m2 / self._n
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise MeasurementError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise MeasurementError("no observations")
+        return self._max
+
+    def merge(self, other: "WelfordAccumulator") -> "WelfordAccumulator":
+        """Combine two accumulators (parallel-executor aggregation)."""
+        merged = WelfordAccumulator()
+        if self._n == 0:
+            merged._n, merged._mean, merged._m2 = other._n, other._mean, other._m2
+            merged._min, merged._max = other._min, other._max
+            return merged
+        if other._n == 0:
+            merged._n, merged._mean, merged._m2 = self._n, self._mean, self._m2
+            merged._min, merged._max = self._min, self._max
+            return merged
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * other._n / n
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        )
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    def reset(self) -> None:
+        self.__init__()

@@ -1,0 +1,121 @@
+"""Result smoothing (paper Appendix B, "results smoothing").
+
+Two options, exactly as the paper specifies:
+
+- **alpha-weighted averaging**: ``D(n) = alpha * D(n-1) + (1-alpha) * d(n)``
+  with ``alpha in [0, 1)`` controlling how fast old metrics fade;
+- **window-based averaging**: ``D(n) = (1/w) * sum_{j=n-w+1..n} d(j)``.
+
+Both are tiny stateful objects; ``update`` feeds one interval's raw
+measurement and returns the smoothed value, ``value`` re-reads the
+current smoothed state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.config import MeasurementConfig, SmoothingKind
+from repro.exceptions import MeasurementError
+
+
+class Smoother:
+    """Abstract smoothing filter over a scalar measurement series."""
+
+    def update(self, raw: float) -> float:
+        """Feed one raw interval measurement; return the smoothed value."""
+        raise NotImplementedError
+
+    @property
+    def value(self) -> float:
+        """Current smoothed value; raises before any update."""
+        raise NotImplementedError
+
+    @property
+    def has_value(self) -> bool:
+        """True once at least one measurement has been fed."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all state (used after rebalancing, when old measurements
+        describe a configuration that no longer exists)."""
+        raise NotImplementedError
+
+
+class AlphaSmoother(Smoother):
+    """Exponentially weighted moving average with fading rate ``alpha``."""
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 <= alpha < 1.0:
+            raise MeasurementError(f"alpha must be in [0, 1), got {alpha}")
+        self._alpha = alpha
+        self._value: Optional[float] = None
+
+    def update(self, raw: float) -> float:
+        if self._value is None:
+            # Seed with the first observation rather than decaying from 0.
+            self._value = float(raw)
+        else:
+            self._value = self._alpha * self._value + (1.0 - self._alpha) * raw
+        return self._value
+
+    @property
+    def value(self) -> float:
+        if self._value is None:
+            raise MeasurementError("no measurements fed yet")
+        return self._value
+
+    @property
+    def has_value(self) -> bool:
+        return self._value is not None
+
+    def reset(self) -> None:
+        self._value = None
+
+    def __repr__(self) -> str:
+        return f"AlphaSmoother(alpha={self._alpha})"
+
+
+class WindowSmoother(Smoother):
+    """Arithmetic mean over the last ``w`` interval measurements."""
+
+    def __init__(self, window: int = 6):
+        if not isinstance(window, int) or window < 1:
+            raise MeasurementError(f"window must be an int >= 1, got {window}")
+        self._window = window
+        self._values: deque = deque(maxlen=window)
+        self._running_sum = 0.0
+
+    def update(self, raw: float) -> float:
+        if len(self._values) == self._window:
+            self._running_sum -= self._values[0]
+        self._values.append(float(raw))
+        self._running_sum += float(raw)
+        return self.value
+
+    @property
+    def value(self) -> float:
+        if not self._values:
+            raise MeasurementError("no measurements fed yet")
+        return self._running_sum / len(self._values)
+
+    @property
+    def has_value(self) -> bool:
+        return bool(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._running_sum = 0.0
+
+    def __repr__(self) -> str:
+        return f"WindowSmoother(window={self._window})"
+
+
+def make_smoother(config: MeasurementConfig) -> Smoother:
+    """Build the smoother selected by a :class:`MeasurementConfig`."""
+    if config.smoothing is SmoothingKind.ALPHA:
+        return AlphaSmoother(config.alpha)
+    if config.smoothing is SmoothingKind.WINDOW:
+        return WindowSmoother(config.window)
+    raise MeasurementError(f"unknown smoothing kind {config.smoothing!r}")

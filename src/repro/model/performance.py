@@ -1,0 +1,185 @@
+"""The DRS performance model: estimate ``E[T]`` for an allocation.
+
+This is the object described in paper Sec. III-B.  It is a thin facade
+over :class:`repro.queueing.jackson.JacksonNetwork` that
+
+- carries the real-time constraint ``Tmax`` and resource constraint
+  ``Kmax`` alongside the queueing model,
+- produces structured :class:`ModelEstimate` reports (per-operator
+  breakdown, bottleneck, stability), and
+- can be *refreshed* with new measurements without rebuilding the
+  surrounding scheduler objects — the controller calls
+  :meth:`PerformanceModel.with_loads` each measurement interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ModelError
+from repro.queueing.jackson import JacksonNetwork, OperatorLoad
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class ModelEstimate:
+    """Structured output of one model evaluation.
+
+    Attributes
+    ----------
+    allocation:
+        The evaluated processor vector ``k`` (canonical operator order).
+    expected_sojourn:
+        ``E[T](k)`` per Eq. (3); ``inf`` if any operator is saturated.
+    per_operator:
+        ``{name: E[T_i](k_i)}``.
+    contributions:
+        ``{name: lambda_i * E[T_i] / lambda_0}`` — summands of Eq. (3).
+    bottleneck:
+        Name of the largest contributor.
+    stable:
+        True iff every operator has ``k_i > lambda_i / mu_i``.
+    """
+
+    allocation: Tuple[int, ...]
+    expected_sojourn: float
+    per_operator: Dict[str, float]
+    contributions: Dict[str, float]
+    bottleneck: str
+    stable: bool
+
+    def meets(self, tmax: float) -> bool:
+        """True iff the estimate satisfies ``E[T] <= tmax``."""
+        return self.expected_sojourn <= tmax
+
+
+class PerformanceModel:
+    """Estimates query response time for any allocation (Sec. III-B).
+
+    Build from a topology (analytic rates) or from live measurements::
+
+        model = PerformanceModel.from_topology(topology)
+        estimate = model.estimate([10, 11, 1])
+
+    The model is immutable; :meth:`with_loads` returns a new model with
+    refreshed rates (used every controller cycle).
+    """
+
+    def __init__(self, network: JacksonNetwork):
+        self._network = network
+
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "PerformanceModel":
+        """Derive rates from spout rates, edge gains and operator mus."""
+        return cls(JacksonNetwork.from_topology(topology))
+
+    @classmethod
+    def from_measurements(
+        cls,
+        names: Sequence[str],
+        arrival_rates: Sequence[float],
+        service_rates: Sequence[float],
+        external_rate: float,
+    ) -> "PerformanceModel":
+        """Build from measured per-operator rates (controller path)."""
+        return cls(
+            JacksonNetwork.from_measurements(
+                names, arrival_rates, service_rates, external_rate
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> JacksonNetwork:
+        """The underlying queueing network."""
+        return self._network
+
+    @property
+    def operator_names(self) -> List[str]:
+        return self._network.names
+
+    @property
+    def num_operators(self) -> int:
+        return self._network.num_operators
+
+    @property
+    def external_rate(self) -> float:
+        return self._network.external_rate
+
+    def min_allocation(self) -> List[int]:
+        """Fewest processors per operator for stability."""
+        return self._network.min_allocation()
+
+    def min_total_processors(self) -> int:
+        """``sum(ceil(lambda_i/mu_i))`` — infeasibility threshold of Alg. 1."""
+        return sum(self.min_allocation())
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def expected_sojourn(self, allocation: Sequence[int]) -> float:
+        """``E[T](k)`` — Eq. (3); ``inf`` when saturated."""
+        return self._network.expected_total_sojourn(list(allocation))
+
+    def estimate(self, allocation: Sequence[int]) -> ModelEstimate:
+        """Full structured evaluation of an allocation."""
+        allocation = tuple(int(k) for k in allocation)
+        sojourns = self._network.per_operator_sojourns(list(allocation))
+        names = self._network.names
+        lambda0 = self._network.external_rate
+        per_operator = dict(zip(names, sojourns))
+        contributions = {
+            name: (
+                math.inf
+                if math.isinf(sojourn)
+                else load.arrival_rate * sojourn / lambda0
+            )
+            for name, sojourn, load in zip(names, sojourns, self._network.loads)
+        }
+        bottleneck = max(contributions, key=lambda n: contributions[n])
+        stable = all(not math.isinf(s) for s in sojourns)
+        total = sum(contributions.values()) if stable else math.inf
+        return ModelEstimate(
+            allocation=allocation,
+            expected_sojourn=total,
+            per_operator=per_operator,
+            contributions=contributions,
+            bottleneck=bottleneck,
+            stable=stable,
+        )
+
+    def marginal_benefit(self, index: int, k: int) -> float:
+        """Algorithm 1's ``delta_i`` for operator ``index`` at ``k``.
+
+        Exposed as a method so optimisers work unchanged with model
+        variants (e.g. the G/G/k refined model scales this per
+        operator).
+        """
+        load = self._network.loads[index]
+        from repro.queueing import erlang
+
+        return erlang.marginal_benefit(load.arrival_rate, load.service_rate, k)
+
+    # ------------------------------------------------------------------
+    # refresh
+    # ------------------------------------------------------------------
+    def with_loads(
+        self,
+        arrival_rates: Sequence[float],
+        service_rates: Sequence[float],
+        external_rate: Optional[float] = None,
+    ) -> "PerformanceModel":
+        """Return a new model with updated rates, same operator order."""
+        names = self._network.names
+        if external_rate is None:
+            external_rate = self._network.external_rate
+        return PerformanceModel.from_measurements(
+            names, arrival_rates, service_rates, external_rate
+        )
+
+    def __repr__(self) -> str:
+        return f"PerformanceModel({self._network!r})"

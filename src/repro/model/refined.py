@@ -1,0 +1,169 @@
+"""Refined (G/G/k) performance model — paper's future-work direction.
+
+:class:`RefinedPerformanceModel` mirrors
+:class:`~repro.model.performance.PerformanceModel` but corrects each
+operator's waiting time with the Allen-Cunneen factor built from
+measured (or assumed) squared coefficients of variation.  It exposes the
+same ``expected_sojourn`` / ``min_allocation`` surface, so
+:func:`repro.scheduler.assign.assign_processors` and the Program 6
+solver accept it unchanged (they only touch ``network`` rates, the
+minimum allocation, and marginal benefits — all of which this class
+reimplements consistently).
+
+For workloads whose service times deviate from exponential (VLD's
+log-normal SCV 1.5, or near-deterministic bolts with SCV ~ 0), the
+refined model tracks the simulator measurably better than plain M/M/k;
+``benchmarks/bench_refined_model.py`` quantifies it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ModelError
+from repro.model.performance import PerformanceModel
+from repro.queueing import mgk
+from repro.queueing.jackson import JacksonNetwork
+from repro.topology.graph import Topology
+from repro.utils.validation import check_non_negative
+
+
+class RefinedPerformanceModel:
+    """G/G/k network model with per-operator SCV corrections.
+
+    Parameters
+    ----------
+    network:
+        The usual Jackson rate structure (``lambda_i``, ``mu_i``).
+    arrival_scvs / service_scvs:
+        Per-operator squared coefficients of variation; ``None`` entries
+        default to 1.0 (exponential — the plain model).
+    """
+
+    def __init__(
+        self,
+        network: JacksonNetwork,
+        arrival_scvs: Optional[Sequence[float]] = None,
+        service_scvs: Optional[Sequence[float]] = None,
+    ):
+        n = network.num_operators
+        self._network = network
+        self._ca2 = self._normalise("arrival_scvs", arrival_scvs, n)
+        self._cs2 = self._normalise("service_scvs", service_scvs, n)
+
+    @staticmethod
+    def _normalise(name, values, n) -> List[float]:
+        if values is None:
+            return [1.0] * n
+        if len(values) != n:
+            raise ModelError(f"{name} must have length {n}, got {len(values)}")
+        return [
+            1.0 if v is None else check_non_negative(name, v) for v in values
+        ]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "RefinedPerformanceModel":
+        """Rates from the traffic equations; service SCVs from the
+        declared service-time distributions (this is the information the
+        plain model throws away)."""
+        network = JacksonNetwork.from_topology(topology)
+        service_scvs = [
+            topology.operator(name).service_time.scv
+            for name in topology.operator_names
+        ]
+        return cls(network, service_scvs=service_scvs)
+
+    @classmethod
+    def from_measurements(
+        cls,
+        names: Sequence[str],
+        arrival_rates: Sequence[float],
+        service_rates: Sequence[float],
+        external_rate: float,
+        *,
+        service_scvs: Optional[Sequence[float]] = None,
+        arrival_scvs: Optional[Sequence[float]] = None,
+    ) -> "RefinedPerformanceModel":
+        """Build from measured rates plus measured SCVs."""
+        network = JacksonNetwork.from_measurements(
+            names, arrival_rates, service_rates, external_rate
+        )
+        return cls(network, arrival_scvs=arrival_scvs, service_scvs=service_scvs)
+
+    # ------------------------------------------------------------------
+    # the PerformanceModel-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> JacksonNetwork:
+        return self._network
+
+    @property
+    def operator_names(self) -> List[str]:
+        return self._network.names
+
+    @property
+    def num_operators(self) -> int:
+        return self._network.num_operators
+
+    @property
+    def external_rate(self) -> float:
+        return self._network.external_rate
+
+    @property
+    def arrival_scvs(self) -> List[float]:
+        return list(self._ca2)
+
+    @property
+    def service_scvs(self) -> List[float]:
+        return list(self._cs2)
+
+    def min_allocation(self) -> List[int]:
+        """Stability floors are SCV-independent."""
+        return self._network.min_allocation()
+
+    def min_total_processors(self) -> int:
+        return sum(self.min_allocation())
+
+    def expected_sojourn(self, allocation: Sequence[int]) -> float:
+        """Eq. (3) with Allen-Cunneen-corrected per-operator sojourns."""
+        if len(allocation) != self.num_operators:
+            raise ModelError(
+                f"allocation length {len(allocation)} != {self.num_operators}"
+            )
+        total = 0.0
+        for load, k, ca2, cs2 in zip(
+            self._network.loads, allocation, self._ca2, self._cs2
+        ):
+            sojourn = mgk.expected_sojourn_time_gg(
+                load.arrival_rate, load.service_rate, int(k), ca2=ca2, cs2=cs2
+            )
+            if math.isinf(sojourn):
+                return math.inf
+            total += load.arrival_rate * sojourn
+        return total / self._network.external_rate
+
+    def marginal_benefit(self, index: int, k: int) -> float:
+        """Algorithm 1's delta under the refined model (convexity holds:
+        the Allen-Cunneen factor is constant in ``k``)."""
+        load = self._network.loads[index]
+        return mgk.marginal_benefit_gg(
+            load.arrival_rate,
+            load.service_rate,
+            k,
+            ca2=self._ca2[index],
+            cs2=self._cs2[index],
+        )
+
+    def plain(self) -> PerformanceModel:
+        """The SCV-free M/M/k model over the same rates (for comparison)."""
+        return PerformanceModel(self._network)
+
+    def __repr__(self) -> str:
+        return (
+            f"RefinedPerformanceModel(operators={self.num_operators},"
+            f" cs2={self._cs2})"
+        )

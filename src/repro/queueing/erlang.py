@@ -1,0 +1,154 @@
+"""The Erlang M/M/k delay system — the paper's Eq. (1) and (2).
+
+An operator with ``k`` identical processors, Poisson arrivals at rate
+``lam`` and exponential service at per-processor rate ``mu`` is an
+M/M/k queue.  The paper's Eq. (1) gives the expected time an input
+spends in the operator (queueing + service)::
+
+    E[T](k) = ErlangC(k, a) / (k*mu - lam) + 1/mu      for k > a
+    E[T](k) = +inf                                      for k <= a
+
+with offered load ``a = lam / mu`` and Erlang-C the probability an
+arriving tuple has to wait.  (The formula in the paper is written with
+the normalisation constant ``pi_0`` — Eq. (2) — expanded; the two forms
+are algebraically identical.)
+
+Numerical notes
+---------------
+The textbook expression contains ``a^k / k!`` which overflows for large
+``k``.  We instead compute Erlang-B via its stable recurrence
+
+    B(0, a) = 1;   B(k, a) = a*B(k-1, a) / (k + a*B(k-1, a))
+
+and convert to Erlang-C with
+
+    C(k, a) = k*B / (k - a*(1 - B))
+
+Both steps are standard and exact; they support ``k`` in the tens of
+thousands without overflow or loss of precision.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def utilisation(lam: float, mu: float, k: int) -> float:
+    """Server utilisation ``rho = lam / (k * mu)``."""
+    check_non_negative("lam", lam)
+    check_positive("mu", mu)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return lam / (k * mu)
+
+
+def erlang_b(k: int, offered_load: float) -> float:
+    """Erlang-B blocking probability for ``k`` servers at ``offered_load``.
+
+    Computed by the stable recurrence; valid for any ``k >= 0`` and
+    ``offered_load >= 0``.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    a = check_non_negative("offered_load", offered_load)
+    if a == 0.0:
+        return 0.0 if k > 0 else 1.0
+    blocking = 1.0
+    for servers in range(1, k + 1):
+        blocking = a * blocking / (servers + a * blocking)
+    return blocking
+
+
+def erlang_c(k: int, offered_load: float) -> float:
+    """Erlang-C probability that an arriving customer must wait.
+
+    Only defined (finite, < 1) for ``k > offered_load``; returns 1.0 at
+    or beyond saturation, matching the convention that the queue grows
+    without bound there.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    a = check_non_negative("offered_load", offered_load)
+    if a == 0.0:
+        return 0.0
+    if k <= a:
+        return 1.0
+    blocking = erlang_b(k, a)
+    return k * blocking / (k - a * (1.0 - blocking))
+
+
+def expected_waiting_time(lam: float, mu: float, k: int) -> float:
+    """Mean time in queue (excluding service) — ``E[W]``.
+
+    Returns ``math.inf`` when ``k <= lam/mu`` (the paper's saturation
+    branch of Eq. 1).
+    """
+    check_non_negative("lam", lam)
+    check_positive("mu", mu)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if lam == 0.0:
+        return 0.0
+    a = lam / mu
+    if k <= a:
+        return math.inf
+    wait_prob = erlang_c(k, a)
+    return wait_prob / (k * mu - lam)
+
+
+def expected_sojourn_time(lam: float, mu: float, k: int) -> float:
+    """The paper's Eq. (1): mean time in the operator, ``E[T_i](k_i)``.
+
+    Queueing delay plus one mean service time ``1/mu``; ``math.inf``
+    when the operator is saturated (``k <= lam/mu``).
+    """
+    waiting = expected_waiting_time(lam, mu, k)
+    if math.isinf(waiting):
+        return math.inf
+    return waiting + 1.0 / mu
+
+
+def expected_queue_length(lam: float, mu: float, k: int) -> float:
+    """Mean number waiting in queue ``E[Lq]`` (Little's law on ``E[W]``)."""
+    waiting = expected_waiting_time(lam, mu, k)
+    if math.isinf(waiting):
+        return math.inf
+    return lam * waiting
+
+
+def min_servers(lam: float, mu: float) -> int:
+    """Smallest ``k`` with finite sojourn time: ``ceil(lam/mu)``, at least 1.
+
+    When ``lam/mu`` is an exact integer the queue is critically loaded at
+    ``k = lam/mu`` (``rho == 1``), which is still unstable, so one more
+    server is required — this matches the strict inequality in Eq. (1)
+    and the initialisation step of Algorithm 1.
+    """
+    check_non_negative("lam", lam)
+    check_positive("mu", mu)
+    if lam == 0.0:
+        return 1
+    a = lam / mu
+    k = math.ceil(a)
+    if k <= a:  # a was an exact integer
+        k += 1
+    return max(1, k)
+
+
+def marginal_benefit(lam: float, mu: float, k: int) -> float:
+    """Algorithm 1's ``delta_i``: ``lam * (E[T](k) - E[T](k+1))``.
+
+    The decrease in the operator's weighted sojourn-time contribution
+    from adding one processor.  Infinite when ``k`` is at or below
+    saturation (adding the processor takes E[T] from inf to finite, or
+    keeps it infinite — we return ``inf`` in both cases so the greedy
+    always repairs saturated operators first; Algorithm 1 avoids the
+    distinction by starting every ``k_i`` above saturation).
+    """
+    current = expected_sojourn_time(lam, mu, k)
+    improved = expected_sojourn_time(lam, mu, k + 1)
+    if math.isinf(current):
+        return math.inf
+    return lam * (current - improved)

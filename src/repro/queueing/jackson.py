@@ -1,0 +1,238 @@
+"""Open Jackson network solution over an operator topology.
+
+The paper models the whole application as an open Jackson network: each
+operator is an independent M/M/k queue once the per-operator arrival
+rates are known, and the network-wide expected total sojourn time of an
+external tuple is the visit-weighted average (Eq. 3)::
+
+    E[T](k) = (1/lambda_0) * sum_i lambda_i * E[T_i](k_i)
+
+``lambda_i / lambda_0`` is the mean number of visits an external tuple's
+processing tree makes to operator *i* — so the formula naturally covers
+splits (visits > 1), filters (visits < 1) and feedback loops (geometric
+visit counts).
+
+:class:`JacksonNetwork` can be constructed two ways:
+
+- from a :class:`~repro.topology.graph.Topology` — rates are derived
+  from spout rates and edge gains via the traffic equations; or
+- from measured loads (:meth:`JacksonNetwork.from_measurements`) — this
+  is what the live DRS controller does, feeding the measurer's
+  ``lambda_hat_i`` and ``mu_hat_i`` straight into the model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ModelError, StabilityError
+from repro.queueing import erlang
+from repro.topology.graph import Topology
+from repro.topology.routing import GainMatrix, external_arrival_vector
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class OperatorLoad:
+    """Measured or derived load of one operator: (name, lambda_i, mu_i)."""
+
+    name: str
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self):
+        check_non_negative("arrival_rate", self.arrival_rate)
+        check_positive("service_rate", self.service_rate)
+
+    @property
+    def min_processors(self) -> int:
+        """Fewest processors with a stable queue — Algorithm 1's start."""
+        return erlang.min_servers(self.arrival_rate, self.service_rate)
+
+
+class JacksonNetwork:
+    """Open queueing network over ``N`` operators (paper Sec. III-B).
+
+    Parameters
+    ----------
+    loads:
+        Per-operator ``(name, lambda_i, mu_i)`` in a fixed order.
+    external_rate:
+        The application-level input rate ``lambda_0``.
+    """
+
+    def __init__(self, loads: Sequence[OperatorLoad], external_rate: float):
+        if not loads:
+            raise ModelError("network needs at least one operator")
+        names = [load.name for load in loads]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate operator names in loads: {names}")
+        self._loads: Tuple[OperatorLoad, ...] = tuple(loads)
+        self._lambda0 = check_positive("external_rate", external_rate)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "JacksonNetwork":
+        """Derive loads analytically from spout rates and edge gains.
+
+        Solves the traffic equations ``lambda = lambda_ext + G^T lambda``
+        (handles loops; raises :class:`StabilityError` on gain >= 1
+        cycles).
+        """
+        gains = GainMatrix(topology)
+        ext = external_arrival_vector(topology)
+        rates = gains.solve_traffic(ext)
+        mus = topology.service_rates()
+        loads = [
+            OperatorLoad(name=name, arrival_rate=lam, service_rate=mu)
+            for name, lam, mu in zip(topology.operator_names, rates, mus)
+        ]
+        lambda0 = topology.external_rate
+        if lambda0 <= 0:
+            raise StabilityError("topology has zero external arrival rate")
+        return cls(loads=loads, external_rate=lambda0)
+
+    @classmethod
+    def from_measurements(
+        cls,
+        names: Sequence[str],
+        arrival_rates: Sequence[float],
+        service_rates: Sequence[float],
+        external_rate: float,
+    ) -> "JacksonNetwork":
+        """Build directly from measured ``lambda_hat_i`` / ``mu_hat_i``.
+
+        This is the path the live controller uses: no topology knowledge
+        beyond the operator list is needed because the measured arrival
+        rates already include all internal traffic (splits, loops).
+        """
+        if not (len(names) == len(arrival_rates) == len(service_rates)):
+            raise ModelError(
+                "names, arrival_rates and service_rates must align: "
+                f"{len(names)}, {len(arrival_rates)}, {len(service_rates)}"
+            )
+        loads = [
+            OperatorLoad(name=n, arrival_rate=lam, service_rate=mu)
+            for n, lam, mu in zip(names, arrival_rates, service_rates)
+        ]
+        return cls(loads=loads, external_rate=external_rate)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def loads(self) -> Tuple[OperatorLoad, ...]:
+        return self._loads
+
+    @property
+    def names(self) -> List[str]:
+        return [load.name for load in self._loads]
+
+    @property
+    def external_rate(self) -> float:
+        """``lambda_0``."""
+        return self._lambda0
+
+    @property
+    def num_operators(self) -> int:
+        return len(self._loads)
+
+    @property
+    def arrival_rates(self) -> List[float]:
+        return [load.arrival_rate for load in self._loads]
+
+    @property
+    def service_rates(self) -> List[float]:
+        return [load.service_rate for load in self._loads]
+
+    def visit_ratios(self) -> List[float]:
+        """``lambda_i / lambda_0`` — mean visits per external tuple."""
+        return [load.arrival_rate / self._lambda0 for load in self._loads]
+
+    def min_allocation(self) -> List[int]:
+        """Element-wise minimum stable processor counts (Algorithm 1's
+        initialisation, lines 1-4)."""
+        return [load.min_processors for load in self._loads]
+
+    # ------------------------------------------------------------------
+    # model evaluation
+    # ------------------------------------------------------------------
+    def operator_sojourn(self, index: int, k: int) -> float:
+        """``E[T_i](k_i)`` (Eq. 1) for operator ``index`` with ``k`` processors."""
+        load = self._loads[index]
+        return erlang.expected_sojourn_time(load.arrival_rate, load.service_rate, k)
+
+    def expected_total_sojourn(self, allocation: Sequence[int]) -> float:
+        """The paper's Eq. (3): ``E[T](k)`` for a full allocation vector.
+
+        Returns ``math.inf`` if any operator is saturated under ``k``.
+        """
+        self._check_allocation(allocation)
+        total = 0.0
+        for load, k in zip(self._loads, allocation):
+            sojourn = erlang.expected_sojourn_time(
+                load.arrival_rate, load.service_rate, k
+            )
+            if math.isinf(sojourn):
+                return math.inf
+            total += load.arrival_rate * sojourn
+        return total / self._lambda0
+
+    def per_operator_sojourns(self, allocation: Sequence[int]) -> List[float]:
+        """``E[T_i](k_i)`` for every operator under ``allocation``."""
+        self._check_allocation(allocation)
+        return [
+            erlang.expected_sojourn_time(load.arrival_rate, load.service_rate, k)
+            for load, k in zip(self._loads, allocation)
+        ]
+
+    def marginal_benefits(self, allocation: Sequence[int]) -> List[float]:
+        """Algorithm 1's ``delta_i`` for every operator under ``allocation``."""
+        self._check_allocation(allocation)
+        return [
+            erlang.marginal_benefit(load.arrival_rate, load.service_rate, k)
+            for load, k in zip(self._loads, allocation)
+        ]
+
+    def bottleneck(self, allocation: Sequence[int]) -> Tuple[str, float]:
+        """The operator contributing most to ``E[T]`` and its contribution.
+
+        Contribution of operator *i* is ``lambda_i E[T_i](k_i) / lambda_0``.
+        """
+        self._check_allocation(allocation)
+        best_name: Optional[str] = None
+        best_value = -math.inf
+        for load, k in zip(self._loads, allocation):
+            sojourn = erlang.expected_sojourn_time(
+                load.arrival_rate, load.service_rate, k
+            )
+            contribution = (
+                math.inf
+                if math.isinf(sojourn)
+                else load.arrival_rate * sojourn / self._lambda0
+            )
+            if contribution > best_value:
+                best_value = contribution
+                best_name = load.name
+        assert best_name is not None
+        return best_name, best_value
+
+    def _check_allocation(self, allocation: Sequence[int]) -> None:
+        if len(allocation) != len(self._loads):
+            raise ModelError(
+                f"allocation length {len(allocation)} != number of operators"
+                f" {len(self._loads)}"
+            )
+        for k in allocation:
+            if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+                raise ModelError(f"processor counts must be ints >= 1, got {k!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"JacksonNetwork(operators={len(self._loads)},"
+            f" lambda0={self._lambda0})"
+        )

@@ -1,0 +1,268 @@
+"""Arrival processes feeding external tuples into the topology.
+
+An :class:`ArrivalProcess` is an iterator-like object producing the next
+inter-arrival gap given the current simulation time.  The paper's FPD
+experiment uses a Poisson process (320 tweets/s); VLD uses a uniformly
+distributed frame rate in [1, 25] fps; the model-robustness discussion
+needs processes that violate the Poisson assumption, so we also supply
+renewal processes with arbitrary gap distributions, a two-state MMPP
+(bursty), a rate-modulated process for time-varying load, and trace
+replay.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional, Sequence
+
+from repro.randomness.distributions import Distribution
+from repro.utils.validation import check_positive
+
+
+class ArrivalProcess:
+    """Abstract arrival process.
+
+    ``next_gap(now, rng)`` returns the time until the next arrival, given
+    the current time ``now`` (needed by non-stationary processes).  The
+    ``mean_rate`` property exposes the long-run average arrival rate,
+    which is what the DRS performance model consumes as ``lambda_0``.
+    """
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        """Time from ``now`` until the next arrival (must be > 0)."""
+        raise NotImplementedError
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrivals per unit time."""
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson process with the given rate (exponential gaps)."""
+
+    def __init__(self, rate: float):
+        self._rate = check_positive("rate", rate)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        return rng.expovariate(self._rate)
+
+    @property
+    def mean_rate(self) -> float:
+        return self._rate
+
+    def __repr__(self) -> str:
+        return f"PoissonProcess(rate={self._rate})"
+
+
+class DeterministicProcess(ArrivalProcess):
+    """Evenly spaced arrivals at exactly ``rate`` per unit time."""
+
+    def __init__(self, rate: float):
+        self._rate = check_positive("rate", rate)
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        return 1.0 / self._rate
+
+    @property
+    def mean_rate(self) -> float:
+        return self._rate
+
+    def __repr__(self) -> str:
+        return f"DeterministicProcess(rate={self._rate})"
+
+
+class RenewalProcess(ArrivalProcess):
+    """Renewal process with i.i.d. gaps drawn from ``gap_distribution``."""
+
+    def __init__(self, gap_distribution: Distribution):
+        if gap_distribution.mean <= 0:
+            raise ValueError("gap distribution must have positive mean")
+        self._gaps = gap_distribution
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        gap = self._gaps.sample(rng)
+        # Zero gaps would stall the event loop; nudge to a tiny epsilon.
+        return gap if gap > 0 else 1e-12
+
+    @property
+    def mean_rate(self) -> float:
+        return 1.0 / self._gaps.mean
+
+    def __repr__(self) -> str:
+        return f"RenewalProcess({self._gaps!r})"
+
+
+class UniformRateProcess(ArrivalProcess):
+    """VLD-style frame source: the *rate* is re-drawn uniformly each second.
+
+    The paper: "The frame rate simulates a typical Internet video
+    experience, which is uniformly distributed in the interval [1, 25]
+    with a mean of 13 frames/second."  We re-draw the instantaneous rate
+    once per ``hold_time`` and space arrivals evenly within the hold
+    period, exactly matching a video source that changes fps per segment.
+    """
+
+    def __init__(self, low_rate: float, high_rate: float, hold_time: float = 1.0):
+        low_rate = check_positive("low_rate", low_rate)
+        high_rate = check_positive("high_rate", high_rate)
+        if high_rate <= low_rate:
+            raise ValueError(
+                f"high_rate must be > low_rate, got [{low_rate}, {high_rate}]"
+            )
+        self._low = low_rate
+        self._high = high_rate
+        self._hold = check_positive("hold_time", hold_time)
+        self._segment_end = 0.0
+        self._current_rate = (low_rate + high_rate) / 2.0
+
+    @property
+    def low_rate(self) -> float:
+        return self._low
+
+    @property
+    def high_rate(self) -> float:
+        return self._high
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        if now >= self._segment_end:
+            self._current_rate = rng.uniform(self._low, self._high)
+            self._segment_end = now + self._hold
+        return 1.0 / self._current_rate
+
+    @property
+    def mean_rate(self) -> float:
+        # Evenly spaced arrivals at rate R for a fixed duration contribute
+        # R*hold arrivals, so the long-run rate is the arithmetic mean.
+        return (self._low + self._high) / 2.0
+
+    def __repr__(self) -> str:
+        return (
+            f"UniformRateProcess(low={self._low}, high={self._high},"
+            f" hold={self._hold})"
+        )
+
+
+class MMPP2(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty arrivals).
+
+    The process alternates between a low-rate and a high-rate Poisson
+    regime with exponential dwell times.  Used in robustness/ablation
+    experiments where arrivals are far from Poisson.
+    """
+
+    def __init__(
+        self,
+        rate_low: float,
+        rate_high: float,
+        switch_to_high: float,
+        switch_to_low: float,
+    ):
+        self._rate_low = check_positive("rate_low", rate_low)
+        self._rate_high = check_positive("rate_high", rate_high)
+        self._to_high = check_positive("switch_to_high", switch_to_high)
+        self._to_low = check_positive("switch_to_low", switch_to_low)
+        self._in_high = False
+        self._switch_at: Optional[float] = None
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        if self._switch_at is None or self._switch_at <= now:
+            self._schedule_switch(now, rng)
+        start = now
+        while True:
+            rate = self._rate_high if self._in_high else self._rate_low
+            gap = rng.expovariate(rate)
+            if now + gap < self._switch_at:
+                return max(1e-12, now + gap - start)
+            # Restart the draw from the regime boundary: memorylessness of
+            # the exponential makes this exact, not an approximation.
+            now = self._switch_at
+            self._in_high = not self._in_high
+            self._schedule_switch(now, rng)
+
+    def _schedule_switch(self, now: float, rng: random.Random) -> None:
+        dwell_rate = self._to_low if self._in_high else self._to_high
+        self._switch_at = now + rng.expovariate(dwell_rate)
+
+    @property
+    def mean_rate(self) -> float:
+        # Stationary probabilities of the 2-state Markov chain.
+        p_high = self._to_high / (self._to_high + self._to_low)
+        return p_high * self._rate_high + (1.0 - p_high) * self._rate_low
+
+    def __repr__(self) -> str:
+        return (
+            f"MMPP2(low={self._rate_low}, high={self._rate_high},"
+            f" to_high={self._to_high}, to_low={self._to_low})"
+        )
+
+
+class ModulatedRateProcess(ArrivalProcess):
+    """Non-stationary Poisson process with rate ``rate_fn(now)``.
+
+    Implemented by sampling an exponential gap at the instantaneous rate;
+    accurate when the rate changes slowly relative to the gap length,
+    which holds for the minute-scale load shifts used in the Fig. 9/10
+    experiments.  ``nominal_rate`` is what the model reports as the mean.
+    """
+
+    def __init__(self, rate_fn: Callable[[float], float], nominal_rate: float):
+        self._rate_fn = rate_fn
+        self._nominal = check_positive("nominal_rate", nominal_rate)
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        rate = float(self._rate_fn(now))
+        if rate <= 0 or math.isnan(rate) or math.isinf(rate):
+            raise ValueError(f"rate_fn returned invalid rate {rate} at t={now}")
+        return rng.expovariate(rate)
+
+    @property
+    def mean_rate(self) -> float:
+        return self._nominal
+
+    def __repr__(self) -> str:
+        return f"ModulatedRateProcess(nominal={self._nominal})"
+
+
+class TraceReplayProcess(ArrivalProcess):
+    """Replay a recorded sequence of arrival timestamps.
+
+    The trace is replayed once; after it is exhausted the process falls
+    back to a Poisson process at the trace's empirical rate, so long
+    simulations do not starve.
+    """
+
+    def __init__(self, timestamps: Sequence[float]):
+        if len(timestamps) < 2:
+            raise ValueError("trace needs at least two timestamps")
+        ordered = list(float(t) for t in timestamps)
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError("timestamps must be strictly increasing")
+        self._gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+        self._index = 0
+        span = ordered[-1] - ordered[0]
+        self._empirical_rate = (len(ordered) - 1) / span
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        if self._index < len(self._gaps):
+            gap = self._gaps[self._index]
+            self._index += 1
+            return gap
+        return rng.expovariate(self._empirical_rate)
+
+    @property
+    def mean_rate(self) -> float:
+        return self._empirical_rate
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the recorded trace has been fully replayed."""
+        return self._index >= len(self._gaps)
+
+    def __repr__(self) -> str:
+        return f"TraceReplayProcess(n={len(self._gaps) + 1})"

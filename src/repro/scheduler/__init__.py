@@ -1,0 +1,48 @@
+"""The DRS scheduler: allocation algorithms and the control loop.
+
+- :mod:`repro.scheduler.allocation` — the allocation vector type;
+- :mod:`repro.scheduler.assign` — Algorithm 1 (``AssignProcessors``):
+  optimal placement of ``Kmax`` processors (Program 4);
+- :mod:`repro.scheduler.min_resources` — the Program 6 solver: minimum
+  total processors such that ``E[T] <= Tmax``;
+- :mod:`repro.scheduler.exhaustive` — brute-force optimum, used in tests
+  and ablations to verify the greedy's exactness (Theorem 1);
+- :mod:`repro.scheduler.rebalance` — is a migration worth its cost?
+- :mod:`repro.scheduler.controller` — the monitor -> decide -> act loop
+  of Sec. III-C / IV, including the measured-feedback adjustment.
+"""
+
+from repro.scheduler.allocation import Allocation
+from repro.scheduler.assign import assign_processors
+from repro.scheduler.min_resources import min_processors_for_target
+from repro.scheduler.exhaustive import exhaustive_best_allocation
+from repro.scheduler.rebalance import RebalanceDecision, RebalancePolicy
+from repro.scheduler.controller import DRSController, ControllerAction, ControllerDecision
+from repro.scheduler.heterogeneous import (
+    HeterogeneousAssignment,
+    ProcessorClass,
+    assign_heterogeneous,
+    expected_sojourn_heterogeneous,
+)
+from repro.scheduler.percentile import (
+    min_processors_for_quantile,
+    sojourn_quantile_bound,
+)
+
+__all__ = [
+    "Allocation",
+    "assign_processors",
+    "min_processors_for_target",
+    "exhaustive_best_allocation",
+    "RebalanceDecision",
+    "RebalancePolicy",
+    "DRSController",
+    "ControllerAction",
+    "ControllerDecision",
+    "HeterogeneousAssignment",
+    "ProcessorClass",
+    "assign_heterogeneous",
+    "expected_sojourn_heterogeneous",
+    "min_processors_for_quantile",
+    "sojourn_quantile_bound",
+]

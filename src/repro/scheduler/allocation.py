@@ -1,0 +1,170 @@
+"""The allocation vector ``k = (k_1, ..., k_N)`` (paper Table I).
+
+:class:`Allocation` pairs the integer vector with the operator names so
+that mistakes like feeding a VLD allocation to the FPD topology fail
+loudly.  It is immutable and hashable; transformation methods return new
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import SchedulingError
+
+
+class Allocation(Mapping[str, int]):
+    """Immutable mapping from operator name to processor count.
+
+    Supports mapping-style access (``allocation["sift"]``) and
+    vector-style access (``allocation.vector``) in the canonical
+    operator order it was built with.
+    """
+
+    def __init__(self, names: Sequence[str], counts: Sequence[int]):
+        if len(names) != len(counts):
+            raise SchedulingError(
+                f"names and counts must align: {len(names)} != {len(counts)}"
+            )
+        if not names:
+            raise SchedulingError("allocation cannot be empty")
+        if len(set(names)) != len(names):
+            raise SchedulingError(f"duplicate operator names: {list(names)}")
+        cleaned: List[int] = []
+        for name, count in zip(names, counts):
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise SchedulingError(
+                    f"processor count for {name!r} must be int, got {count!r}"
+                )
+            if count < 1:
+                raise SchedulingError(
+                    f"processor count for {name!r} must be >= 1, got {count}"
+                )
+            cleaned.append(count)
+        self._names: Tuple[str, ...] = tuple(names)
+        self._counts: Tuple[int, ...] = tuple(cleaned)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, int]) -> "Allocation":
+        """Build from a dict (iteration order defines the vector order)."""
+        return cls(list(mapping.keys()), list(mapping.values()))
+
+    @classmethod
+    def parse(cls, names: Sequence[str], spec: str) -> "Allocation":
+        """Parse the paper's ``"x1:x2:x3"`` notation against ``names``.
+
+        Example::
+
+            Allocation.parse(["sift", "matcher", "aggregator"], "10:11:1")
+        """
+        parts = spec.split(":")
+        if len(parts) != len(names):
+            raise SchedulingError(
+                f"spec {spec!r} has {len(parts)} parts for {len(names)} operators"
+            )
+        try:
+            counts = [int(p) for p in parts]
+        except ValueError:
+            raise SchedulingError(f"non-integer component in spec {spec!r}")
+        return cls(names, counts)
+
+    # ------------------------------------------------------------------
+    # mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self._counts[self._names.index(name)]
+        except ValueError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    # ------------------------------------------------------------------
+    # vector views
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def vector(self) -> Tuple[int, ...]:
+        """Processor counts in canonical order — the paper's ``k``."""
+        return self._counts
+
+    @property
+    def total(self) -> int:
+        """``sum_i k_i`` — total processors in use."""
+        return sum(self._counts)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(zip(self._names, self._counts))
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def with_count(self, name: str, count: int) -> "Allocation":
+        """Copy with operator ``name`` set to ``count`` processors."""
+        if name not in self._names:
+            raise SchedulingError(f"unknown operator {name!r}")
+        counts = [
+            count if n == name else c for n, c in zip(self._names, self._counts)
+        ]
+        return Allocation(self._names, counts)
+
+    def increment(self, name: str) -> "Allocation":
+        """Copy with one more processor at ``name`` (Algorithm 1's step)."""
+        return self.with_count(name, self[name] + 1)
+
+    def decrement(self, name: str) -> "Allocation":
+        """Copy with one fewer processor at ``name`` (must stay >= 1)."""
+        return self.with_count(name, self[name] - 1)
+
+    def l1_distance(self, other: "Allocation") -> int:
+        """``sum_i |k_i - k'_i|`` — the paper compares allocations by L1."""
+        self._check_compatible(other)
+        return sum(abs(a - b) for a, b in zip(self._counts, other._counts))
+
+    def moves_from(self, other: "Allocation") -> Dict[str, int]:
+        """Per-operator deltas ``self - other`` (rebalance work estimate)."""
+        self._check_compatible(other)
+        return {
+            name: a - b
+            for name, a, b in zip(self._names, self._counts, other._counts)
+            if a != b
+        }
+
+    def _check_compatible(self, other: "Allocation") -> None:
+        if not isinstance(other, Allocation):
+            raise SchedulingError(f"expected Allocation, got {type(other).__name__}")
+        if self._names != other._names:
+            raise SchedulingError(
+                f"allocations cover different operators: "
+                f"{self._names} vs {other._names}"
+            )
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def spec(self) -> str:
+        """The paper's ``x1:x2:x3`` string form."""
+        return ":".join(str(c) for c in self._counts)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Allocation)
+            and self._names == other._names
+            and self._counts == other._counts
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._names, self._counts))
+
+    def __repr__(self) -> str:
+        return f"Allocation({self.spec()} over {list(self._names)})"

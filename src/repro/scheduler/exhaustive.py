@@ -1,0 +1,99 @@
+"""Exhaustive (brute-force) allocation search.
+
+Enumerates every feasible integer allocation summing to at most
+``Kmax`` and returns the one minimising ``E[T]``.  Exponential in the
+number of operators — usable only for small topologies — but it is the
+ground truth that Theorem 1's greedy is verified against in the test
+suite and the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InfeasibleAllocationError
+from repro.model.performance import PerformanceModel
+from repro.scheduler.allocation import Allocation
+
+
+def _compositions(
+    remaining: int, minimums: Sequence[int], index: int, prefix: List[int]
+) -> Iterator[List[int]]:
+    """Yield all count vectors with ``counts[i] >= minimums[i]`` and
+    ``sum(counts) == remaining + sum(prefix-part already fixed)``."""
+    if index == len(minimums) - 1:
+        last = remaining
+        if last >= minimums[index]:
+            yield prefix + [last]
+        return
+    tail_min = sum(minimums[index + 1 :])
+    for value in range(minimums[index], remaining - tail_min + 1):
+        yield from _compositions(
+            remaining - value, minimums, index + 1, prefix + [value]
+        )
+
+
+def enumerate_allocations(
+    model: PerformanceModel, total: int
+) -> Iterator[Allocation]:
+    """Yield every stable-minimum-respecting allocation summing to ``total``."""
+    minimums = model.min_allocation()
+    if total < sum(minimums):
+        return
+    names = model.operator_names
+    for counts in _compositions(total, minimums, 0, []):
+        yield Allocation(names, counts)
+
+
+def exhaustive_best_allocation(
+    model: PerformanceModel, kmax: int, *, use_all: bool = True
+) -> Tuple[Allocation, float]:
+    """Brute-force optimum of Program 4; returns (allocation, E[T]).
+
+    With ``use_all=True`` only allocations with exactly ``kmax``
+    processors are considered (Algorithm 1 also always places all of
+    them — marginal benefits are strictly positive for lambda > 0).
+    """
+    minimums = model.min_allocation()
+    floor = sum(minimums)
+    if floor > kmax:
+        raise InfeasibleAllocationError(
+            f"minimal stable allocation needs {floor} > Kmax={kmax}"
+        )
+    totals = [kmax] if use_all else range(floor, kmax + 1)
+    best: Optional[Allocation] = None
+    best_value = math.inf
+    for total in totals:
+        for allocation in enumerate_allocations(model, total):
+            value = model.expected_sojourn(list(allocation.vector))
+            if value < best_value:
+                best_value = value
+                best = allocation
+    assert best is not None
+    return best, best_value
+
+
+def exhaustive_min_processors(
+    model: PerformanceModel, tmax: float, *, search_limit: int = 200
+) -> Tuple[Allocation, float]:
+    """Brute-force optimum of Program 6; returns (allocation, E[T]).
+
+    Scans total processor counts upward from the stability floor and
+    returns the first total for which some allocation meets ``tmax``
+    (with the best such allocation).
+    """
+    floor = sum(model.min_allocation())
+    for total in range(floor, search_limit + 1):
+        best: Optional[Allocation] = None
+        best_value = math.inf
+        for allocation in enumerate_allocations(model, total):
+            value = model.expected_sojourn(list(allocation.vector))
+            if value < best_value:
+                best_value = value
+                best = allocation
+        if best is not None and best_value <= tmax:
+            return best, best_value
+    raise InfeasibleAllocationError(
+        f"no allocation with <= {search_limit} processors meets Tmax={tmax}"
+    )

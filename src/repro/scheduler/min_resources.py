@@ -1,0 +1,123 @@
+"""Program 6 — minimum processors to meet the real-time target.
+
+    min  sum_i k_i
+    s.t. E[T](k) <= Tmax,  k_i integer
+
+Solved greedily exactly like Algorithm 1 (the objective and constraint
+are both convex in ``k``): start from the minimal stable allocation and
+repeatedly add one processor where the marginal benefit is largest,
+stopping as soon as ``E[T] <= Tmax``.  The paper omits the near-identical
+correctness proof; our test suite cross-checks against exhaustive search.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Optional
+
+from repro.exceptions import InfeasibleAllocationError
+from repro.model.performance import PerformanceModel
+from repro.scheduler.allocation import Allocation
+from repro.utils.validation import check_positive
+
+
+def min_processors_for_target(
+    model: PerformanceModel,
+    tmax: float,
+    *,
+    hard_limit: int = 100_000,
+) -> Allocation:
+    """Solve Program 6: the smallest allocation with ``E[T](k) <= Tmax``.
+
+    Parameters
+    ----------
+    model:
+        Performance model carrying per-operator rates.
+    tmax:
+        Real-time constraint (same time unit as the model's rates).
+    hard_limit:
+        Safety cap on total processors.  ``E[T]`` is bounded below by
+        ``sum_i (lambda_i/lambda_0) / mu_i`` (pure service time, no
+        queueing); if ``tmax`` is below that bound no finite allocation
+        can meet it, and we detect this analytically rather than looping
+        to the cap.
+
+    Raises
+    ------
+    InfeasibleAllocationError
+        If ``tmax`` is below the zero-queueing lower bound, or the
+        ``hard_limit`` cap is hit.
+    """
+    check_positive("tmax", tmax)
+    network = model.network
+    names = network.names
+    lambdas = network.arrival_rates
+    mus = network.service_rates
+    lambda0 = network.external_rate
+
+    # Analytic feasibility: with infinite processors, queueing vanishes
+    # and E[T] -> sum_i lambda_i/(lambda_0 * mu_i).
+    service_floor = sum(
+        lam / (lambda0 * mu) for lam, mu in zip(lambdas, mus)
+    )
+    if tmax < service_floor:
+        raise InfeasibleAllocationError(
+            f"Tmax={tmax} is below the pure-service-time floor"
+            f" {service_floor:.6g}; no allocation can satisfy it"
+        )
+
+    counts = model.min_allocation()
+    total = sum(counts)
+    if total > hard_limit:
+        raise InfeasibleAllocationError(
+            f"minimal stable allocation needs {total} > hard_limit={hard_limit}"
+        )
+
+    current = model.expected_sojourn(counts)
+
+    counter = itertools.count()
+    heap = []
+    for i in range(len(names)):
+        delta = model.marginal_benefit(i, counts[i])
+        heapq.heappush(heap, (-delta, next(counter), i))
+
+    while current > tmax:
+        if total >= hard_limit:
+            raise InfeasibleAllocationError(
+                f"hit hard_limit={hard_limit} with E[T]={current:.6g} >"
+                f" Tmax={tmax}"
+            )
+        neg_delta, _, i = heapq.heappop(heap)
+        delta = -neg_delta
+        counts[i] += 1
+        total += 1
+        if math.isinf(current):
+            current = model.expected_sojourn(counts)
+        else:
+            # delta already equals lambda_i*(E[Ti](k)-E[Ti](k+1)); Eq. (3)
+            # scales it by 1/lambda_0.
+            current -= delta / lambda0
+        new_delta = model.marginal_benefit(i, counts[i])
+        heapq.heappush(heap, (-new_delta, next(counter), i))
+
+    return Allocation(names, counts)
+
+
+def required_machines(
+    total_processors: int, executors_per_machine: int
+) -> int:
+    """Machines needed to host ``total_processors`` executors.
+
+    Matches the paper's cluster accounting (5 executors per machine in
+    the experiments; ExpA grows from 4 to 5 machines to go from
+    Kmax=17 to Kmax=22... together with the spout/DRS executors).
+    """
+    if total_processors < 0:
+        raise ValueError(f"total_processors must be >= 0, got {total_processors}")
+    if executors_per_machine < 1:
+        raise ValueError(
+            f"executors_per_machine must be >= 1, got {executors_per_machine}"
+        )
+    return -(-total_processors // executors_per_machine)  # ceil division

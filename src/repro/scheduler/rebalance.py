@@ -1,0 +1,163 @@
+"""Rebalance decision logic (paper Appendix B, scheduler module).
+
+"given the optimal allocation and its expected performance ..., and the
+currently working allocation and the measured average complete sojourn
+time, and considering the cost (input as a parameter), whether it is
+beneficial enough to make the reallocation happen."
+
+:class:`RebalancePolicy` encodes that decision: a migration is triggered
+only when the predicted improvement is large enough — both in absolute
+terms (amortised migration cost) and in relative terms (hysteresis, so
+measurement noise does not cause flapping).
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.scheduler.allocation import Allocation
+from repro.utils.validation import check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """Outcome of one rebalance evaluation.
+
+    Attributes
+    ----------
+    should_rebalance:
+        Whether to migrate to ``proposed``.
+    proposed:
+        The candidate allocation evaluated.
+    predicted_improvement:
+        ``current_estimate - proposed_estimate`` (time units; may be
+        negative when the proposal is worse).
+    reason:
+        Human-readable explanation, logged by the controller.
+    """
+
+    should_rebalance: bool
+    proposed: Allocation
+    predicted_improvement: float
+    reason: str
+
+
+class RebalancePolicy:
+    """Decides whether a proposed allocation is worth migrating to.
+
+    Parameters
+    ----------
+    migration_cost:
+        Expected extra sojourn-time mass caused by one migration,
+        expressed in the same time unit as sojourn times and amortised
+        over ``amortisation_horizon``.  With the authors' improved
+        rebalancing this is a few seconds of disruption; with Storm's
+        default it is 1-2 minutes.
+    amortisation_horizon:
+        Time over which the improvement must pay back the migration cost.
+    relative_threshold:
+        Minimum fractional improvement (e.g. 0.05 = 5%) — hysteresis.
+    """
+
+    def __init__(
+        self,
+        migration_cost: float = 5.0,
+        amortisation_horizon: float = 600.0,
+        relative_threshold: float = 0.05,
+    ):
+        self._migration_cost = check_non_negative("migration_cost", migration_cost)
+        if amortisation_horizon <= 0:
+            raise ValueError(
+                f"amortisation_horizon must be > 0, got {amortisation_horizon}"
+            )
+        self._horizon = float(amortisation_horizon)
+        self._relative_threshold = check_probability(
+            "relative_threshold", relative_threshold
+        )
+
+    @property
+    def migration_cost(self) -> float:
+        return self._migration_cost
+
+    @property
+    def relative_threshold(self) -> float:
+        return self._relative_threshold
+
+    def evaluate(
+        self,
+        current: Allocation,
+        proposed: Allocation,
+        current_estimate: float,
+        proposed_estimate: float,
+        *,
+        measured_sojourn: Optional[float] = None,
+    ) -> RebalanceDecision:
+        """Decide whether to migrate from ``current`` to ``proposed``.
+
+        ``current_estimate`` / ``proposed_estimate`` are model values of
+        ``E[T]``; when a ``measured_sojourn`` is available it anchors the
+        comparison (the measured truth is better than the estimate where
+        we have it — end of paper Sec. III-C).  Because the model can be
+        systematically biased (e.g. unmodelled network cost), the
+        proposal's estimate is scaled by the current configuration's
+        measured/estimated ratio before comparing — otherwise a model
+        that underestimates would "improve" on the measurement even for
+        an identical allocation.
+        """
+        if measured_sojourn is not None:
+            baseline = measured_sojourn
+            if current_estimate > 0 and not math.isinf(current_estimate):
+                bias = measured_sojourn / current_estimate
+                effective_proposed = proposed_estimate * bias
+            else:
+                effective_proposed = proposed_estimate
+        else:
+            baseline = current_estimate
+            effective_proposed = proposed_estimate
+        improvement = baseline - effective_proposed
+
+        if proposed == current:
+            return RebalanceDecision(
+                False, proposed, 0.0, "proposed allocation equals current"
+            )
+        if improvement <= 0:
+            return RebalanceDecision(
+                False,
+                proposed,
+                improvement,
+                f"no predicted improvement ({improvement:.6g})",
+            )
+        if baseline > 0 and improvement / baseline < self._relative_threshold:
+            return RebalanceDecision(
+                False,
+                proposed,
+                improvement,
+                f"improvement {improvement / baseline:.2%} below hysteresis"
+                f" threshold {self._relative_threshold:.2%}",
+            )
+        amortised_cost = self._migration_cost / self._horizon
+        if improvement < amortised_cost:
+            return RebalanceDecision(
+                False,
+                proposed,
+                improvement,
+                f"improvement {improvement:.6g} below amortised migration"
+                f" cost {amortised_cost:.6g}",
+            )
+        return RebalanceDecision(
+            True,
+            proposed,
+            improvement,
+            f"improvement {improvement:.6g} (from {baseline:.6g} to"
+            f" {proposed_estimate:.6g}) justifies migration",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RebalancePolicy(cost={self._migration_cost},"
+            f" horizon={self._horizon},"
+            f" threshold={self._relative_threshold})"
+        )

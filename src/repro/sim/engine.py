@@ -1,0 +1,141 @@
+"""The discrete-event engine: a time-ordered callback queue.
+
+Minimal by design — the hot loop is ``heappop``, advance the clock, call
+the callback.  Events scheduled at equal times fire in scheduling order
+(a monotonic sequence number breaks ties), which keeps runs
+deterministic under a fixed RNG seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Optional
+
+from repro.exceptions import SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled event; supports O(1) cancellation."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+        self.callback = None  # free references early
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fired at", sim.now))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue = []  # (time, seq, handle)
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now or math.isnan(time):
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, (time, next(self._seq), handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._queue:
+            time, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback = handle.callback
+            handle.callback = None
+            self._processed += 1
+            callback()
+            return True
+        return False
+
+    def run_until(self, horizon: float) -> None:
+        """Run events up to and including time ``horizon``.
+
+        The clock is left at ``horizon`` even if the queue drains early,
+        so periodic measurements and experiment bookkeeping line up.
+        """
+        if horizon < self._now:
+            raise SimulationError(
+                f"horizon {horizon} is before current time {self._now}"
+            )
+        while self._queue:
+            time, _, handle = self._queue[0]
+            if time > horizon:
+                break
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback = handle.callback
+            handle.callback = None
+            self._processed += 1
+            callback()
+        self._now = horizon
+
+    def run_all(self, *, max_events: int = 50_000_000) -> None:
+        """Drain the queue completely (with a runaway guard)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely an unstable"
+                    " feedback loop or a self-rescheduling event"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now:.6g}, pending={len(self._queue)},"
+            f" processed={self._processed})"
+        )

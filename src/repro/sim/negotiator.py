@@ -1,0 +1,127 @@
+"""Simulated resource negotiator (paper Appendix B, negotiator module).
+
+The negotiator "works at an even lower layer than the resource manager
+of the CSP layer.  It negotiates with the physical machines or the
+cloud service provider ... e.g. launching/stopping the resource-manager
+daemon process."  Here it manipulates the simulated
+:class:`~repro.sim.cluster.Cluster`: booting machines takes
+``machine_boot_time`` simulation seconds and stopping takes
+``machine_stop_time`` — the asymmetry behind ExpA vs ExpB in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.config import ClusterSpec
+from repro.exceptions import NegotiationError
+from repro.sim.cluster import Cluster, MachineState
+from repro.sim.engine import Simulator
+
+
+class SimResourceNegotiator:
+    """Adds/removes simulated machines with realistic delays.
+
+    ``scale_to(n, on_ready)`` drives the cluster toward ``n`` running
+    machines and invokes ``on_ready`` once the target is reached (after
+    boot delays for scale-out; immediately after stop initiation for
+    scale-in, since removed capacity is gone at once).
+    """
+
+    def __init__(self, simulator: Simulator, cluster: Cluster, spec: ClusterSpec):
+        self._sim = simulator
+        self._cluster = cluster
+        self._spec = spec
+        self._in_progress = False
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    @property
+    def in_progress(self) -> bool:
+        """True while a scaling operation is still completing."""
+        return self._in_progress
+
+    def bootstrap(self, machines: int) -> None:
+        """Start the initial machine pool instantly (time zero setup)."""
+        if self._cluster.num_total != 0:
+            raise NegotiationError("bootstrap requires an empty cluster")
+        for _ in range(machines):
+            machine = self._cluster.add_machine()
+            machine.mark_running(self._sim.now)
+
+    def scale_to(
+        self,
+        target_machines: int,
+        on_ready: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Drive the running-machine count toward ``target_machines``.
+
+        Raises :class:`NegotiationError` when the target violates the
+        cluster spec bounds or another operation is in progress.
+        """
+        if self._in_progress:
+            raise NegotiationError("another scaling operation is in progress")
+        if not self._spec.min_machines <= target_machines <= self._spec.max_machines:
+            raise NegotiationError(
+                f"target {target_machines} outside"
+                f" [{self._spec.min_machines}, {self._spec.max_machines}]"
+            )
+        current = self._cluster.num_running
+        if target_machines == current:
+            if on_ready is not None:
+                on_ready()
+            return
+        if target_machines > current:
+            self._scale_out(target_machines - current, on_ready)
+        else:
+            self._scale_in(current - target_machines, on_ready)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _scale_out(self, count: int, on_ready: Optional[Callable[[], None]]) -> None:
+        self._in_progress = True
+        booting: List = [self._cluster.add_machine() for _ in range(count)]
+
+        def finish() -> None:
+            for machine in booting:
+                machine.mark_running(self._sim.now)
+            self._in_progress = False
+            if on_ready is not None:
+                on_ready()
+
+        # Machines boot in parallel; readiness is gated on the slowest,
+        # which with identical boot times is simply one boot interval.
+        self._sim.schedule(self._spec.machine_boot_time, finish)
+
+    def _scale_in(self, count: int, on_ready: Optional[Callable[[], None]]) -> None:
+        self._in_progress = True
+        running = sorted(
+            self._cluster.running_machines,
+            key=lambda m: m.machine_id,
+            reverse=True,
+        )
+        victims = running[:count]
+        for machine in victims:
+            machine.mark_stopping()
+
+        def finish() -> None:
+            for machine in victims:
+                machine.mark_stopped()
+            self._cluster.remove_stopped()
+            self._in_progress = False
+
+        self._sim.schedule(self._spec.machine_stop_time, finish)
+        # Capacity is considered released immediately: executors must have
+        # been moved off before scale_in is called (the runtime rebalances
+        # first, then shrinks the pool).
+        if on_ready is not None:
+            on_ready()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimResourceNegotiator(machines={self._cluster.num_running},"
+            f" in_progress={self._in_progress})"
+        )

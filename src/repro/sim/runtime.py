@@ -1,0 +1,634 @@
+"""Topology runtime: executes a topology on the discrete-event engine.
+
+This is the simulated CSP layer.  It reproduces the execution behaviour
+of a Storm topology that matters to DRS:
+
+- **spouts** emit external tuples according to their arrival processes;
+- **bolts** run ``k_i`` parallel executors; each tuple's processing time
+  is drawn from the operator's service-time distribution;
+- **routing** follows per-edge groupings.  Three queue disciplines are
+  supported: ``"jsq"`` (default — per-executor queues, shuffle-grouped
+  tuples join the shortest queue; approximates a load-balanced real
+  deployment, under which the M/M/k model is accurate), ``"hashed"``
+  (each shuffle tuple goes to a uniformly random executor queue — the
+  worst-case "tuples are hashed to processors" deviation the paper
+  notes) and ``"shared"`` (idealised M/M/k — one queue per operator,
+  any idle executor takes the head).  Key-based groupings (fields,
+  global, broadcast) route identically under jsq and hashed;
+- **tuple trees** are tracked acker-style so the *total sojourn time*
+  (arrival of the external tuple until every derived tuple is processed)
+  is measured exactly as the paper defines it;
+- **hop latency** adds a per-emission network/framework delay the
+  performance model deliberately ignores — the knob behind the Fig. 8
+  underestimation study;
+- **rebalancing** pauses all bolts for a cost-model-determined duration
+  while arrivals keep buffering, then resumes with the new allocation —
+  reproducing the latency spikes of Fig. 9/10.
+
+The DRS measurer is wired into the hot path; a measurement tick fires
+every ``Tm`` simulated seconds and the resulting report is passed to the
+``on_measurement`` hook (where the live controller sits).
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MeasurementConfig
+from repro.exceptions import SchedulingError, SimulationError
+from repro.measurement.measurer import Measurer, MeasurementReport
+from repro.measurement.metrics import WelfordAccumulator
+from repro.measurement.sojourn import TupleTreeTracker
+from repro.randomness.distributions import Distribution
+from repro.scheduler.allocation import Allocation
+from repro.sim.engine import Simulator
+from repro.sim.rebalancing import RebalanceCostModel
+from repro.topology.graph import Edge, Topology
+from repro.topology.grouping import ShuffleGrouping
+from repro.utils.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Tunables of the simulated CSP layer.
+
+    ``hop_latency`` is the fixed per-emission transport delay (seconds);
+    ``hop_latency_distribution`` overrides it with a random one.
+    ``queue_limit`` bounds each operator's total queued tuples; beyond
+    it tuples are dropped and their trees abandoned (the "errors when
+    the queue reaches its size limit" failure mode of the paper's
+    introduction).
+    """
+
+    queue_discipline: str = "jsq"
+    hop_latency: float = 0.0
+    hop_latency_distribution: Optional[Distribution] = None
+    queue_limit: Optional[int] = None
+    measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
+    rebalance_cost: RebalanceCostModel = field(default_factory=RebalanceCostModel)
+    timeline_bucket: float = 60.0
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.queue_discipline not in ("jsq", "hashed", "shared"):
+            raise SimulationError(
+                f"queue_discipline must be 'jsq', 'hashed' or 'shared',"
+                f" got {self.queue_discipline!r}"
+            )
+        if self.hop_latency < 0:
+            raise SimulationError("hop_latency must be >= 0")
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise SimulationError("queue_limit must be >= 1 when set")
+        if self.timeline_bucket <= 0:
+            raise SimulationError("timeline_bucket must be > 0")
+
+
+@dataclass
+class RunStats:
+    """Aggregated results of a run (or of a time window of one)."""
+
+    duration: float
+    external_tuples: int
+    completed_trees: int
+    dropped_tuples: int
+    dropped_trees: int
+    mean_sojourn: Optional[float]
+    std_sojourn: Optional[float]
+    p95_sojourn: Optional[float]
+    per_operator_processed: Dict[str, int]
+    per_operator_wait: Dict[str, Optional[float]]
+    per_operator_service: Dict[str, Optional[float]]
+    rebalances: int
+
+    @property
+    def completion_ratio(self) -> float:
+        if self.external_tuples == 0:
+            return 1.0
+        return self.completed_trees / self.external_tuples
+
+
+class _Executor:
+    """One executor: a queue plus a busy flag."""
+
+    __slots__ = ("queue", "busy")
+
+    def __init__(self):
+        self.queue: deque = deque()
+        self.busy = False
+
+
+class _OperatorRuntime:
+    """Mutable per-operator execution state."""
+
+    def __init__(self, name: str, service: Distribution, discipline: str):
+        self.name = name
+        self.service = service
+        self.discipline = discipline
+        self.executors: List[_Executor] = []
+        self.shared_queue: deque = deque()
+        self.held: deque = deque()  # buffer used while paused
+        self.processed = 0
+        # Per-stage observability: time spent waiting in this operator's
+        # queues and in service (validated against M/M/k theory in tests).
+        self.wait_stats = WelfordAccumulator()
+        self.service_stats = WelfordAccumulator()
+
+    @property
+    def parallelism(self) -> int:
+        return len(self.executors)
+
+    def queued_total(self) -> int:
+        total = len(self.shared_queue) + len(self.held)
+        for executor in self.executors:
+            total += len(executor.queue)
+        return total
+
+    def resize(self, k: int) -> List[dict]:
+        """Replace executors with ``k`` fresh ones; returns displaced
+        payloads (enqueue timestamps are dropped — the wait across a
+        rebalance is re-measured from re-insertion)."""
+        displaced: List[dict] = []
+        for executor in self.executors:
+            displaced.extend(entry[0] for entry in executor.queue)
+            executor.queue.clear()
+        displaced.extend(entry[0] for entry in self.shared_queue)
+        self.shared_queue.clear()
+        self.executors = [_Executor() for _ in range(k)]
+        return displaced
+
+
+class TopologyRuntime:
+    """Drives one topology through simulated time.
+
+    Typical use::
+
+        sim = Simulator()
+        runtime = TopologyRuntime(sim, topology, allocation, options)
+        runtime.start()
+        sim.run_until(600.0)
+        stats = runtime.stats()
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        topology: Topology,
+        allocation: Allocation,
+        options: Optional[RuntimeOptions] = None,
+    ):
+        self._sim = simulator
+        self._topology = topology
+        self._options = options or RuntimeOptions()
+        if tuple(allocation.names) != topology.operator_names:
+            raise SchedulingError(
+                "allocation operators do not match the topology: "
+                f"{allocation.names} vs {topology.operator_names}"
+            )
+        rng_factory = RngFactory(self._options.seed)
+        self._route_rng = rng_factory.stream("routing")
+        self._hop_rng = rng_factory.stream("hops")
+        self._service_rngs = {
+            name: rng_factory.stream("service", name)
+            for name in topology.operator_names
+        }
+        self._spout_rngs = {
+            name: rng_factory.stream("spout", name) for name in topology.spouts
+        }
+        # Arrival processes can be stateful (rate-modulated, MMPP, trace
+        # replay); deep-copy them so several runtimes can share one
+        # Topology object without leaking clock state across runs.
+        self._arrival_processes = {
+            name: copy.deepcopy(spout.arrivals)
+            for name, spout in topology.spouts.items()
+        }
+        self._fanout_rng = rng_factory.stream("fanout")
+
+        self._operators: Dict[str, _OperatorRuntime] = {}
+        for name in topology.operator_names:
+            operator = topology.operator(name)
+            runtime = _OperatorRuntime(
+                name, operator.service_time, self._options.queue_discipline
+            )
+            runtime.executors = [_Executor() for _ in range(allocation[name])]
+            self._operators[name] = runtime
+
+        self._measurer = Measurer(
+            topology.operator_names, self._options.measurement
+        )
+        self._tracker = TupleTreeTracker(on_complete=self._on_tree_complete)
+        self._allocation = allocation
+        self._paused = False
+        self._started = False
+        self._root_counter = 0
+        self._external_tuples = 0
+        self._dropped_tuples = 0
+        self._rebalances = 0
+        self._completions: List[Tuple[float, float]] = []  # (time, sojourn)
+        self._reports: List[MeasurementReport] = []
+        self.on_measurement: Optional[Callable[[MeasurementReport], None]] = None
+        # Payloads are shared per tree: {"root": id} — enough for shuffle
+        # and root-hashing fields groupings.
+        self._payload_cache: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # public accessors
+    # ------------------------------------------------------------------
+    @property
+    def simulator(self) -> Simulator:
+        return self._sim
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def options(self) -> RuntimeOptions:
+        return self._options
+
+    @property
+    def allocation(self) -> Allocation:
+        return self._allocation
+
+    @property
+    def measurer(self) -> Measurer:
+        return self._measurer
+
+    @property
+    def tracker(self) -> TupleTreeTracker:
+        return self._tracker
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def reports(self) -> List[MeasurementReport]:
+        """All measurement reports pulled so far."""
+        return list(self._reports)
+
+    @property
+    def completions(self) -> List[Tuple[float, float]]:
+        """(completion_time, sojourn) of every completed tree."""
+        return list(self._completions)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first spout arrivals and the measurement tick."""
+        if self._started:
+            raise SimulationError("runtime already started")
+        self._started = True
+        for spout_name, spout in self._topology.spouts.items():
+            rng = self._spout_rngs[spout_name]
+            gap = self._arrival_processes[spout_name].next_gap(
+                self._sim.now, rng
+            )
+            self._sim.schedule(gap, self._make_spout_event(spout_name))
+        self._sim.schedule(
+            self._options.measurement.pull_interval, self._measurement_tick
+        )
+
+    def apply_allocation(
+        self,
+        new_allocation: Allocation,
+        *,
+        machines_added: int = 0,
+        machines_removed: int = 0,
+    ) -> float:
+        """Rebalance to ``new_allocation``; returns the pause duration.
+
+        The topology pauses (bolts stop starting work; arrivals keep
+        buffering) for the cost-model duration, then resumes with the
+        new executor counts and all buffered tuples redistributed.
+        """
+        if tuple(new_allocation.names) != self._topology.operator_names:
+            raise SchedulingError("allocation does not match the topology")
+        if self._paused:
+            raise SimulationError("rebalance already in progress")
+        stateful_moved = sum(
+            abs(delta)
+            for name, delta in new_allocation.moves_from(self._allocation).items()
+            if self._topology.operator(name).stateful
+        )
+        pause = self._options.rebalance_cost.pause_duration(
+            machines_added=machines_added,
+            machines_removed=machines_removed,
+            stateful_executors_moved=stateful_moved,
+        )
+        self._rebalances += 1
+        self._paused = True
+        # Move all queued tuples into per-operator holding buffers.
+        for runtime in self._operators.values():
+            runtime.held.extend(runtime.resize(0))
+
+        def resume() -> None:
+            self._allocation = new_allocation
+            for name, runtime in self._operators.items():
+                runtime.executors = [
+                    _Executor() for _ in range(new_allocation[name])
+                ]
+            self._paused = False
+            for name, runtime in self._operators.items():
+                held = list(runtime.held)
+                runtime.held.clear()
+                for payload in held:
+                    self._route_to_operator(name, payload, count_arrival=False)
+            # Old smoothed metrics describe the previous configuration.
+            self._measurer.reset_smoothing()
+
+        self._sim.schedule(pause, resume)
+        return pause
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self, *, warmup: float = 0.0) -> RunStats:
+        """Aggregate results, ignoring completions before ``warmup``."""
+        window = [s for t, s in self._completions if t >= warmup]
+        acc = WelfordAccumulator()
+        for sojourn in window:
+            acc.add(sojourn)
+        p95 = None
+        if window:
+            ordered = sorted(window)
+            index = max(0, int(math.ceil(0.95 * len(ordered))) - 1)
+            p95 = ordered[index]
+        return RunStats(
+            duration=self._sim.now,
+            external_tuples=self._external_tuples,
+            completed_trees=self._tracker.completed,
+            dropped_tuples=self._dropped_tuples,
+            dropped_trees=self._tracker.dropped,
+            mean_sojourn=acc.mean if acc.count else None,
+            std_sojourn=acc.std if acc.count else None,
+            p95_sojourn=p95,
+            per_operator_processed={
+                name: runtime.processed
+                for name, runtime in self._operators.items()
+            },
+            per_operator_wait={
+                name: (
+                    runtime.wait_stats.mean if runtime.wait_stats.count else None
+                )
+                for name, runtime in self._operators.items()
+            },
+            per_operator_service={
+                name: (
+                    runtime.service_stats.mean
+                    if runtime.service_stats.count
+                    else None
+                )
+                for name, runtime in self._operators.items()
+            },
+            rebalances=self._rebalances,
+        )
+
+    def timeline(self) -> List[Tuple[float, Optional[float], int]]:
+        """Per-bucket mean sojourn: [(bucket_start, mean, count), ...].
+
+        Buckets of ``options.timeline_bucket`` seconds — the minute-by-
+        minute curves of Fig. 9/10.
+        """
+        bucket = self._options.timeline_bucket
+        if not self._completions:
+            return []
+        horizon = self._sim.now
+        n_buckets = int(math.ceil(horizon / bucket)) or 1
+        sums = [0.0] * n_buckets
+        counts = [0] * n_buckets
+        for t, sojourn in self._completions:
+            index = min(n_buckets - 1, int(t / bucket))
+            sums[index] += sojourn
+            counts[index] += 1
+        return [
+            (i * bucket, (sums[i] / counts[i]) if counts[i] else None, counts[i])
+            for i in range(n_buckets)
+        ]
+
+    def check_conservation(self) -> None:
+        """Every tracked tree is completed, in flight, or dropped."""
+        accounted = self._tracker.completed + self._tracker.in_flight
+        accounted += self._tracker.dropped
+        if accounted != self._external_tuples:
+            raise SimulationError(
+                f"conservation violated: {self._external_tuples} external"
+                f" tuples but {accounted} accounted for"
+            )
+
+    # ------------------------------------------------------------------
+    # spout side
+    # ------------------------------------------------------------------
+    def _make_spout_event(self, spout_name: str) -> Callable[[], None]:
+        def fire() -> None:
+            self._emit_external(spout_name)
+            rng = self._spout_rngs[spout_name]
+            gap = self._arrival_processes[spout_name].next_gap(
+                self._sim.now, rng
+            )
+            self._sim.schedule(gap, fire)
+
+        return fire
+
+    def _emit_external(self, spout_name: str) -> None:
+        now = self._sim.now
+        root_id = self._root_counter
+        self._root_counter += 1
+        self._external_tuples += 1
+        self._tracker.register_root(root_id, now)
+        payload = {"root": root_id}
+        self._payload_cache[root_id] = payload
+        for edge in self._topology.out_edges(spout_name):
+            count = self._sample_count(edge)
+            if count > 0:
+                self._tracker.add_pending(root_id, count)
+                for _ in range(count):
+                    self._dispatch(edge, payload, external=True)
+        # The root "tuple" itself needs no processing once emitted.
+        self._tracker.complete_one(root_id, now)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _sample_count(self, edge: Edge) -> int:
+        if edge.fanout is not None:
+            value = edge.fanout.sample(self._fanout_rng)
+        else:
+            value = edge.gain
+        if value < 0:
+            return 0
+        base = int(value)
+        fraction = value - base
+        if fraction > 0 and self._fanout_rng.random() < fraction:
+            base += 1
+        return base
+
+    def _dispatch(self, edge: Edge, payload: dict, *, external: bool = False) -> None:
+        """Send one tuple along ``edge``, after any hop latency."""
+        delay = self._hop_delay()
+        target = edge.target
+        self._measurer.record_arrival(target, external=external)
+        if delay <= 0:
+            self._route_to_operator(target, payload, edge=edge)
+        else:
+            self._sim.schedule(
+                delay,
+                lambda: self._route_to_operator(target, payload, edge=edge),
+            )
+
+    def _hop_delay(self) -> float:
+        dist = self._options.hop_latency_distribution
+        if dist is not None:
+            return dist.sample(self._hop_rng)
+        return self._options.hop_latency
+
+    def _route_to_operator(
+        self,
+        operator_name: str,
+        payload: dict,
+        edge: Optional[Edge] = None,
+        count_arrival: bool = False,
+    ) -> None:
+        """Place a tuple into the operator's queue structure."""
+        if count_arrival:
+            self._measurer.record_arrival(operator_name)
+        runtime = self._operators[operator_name]
+        limit = self._options.queue_limit
+        if limit is not None and runtime.queued_total() >= limit:
+            self._drop(payload)
+            return
+        now = self._sim.now
+        if self._paused:
+            runtime.held.append(payload)
+            return
+        if runtime.discipline == "shared":
+            runtime.shared_queue.append((payload, now))
+            self._kick_shared(runtime)
+            return
+        # Per-executor queues: the grouping picks the executor(s).  Under
+        # "jsq" a shuffle-grouped (or redistributed) tuple goes to the
+        # least-loaded executor instead of a random one — the behaviour a
+        # load-balanced real deployment approximates, and the setting
+        # under which the M/M/k model is accurate.  Key-based groupings
+        # (fields/global/broadcast) are always honoured exactly.
+        if not runtime.executors:
+            indices: Sequence[int] = ()
+        else:
+            grouping = edge.grouping if edge is not None else None
+            free_choice = grouping is None or isinstance(grouping, ShuffleGrouping)
+            if free_choice and runtime.discipline == "jsq":
+                indices = (self._shortest_queue_index(runtime),)
+            elif free_choice:
+                indices = (self._route_rng.randrange(len(runtime.executors)),)
+            else:
+                indices = grouping.select_tasks(
+                    payload, len(runtime.executors), self._route_rng
+                )
+        if not indices:
+            self._drop(payload)
+            return
+        if len(indices) > 1:
+            # Replication (broadcast): each copy is an extra pending tuple.
+            self._tracker.add_pending(payload["root"], len(indices) - 1)
+        for index in indices:
+            executor = runtime.executors[index]
+            executor.queue.append((payload, now))
+            if not executor.busy:
+                self._start_service(runtime, executor)
+
+    def _shortest_queue_index(self, runtime: _OperatorRuntime) -> int:
+        best_index = 0
+        best_load = math.inf
+        for index, executor in enumerate(runtime.executors):
+            load = len(executor.queue) + (1 if executor.busy else 0)
+            if load < best_load:
+                best_load = load
+                best_index = index
+                if load == 0:
+                    break
+        return best_index
+
+    def _drop(self, payload: dict) -> None:
+        self._dropped_tuples += 1
+        root = payload["root"]
+        # Abandon the whole tree: a dropped intermediate result means the
+        # external tuple can never be fully processed.
+        self._tracker.drop_tree(root)
+        self._payload_cache.pop(root, None)
+
+    # ------------------------------------------------------------------
+    # bolt side
+    # ------------------------------------------------------------------
+    def _kick_shared(self, runtime: _OperatorRuntime) -> None:
+        if self._paused or not runtime.shared_queue:
+            return
+        for executor in runtime.executors:
+            if not runtime.shared_queue:
+                break
+            if not executor.busy:
+                executor.queue.append(runtime.shared_queue.popleft())
+                self._start_service(runtime, executor)
+
+    def _start_service(self, runtime: _OperatorRuntime, executor: _Executor) -> None:
+        if self._paused or executor.busy or not executor.queue:
+            return
+        executor.busy = True
+        payload, enqueued_at = executor.queue.popleft()
+        runtime.wait_stats.add(self._sim.now - enqueued_at)
+        duration = runtime.service.sample(self._service_rngs[runtime.name])
+        runtime.service_stats.add(duration)
+        self._sim.schedule(
+            duration,
+            lambda: self._finish_service(runtime, executor, payload, duration),
+        )
+
+    def _finish_service(
+        self,
+        runtime: _OperatorRuntime,
+        executor: _Executor,
+        payload: dict,
+        duration: float,
+    ) -> None:
+        now = self._sim.now
+        runtime.processed += 1
+        self._measurer.record_service(runtime.name, duration)
+        root = payload["root"]
+        for edge in self._topology.out_edges(runtime.name):
+            count = self._sample_count(edge)
+            if count > 0:
+                self._tracker.add_pending(root, count)
+                for _ in range(count):
+                    self._dispatch(edge, payload)
+        self._tracker.complete_one(root, now)
+        executor.busy = False
+        if runtime.discipline == "shared":
+            self._kick_shared(runtime)
+        self._start_service(runtime, executor)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def _on_tree_complete(self, root_id: int, arrival: float, sojourn: float) -> None:
+        self._measurer.record_sojourn(sojourn)
+        self._completions.append((self._sim.now, sojourn))
+        self._payload_cache.pop(root_id, None)
+
+    def _measurement_tick(self) -> None:
+        report = self._measurer.pull(self._sim.now)
+        self._reports.append(report)
+        if self.on_measurement is not None:
+            self.on_measurement(report)
+        self._sim.schedule(
+            self._options.measurement.pull_interval, self._measurement_tick
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TopologyRuntime({self._topology.name!r},"
+            f" allocation={self._allocation.spec()},"
+            f" t={self._sim.now:.3f})"
+        )

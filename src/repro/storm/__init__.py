@@ -1,0 +1,34 @@
+"""A Storm-like programming facade over the DRS measurement layer.
+
+The paper integrates DRS into Apache Storm; this package provides the
+equivalent integration surface for Python code: users write spouts and
+bolts (:class:`Spout` / :class:`Bolt`), wire them with
+:class:`StormTopologyBuilder`, and run them on :class:`LocalCluster` —
+a single-process executor that measures *real* per-tuple service times
+and arrival rates through the DRS measurer, so the DRS optimiser can
+recommend executor allocations for genuine workloads (see
+``examples/frequent_pattern_detection.py``).
+
+This is the "CSP layer" counterpart of the MeasurableSpout /
+MeasurableBolt wrappers described in paper Appendix C.
+"""
+
+from repro.storm.api import (
+    Spout,
+    Bolt,
+    OutputCollector,
+    TopologyContext,
+    StormTopologyBuilder,
+    LocalCluster,
+    ClusterResult,
+)
+
+__all__ = [
+    "Spout",
+    "Bolt",
+    "OutputCollector",
+    "TopologyContext",
+    "StormTopologyBuilder",
+    "LocalCluster",
+    "ClusterResult",
+]

@@ -1,0 +1,340 @@
+"""Storm-like API: spouts, bolts, topology builder, local cluster.
+
+Execution model: :class:`LocalCluster` runs the topology in-process and
+single-threaded, pulling tuples from spouts and draining bolt queues in
+topological waves.  Parallelism is *not* emulated with threads — DRS
+does not need it: the scheduler's inputs are the measured per-tuple
+service times (``mu_i`` is a property of the code, not of the executor
+count) and arrival rates, which a single-threaded run measures
+faithfully.  The cluster wraps every component with measurement logic
+(the paper's MeasurableSpout/MeasurableBolt) and produces both the
+application's outputs and a DRS-ready load profile.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TopologyError
+from repro.measurement.measurer import Measurer
+from repro.model.performance import PerformanceModel
+from repro.scheduler.allocation import Allocation
+from repro.scheduler.assign import assign_processors
+
+
+class TopologyContext:
+    """Runtime information handed to components at preparation time."""
+
+    def __init__(self, component_name: str):
+        self._component_name = component_name
+
+    @property
+    def component_name(self) -> str:
+        return self._component_name
+
+
+class OutputCollector:
+    """Collects a component's emissions during one ``execute`` call."""
+
+    def __init__(self):
+        self._emitted: List[Any] = []
+
+    def emit(self, value: Any) -> None:
+        """Emit one tuple downstream."""
+        self._emitted.append(value)
+
+    def drain(self) -> List[Any]:
+        emitted = self._emitted
+        self._emitted = []
+        return emitted
+
+
+class Spout:
+    """External data source.  Override :meth:`next_tuple`."""
+
+    def open(self, context: TopologyContext) -> None:
+        """One-time initialisation before the first ``next_tuple``."""
+
+    def next_tuple(self) -> Optional[Any]:
+        """Produce the next external tuple, or ``None`` when exhausted."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Called when the cluster shuts down."""
+
+
+class Bolt:
+    """Processing operator.  Override :meth:`execute`."""
+
+    def prepare(self, context: TopologyContext) -> None:
+        """One-time initialisation before the first ``execute``."""
+
+    def execute(self, value: Any, collector: OutputCollector) -> None:
+        """Process one tuple, emitting any results via ``collector``."""
+        raise NotImplementedError
+
+    def cleanup(self) -> None:
+        """Called when the cluster shuts down."""
+
+
+@dataclass
+class _Component:
+    name: str
+    instance: Any
+    downstream: List[str]
+
+
+class StormTopologyBuilder:
+    """Wire spouts and bolts into a runnable topology.
+
+    Example::
+
+        builder = StormTopologyBuilder("fpd")
+        builder.set_spout("tweets", TweetSpout())
+        builder.set_bolt("generator", GeneratorBolt(), sources=["tweets"])
+        builder.set_bolt("detector", DetectorBolt(), sources=["generator"])
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise TopologyError("topology name must be non-empty")
+        self._name = name
+        self._spouts: Dict[str, _Component] = {}
+        self._bolts: Dict[str, _Component] = {}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def set_spout(self, name: str, spout: Spout) -> "StormTopologyBuilder":
+        """Register a spout under ``name``."""
+        self._check_new_name(name)
+        if not isinstance(spout, Spout):
+            raise TopologyError(f"{name!r} must be a Spout")
+        self._spouts[name] = _Component(name, spout, [])
+        return self
+
+    def set_bolt(
+        self, name: str, bolt: Bolt, sources: Sequence[str]
+    ) -> "StormTopologyBuilder":
+        """Register a bolt fed by the named upstream components."""
+        self._check_new_name(name)
+        if not isinstance(bolt, Bolt):
+            raise TopologyError(f"{name!r} must be a Bolt")
+        if not sources:
+            raise TopologyError(f"bolt {name!r} needs at least one source")
+        self._bolts[name] = _Component(name, bolt, [])
+        for source in sources:
+            component = self._spouts.get(source) or self._bolts.get(source)
+            if component is None:
+                raise TopologyError(
+                    f"bolt {name!r} references unknown source {source!r}"
+                )
+            component.downstream.append(name)
+        return self
+
+    def _check_new_name(self, name: str) -> None:
+        if not name:
+            raise TopologyError("component name must be non-empty")
+        if name in self._spouts or name in self._bolts:
+            raise TopologyError(f"duplicate component name {name!r}")
+
+    @property
+    def spouts(self) -> Dict[str, _Component]:
+        return dict(self._spouts)
+
+    @property
+    def bolts(self) -> Dict[str, _Component]:
+        return dict(self._bolts)
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of a :class:`LocalCluster` run.
+
+    ``arrival_rates`` / ``service_rates`` are the measured DRS model
+    inputs (tuples per wall-clock second); ``recommendation`` is the
+    Algorithm-1 optimum for the requested ``kmax`` (``None`` when rates
+    were unmeasurable, e.g. zero-length runs).
+    """
+
+    bolt_names: Tuple[str, ...]
+    external_tuples: int
+    processed: Dict[str, int]
+    arrival_rates: Dict[str, float]
+    service_rates: Dict[str, float]
+    external_rate: float
+    wall_time: float
+    outputs: List[Any]
+    recommendation: Optional[Allocation]
+    estimated_sojourn: Optional[float]
+
+
+class LocalCluster:
+    """Single-process topology executor with DRS measurement built in.
+
+    Parameters
+    ----------
+    builder:
+        The wired topology.
+    kmax:
+        Executor budget to size the DRS recommendation against.
+    """
+
+    def __init__(self, builder: StormTopologyBuilder, kmax: int = 22):
+        if kmax < 1:
+            raise TopologyError(f"kmax must be >= 1, got {kmax}")
+        if not builder.spouts:
+            raise TopologyError("topology needs at least one spout")
+        if not builder.bolts:
+            raise TopologyError("topology needs at least one bolt")
+        self._builder = builder
+        self._kmax = kmax
+
+    def run(self, max_tuples: int, *, sink: Optional[Callable[[Any], None]] = None) -> ClusterResult:
+        """Pull ``max_tuples`` external tuples through the topology.
+
+        Terminal-bolt emissions are collected into ``outputs`` (and also
+        passed to ``sink`` when given).  Returns the measured load
+        profile and DRS's allocation recommendation.
+        """
+        if max_tuples < 1:
+            raise TopologyError(f"max_tuples must be >= 1, got {max_tuples}")
+        spouts = self._builder.spouts
+        bolts = self._builder.bolts
+        bolt_names = list(bolts)
+        measurer = Measurer(bolt_names)
+
+        context = {name: TopologyContext(name) for name in list(spouts) + bolt_names}
+        for name, component in spouts.items():
+            component.instance.open(context[name])
+        for name, component in bolts.items():
+            component.instance.prepare(context[name])
+
+        processed = {name: 0 for name in bolt_names}
+        outputs: List[Any] = []
+        queues: Dict[str, deque] = {name: deque() for name in bolt_names}
+        collector = OutputCollector()
+        external = 0
+        started = time.perf_counter()
+
+        spout_cycle = list(spouts.values())
+        spout_index = 0
+        exhausted = set()
+        while external < max_tuples and len(exhausted) < len(spout_cycle):
+            spout = spout_cycle[spout_index % len(spout_cycle)]
+            spout_index += 1
+            if spout.name in exhausted:
+                continue
+            value = spout.instance.next_tuple()
+            if value is None:
+                exhausted.add(spout.name)
+                continue
+            external += 1
+            for target in spout.downstream:
+                queues[target].append(value)
+                measurer.record_arrival(target, external=True)
+            self._drain(
+                bolts, queues, collector, measurer, processed, outputs, sink
+            )
+
+        wall = time.perf_counter() - started
+        for component in spouts.values():
+            component.instance.close()
+        for component in bolts.values():
+            component.instance.cleanup()
+
+        return self._summarise(
+            measurer, bolt_names, processed, external, wall, outputs
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _drain(
+        self,
+        bolts: Dict[str, _Component],
+        queues: Dict[str, deque],
+        collector: OutputCollector,
+        measurer: Measurer,
+        processed: Dict[str, int],
+        outputs: List[Any],
+        sink: Optional[Callable[[Any], None]],
+    ) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for name, component in bolts.items():
+                queue = queues[name]
+                while queue:
+                    progress = True
+                    value = queue.popleft()
+                    before = time.perf_counter()
+                    component.instance.execute(value, collector)
+                    measurer.record_service(name, time.perf_counter() - before)
+                    processed[name] += 1
+                    emitted = collector.drain()
+                    if component.downstream:
+                        for target in component.downstream:
+                            for item in emitted:
+                                queues[target].append(item)
+                                measurer.record_arrival(target)
+                    else:
+                        outputs.extend(emitted)
+                        if sink is not None:
+                            for item in emitted:
+                                sink(item)
+
+    def _summarise(
+        self,
+        measurer: Measurer,
+        bolt_names: List[str],
+        processed: Dict[str, int],
+        external: int,
+        wall: float,
+        outputs: List[Any],
+    ) -> ClusterResult:
+        # One pull converts the sampled service sums into smoothed rates;
+        # arrival rates come from lifetime totals over the wall duration.
+        report = measurer.pull(0.0)
+        arrival_rates: Dict[str, float] = {}
+        service_rates: Dict[str, float] = {}
+        for index, name in enumerate(bolt_names):
+            arrivals = measurer.lifetime_arrivals(name)
+            arrival_rates[name] = arrivals / wall if wall > 0 else 0.0
+            mu = report.service_rates[index]
+            if mu is not None:
+                service_rates[name] = mu
+        external_rate = external / wall if wall > 0 else 0.0
+
+        recommendation = None
+        estimate = None
+        if (
+            external_rate > 0
+            and len(service_rates) == len(bolt_names)
+            and all(rate > 0 for rate in arrival_rates.values())
+        ):
+            model = PerformanceModel.from_measurements(
+                bolt_names,
+                [arrival_rates[n] for n in bolt_names],
+                [service_rates[n] for n in bolt_names],
+                external_rate,
+            )
+            if model.min_total_processors() <= self._kmax:
+                recommendation = assign_processors(model, self._kmax)
+                estimate = model.expected_sojourn(list(recommendation.vector))
+        return ClusterResult(
+            bolt_names=tuple(bolt_names),
+            external_tuples=external,
+            processed=processed,
+            arrival_rates=arrival_rates,
+            service_rates=service_rates,
+            external_rate=external_rate,
+            wall_time=wall,
+            outputs=outputs,
+            recommendation=recommendation,
+            estimated_sojourn=estimate,
+        )

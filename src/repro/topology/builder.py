@@ -1,0 +1,114 @@
+"""Fluent construction of topologies, mirroring Storm's TopologyBuilder.
+
+Example (the paper's VLD chain)::
+
+    topology = (
+        TopologyBuilder("vld")
+        .add_spout("frames", rate=13.0)
+        .add_operator("sift", mu=1.5)
+        .add_operator("matcher", mu=14.0)
+        .add_operator("aggregator", mu=120.0)
+        .connect("frames", "sift")
+        .connect("sift", "matcher", gain=10.0)
+        .connect("matcher", "aggregator", gain=1.0)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import TopologyError
+from repro.randomness.arrival import ArrivalProcess, PoissonProcess
+from repro.randomness.distributions import Distribution, Exponential
+from repro.topology.graph import Edge, Operator, Spout, Topology
+from repro.topology.grouping import Grouping, ShuffleGrouping
+from repro.utils.validation import check_positive
+
+
+class TopologyBuilder:
+    """Incremental builder producing an immutable :class:`Topology`."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._spouts: List[Spout] = []
+        self._operators: List[Operator] = []
+        self._edges: List[Edge] = []
+        self._built = False
+
+    def add_spout(
+        self,
+        name: str,
+        *,
+        rate: Optional[float] = None,
+        arrivals: Optional[ArrivalProcess] = None,
+    ) -> "TopologyBuilder":
+        """Add an external source; supply either a Poisson ``rate`` or a
+        full :class:`ArrivalProcess`."""
+        self._check_open()
+        if (rate is None) == (arrivals is None):
+            raise TopologyError("supply exactly one of rate= or arrivals=")
+        if arrivals is None:
+            check_positive("rate", rate)
+            arrivals = PoissonProcess(rate)
+        self._spouts.append(Spout(name=name, arrivals=arrivals))
+        return self
+
+    def add_operator(
+        self,
+        name: str,
+        *,
+        mu: Optional[float] = None,
+        service_time: Optional[Distribution] = None,
+        stateful: bool = False,
+    ) -> "TopologyBuilder":
+        """Add a bolt; supply either a mean rate ``mu`` (exponential
+        service) or a full service-time :class:`Distribution`."""
+        self._check_open()
+        if (mu is None) == (service_time is None):
+            raise TopologyError("supply exactly one of mu= or service_time=")
+        if service_time is None:
+            check_positive("mu", mu)
+            service_time = Exponential(rate=mu)
+        self._operators.append(
+            Operator(name=name, service_time=service_time, stateful=stateful)
+        )
+        return self
+
+    def connect(
+        self,
+        source: str,
+        target: str,
+        *,
+        gain: float = 1.0,
+        grouping: Optional[Grouping] = None,
+        fanout: Optional[Distribution] = None,
+    ) -> "TopologyBuilder":
+        """Add a stream from ``source`` (spout or operator) to ``target``."""
+        self._check_open()
+        self._edges.append(
+            Edge(
+                source=source,
+                target=target,
+                gain=gain,
+                grouping=grouping if grouping is not None else ShuffleGrouping(),
+                fanout=fanout,
+            )
+        )
+        return self
+
+    def build(self) -> Topology:
+        """Validate and freeze the topology. The builder cannot be reused."""
+        self._check_open()
+        self._built = True
+        return Topology(
+            name=self._name,
+            spouts=self._spouts,
+            operators=self._operators,
+            edges=self._edges,
+        )
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise TopologyError("builder already produced a topology")

@@ -1,0 +1,344 @@
+"""Static topology model: spouts, operators (bolts), and streams (edges).
+
+Terminology follows the paper and Storm:
+
+- a **spout** is an external data source; the sum of spout rates is the
+  paper's ``lambda_0``;
+- an **operator** (Storm: *bolt*) processes tuples; operator *i* has a
+  mean per-processor service rate ``mu_i`` and receives tuples at mean
+  rate ``lambda_i``;
+- an **edge** is a stream from a spout/operator to an operator, carrying
+  a mean *gain* (selectivity): the expected number of tuples emitted on
+  that edge per input tuple processed at the source.  Gains < 1 model
+  filtering, > 1 model fan-out (e.g. SIFT features per frame).
+
+Topologies may contain splits, joins and cycles; stability of cycles is
+validated when the traffic equations are solved (:mod:`repro.queueing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import TopologyError
+from repro.randomness.distributions import Distribution, Exponential
+from repro.randomness.arrival import ArrivalProcess, PoissonProcess
+from repro.topology.grouping import Grouping, ShuffleGrouping
+from repro.utils.validation import check_identifier, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A processing operator (Storm bolt).
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the topology.
+    service_time:
+        Distribution of the time one processor spends on one tuple.  Its
+        mean is ``1 / mu_i`` in the paper's notation.
+    stateful:
+        Stateful operators require key-based routing and carry migration
+        cost during rebalancing.
+    """
+
+    name: str
+    service_time: Distribution
+    stateful: bool = False
+
+    def __post_init__(self):
+        check_identifier("operator name", self.name)
+        if self.service_time.mean <= 0:
+            raise TopologyError(
+                f"operator {self.name!r} must have positive mean service time"
+            )
+
+    @property
+    def service_rate(self) -> float:
+        """Mean per-processor processing rate ``mu_i`` (tuples per second)."""
+        return 1.0 / self.service_time.mean
+
+    @classmethod
+    def with_rate(cls, name: str, mu: float, *, stateful: bool = False) -> "Operator":
+        """Build an operator with exponential service times at rate ``mu``."""
+        check_positive("mu", mu)
+        return cls(name=name, service_time=Exponential(rate=mu), stateful=stateful)
+
+
+@dataclass(frozen=True)
+class Spout:
+    """An external data source.
+
+    The ``arrivals`` process defines when external tuples enter the
+    system; its ``mean_rate`` contributes to the paper's ``lambda_0``.
+    """
+
+    name: str
+    arrivals: ArrivalProcess
+
+    def __post_init__(self):
+        check_identifier("spout name", self.name)
+        if self.arrivals.mean_rate <= 0:
+            raise TopologyError(f"spout {self.name!r} must have positive rate")
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean external arrival rate of this spout."""
+        return self.arrivals.mean_rate
+
+    @classmethod
+    def poisson(cls, name: str, rate: float) -> "Spout":
+        """Build a spout emitting a Poisson stream at ``rate``."""
+        return cls(name=name, arrivals=PoissonProcess(rate))
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed stream from ``source`` to ``target``.
+
+    ``gain`` is the mean number of tuples emitted on this edge per tuple
+    processed at the source (selectivity).  ``fanout`` optionally gives
+    the per-tuple distribution of that count for the simulator; when
+    omitted the simulator emits a deterministic or Bernoulli count
+    matching the mean gain.
+    """
+
+    source: str
+    target: str
+    gain: float = 1.0
+    grouping: Grouping = field(default_factory=ShuffleGrouping)
+    fanout: Optional[Distribution] = None
+
+    def __post_init__(self):
+        check_identifier("edge source", self.source)
+        check_identifier("edge target", self.target)
+        check_non_negative("edge gain", self.gain)
+        if self.fanout is not None:
+            fan_mean = self.fanout.mean
+            if abs(fan_mean - self.gain) > 1e-6 * max(1.0, abs(self.gain)):
+                raise TopologyError(
+                    f"edge {self.source}->{self.target}: fanout mean "
+                    f"{fan_mean} disagrees with gain {self.gain}"
+                )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.source, self.target)
+
+
+class Topology:
+    """An immutable operator network.
+
+    Construct directly from component lists, or fluently via
+    :class:`repro.topology.builder.TopologyBuilder`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spouts: Sequence[Spout],
+        operators: Sequence[Operator],
+        edges: Sequence[Edge],
+    ):
+        check_identifier("topology name", name)
+        self._name = name
+        self._spouts: Dict[str, Spout] = {}
+        self._operators: Dict[str, Operator] = {}
+        for spout in spouts:
+            if spout.name in self._spouts:
+                raise TopologyError(f"duplicate spout name {spout.name!r}")
+            self._spouts[spout.name] = spout
+        for operator in operators:
+            if operator.name in self._operators:
+                raise TopologyError(f"duplicate operator name {operator.name!r}")
+            if operator.name in self._spouts:
+                raise TopologyError(
+                    f"name {operator.name!r} used for both a spout and an operator"
+                )
+            self._operators[operator.name] = operator
+        if not self._spouts:
+            raise TopologyError("topology needs at least one spout")
+        if not self._operators:
+            raise TopologyError("topology needs at least one operator")
+
+        self._edges: List[Edge] = []
+        seen_keys = set()
+        for edge in edges:
+            if edge.key in seen_keys:
+                raise TopologyError(
+                    f"duplicate edge {edge.source!r} -> {edge.target!r}"
+                )
+            seen_keys.add(edge.key)
+            if edge.source not in self._spouts and edge.source not in self._operators:
+                raise TopologyError(f"edge source {edge.source!r} is not defined")
+            if edge.target not in self._operators:
+                raise TopologyError(
+                    f"edge target {edge.target!r} is not an operator"
+                    " (edges into spouts are not allowed)"
+                )
+            self._edges.append(edge)
+
+        self._out_edges: Dict[str, List[Edge]] = {
+            name: [] for name in list(self._spouts) + list(self._operators)
+        }
+        self._in_edges: Dict[str, List[Edge]] = {
+            name: [] for name in self._operators
+        }
+        for edge in self._edges:
+            self._out_edges[edge.source].append(edge)
+            self._in_edges[edge.target].append(edge)
+
+        self._validate_connectivity()
+        # Operator order is fixed at construction; index i in vectors
+        # (k, lambda, mu) always refers to operator_names[i].
+        self._operator_names: Tuple[str, ...] = tuple(self._operators)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def spouts(self) -> Mapping[str, Spout]:
+        return dict(self._spouts)
+
+    @property
+    def operators(self) -> Mapping[str, Operator]:
+        return dict(self._operators)
+
+    @property
+    def edges(self) -> Sequence[Edge]:
+        return tuple(self._edges)
+
+    @property
+    def operator_names(self) -> Tuple[str, ...]:
+        """Canonical operator order used by every vector in the library."""
+        return self._operator_names
+
+    @property
+    def num_operators(self) -> int:
+        """The paper's ``N``."""
+        return len(self._operators)
+
+    def operator(self, name: str) -> Operator:
+        """Look up an operator by name."""
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise TopologyError(f"unknown operator {name!r}") from None
+
+    def spout(self, name: str) -> Spout:
+        """Look up a spout by name."""
+        try:
+            return self._spouts[name]
+        except KeyError:
+            raise TopologyError(f"unknown spout {name!r}") from None
+
+    def operator_index(self, name: str) -> int:
+        """Position of ``name`` in :attr:`operator_names`."""
+        try:
+            return self._operator_names.index(name)
+        except ValueError:
+            raise TopologyError(f"unknown operator {name!r}") from None
+
+    def out_edges(self, name: str) -> Sequence[Edge]:
+        """Outgoing edges of a spout or operator."""
+        if name not in self._out_edges:
+            raise TopologyError(f"unknown component {name!r}")
+        return tuple(self._out_edges[name])
+
+    def in_edges(self, name: str) -> Sequence[Edge]:
+        """Incoming edges of an operator."""
+        if name not in self._in_edges:
+            raise TopologyError(f"unknown operator {name!r}")
+        return tuple(self._in_edges[name])
+
+    # ------------------------------------------------------------------
+    # rates
+    # ------------------------------------------------------------------
+    @property
+    def external_rate(self) -> float:
+        """Total external arrival rate — the paper's ``lambda_0``."""
+        return sum(spout.mean_rate for spout in self._spouts.values())
+
+    def service_rates(self) -> List[float]:
+        """``mu_i`` per operator, in canonical order."""
+        return [self._operators[n].service_rate for n in self._operator_names]
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def has_cycle(self) -> bool:
+        """True iff the operator-to-operator subgraph contains a cycle."""
+        colour = {name: 0 for name in self._operators}  # 0 white 1 grey 2 black
+
+        def visit(node: str) -> bool:
+            colour[node] = 1
+            for edge in self._out_edges[node]:
+                nxt = edge.target
+                if colour[nxt] == 1:
+                    return True
+                if colour[nxt] == 0 and visit(nxt):
+                    return True
+            colour[node] = 2
+            return False
+
+        return any(colour[n] == 0 and visit(n) for n in self._operators)
+
+    def entry_operators(self) -> List[str]:
+        """Operators fed directly by at least one spout."""
+        entries = []
+        for name in self._operator_names:
+            if any(e.source in self._spouts for e in self._in_edges[name]):
+                entries.append(name)
+        return entries
+
+    def _validate_connectivity(self) -> None:
+        for spout in self._spouts.values():
+            if not self._out_edges[spout.name]:
+                raise TopologyError(f"spout {spout.name!r} has no outgoing edge")
+        reachable = set()
+        frontier = list(self._spouts)
+        while frontier:
+            node = frontier.pop()
+            for edge in self._out_edges.get(node, ()):
+                if edge.target not in reachable:
+                    reachable.add(edge.target)
+                    frontier.append(edge.target)
+        unreachable = set(self._operators) - reachable
+        if unreachable:
+            raise TopologyError(
+                "operators unreachable from any spout: "
+                + ", ".join(sorted(unreachable))
+            )
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the topology."""
+        lines = [f"Topology {self._name!r}"]
+        for spout in self._spouts.values():
+            lines.append(f"  spout {spout.name}: rate={spout.mean_rate:.3f}/s")
+        for name in self._operator_names:
+            op = self._operators[name]
+            lines.append(
+                f"  operator {name}: mu={op.service_rate:.3f}/s"
+                + (" [stateful]" if op.stateful else "")
+            )
+        for edge in self._edges:
+            lines.append(
+                f"  edge {edge.source} -> {edge.target}:"
+                f" gain={edge.gain:.3f} {edge.grouping!r}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self._name!r}, spouts={len(self._spouts)},"
+            f" operators={len(self._operators)}, edges={len(self._edges)})"
+        )

@@ -1,0 +1,217 @@
+"""Topology (de)serialisation to plain dicts — config-driven pipelines.
+
+Lets users describe an application in JSON/YAML (loaded by any parser
+into a dict) and hand it to DRS without writing builder code::
+
+    spec = {
+        "name": "vld",
+        "spouts": [{"name": "frames", "rate": 13.0}],
+        "operators": [
+            {"name": "sift",
+             "service_time": {"type": "lognormal", "mean": 0.571, "scv": 1.5}},
+            {"name": "matcher", "mu": 17.5},
+            {"name": "aggregator", "mu": 150.0},
+        ],
+        "edges": [
+            {"source": "frames", "target": "sift"},
+            {"source": "sift", "target": "matcher", "gain": 10.0},
+            {"source": "matcher", "target": "aggregator", "gain": 0.3,
+             "grouping": {"type": "fields", "fields": ["root"]}},
+        ],
+    }
+    topology = topology_from_dict(spec)
+
+``topology_to_dict`` round-trips everything it can represent; arrival
+processes beyond Poisson and custom distribution objects serialise by
+their parameters when they are of the library's standard types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.exceptions import TopologyError
+from repro.randomness.arrival import PoissonProcess, UniformRateProcess
+from repro.randomness.distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Uniform,
+    distribution_from_spec,
+)
+from repro.topology.builder import TopologyBuilder
+from repro.topology.graph import Topology
+from repro.topology.grouping import (
+    BroadcastGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    Grouping,
+    LocalOrShuffleGrouping,
+    ShuffleGrouping,
+)
+
+
+_GROUPING_BUILDERS = {
+    "shuffle": lambda spec: ShuffleGrouping(),
+    "fields": lambda spec: FieldsGrouping(spec["fields"]),
+    "global": lambda spec: GlobalGrouping(),
+    "broadcast": lambda spec: BroadcastGrouping(),
+    "local_or_shuffle": lambda spec: LocalOrShuffleGrouping(),
+}
+
+
+def _grouping_from_spec(spec: Mapping[str, Any]) -> Grouping:
+    kind = str(spec.get("type", "shuffle")).lower()
+    builder = _GROUPING_BUILDERS.get(kind)
+    if builder is None:
+        known = ", ".join(sorted(_GROUPING_BUILDERS))
+        raise TopologyError(f"unknown grouping type {kind!r}; known: {known}")
+    try:
+        return builder(spec)
+    except KeyError as missing:
+        raise TopologyError(f"grouping spec for {kind!r} missing key {missing}")
+
+
+def _grouping_to_spec(grouping: Grouping) -> Dict[str, Any]:
+    if isinstance(grouping, FieldsGrouping):
+        return {"type": "fields", "fields": list(grouping.fields)}
+    if isinstance(grouping, GlobalGrouping):
+        return {"type": "global"}
+    if isinstance(grouping, BroadcastGrouping):
+        return {"type": "broadcast"}
+    if isinstance(grouping, LocalOrShuffleGrouping):
+        return {"type": "local_or_shuffle"}
+    if isinstance(grouping, ShuffleGrouping):
+        return {"type": "shuffle"}
+    raise TopologyError(
+        f"grouping {type(grouping).__name__} has no dict representation"
+    )
+
+
+def _distribution_to_spec(dist: Distribution) -> Dict[str, Any]:
+    if isinstance(dist, Deterministic):
+        return {"type": "deterministic", "value": dist.mean}
+    if isinstance(dist, Exponential):
+        return {"type": "exponential", "rate": dist.rate}
+    if isinstance(dist, Uniform):
+        return {"type": "uniform", "low": dist.low, "high": dist.high}
+    if isinstance(dist, LogNormal):
+        return {"type": "lognormal", "mean": dist.mean, "scv": dist.scv}
+    if isinstance(dist, Gamma):
+        return {
+            "type": "gamma",
+            "shape": dist.mean**2 / dist.variance,
+            "scale": dist.variance / dist.mean,
+        }
+    raise TopologyError(
+        f"distribution {type(dist).__name__} has no dict representation"
+    )
+
+
+def topology_from_dict(spec: Mapping[str, Any]) -> Topology:
+    """Build a :class:`Topology` from a plain-dict description."""
+    for key in ("name", "spouts", "operators", "edges"):
+        if key not in spec:
+            raise TopologyError(f"topology spec missing key {key!r}")
+    builder = TopologyBuilder(spec["name"])
+    for spout in spec["spouts"]:
+        if "name" not in spout:
+            raise TopologyError("spout spec missing 'name'")
+        if "rate" in spout:
+            builder.add_spout(spout["name"], rate=float(spout["rate"]))
+        elif "uniform_rate" in spout:
+            bounds = spout["uniform_rate"]
+            builder.add_spout(
+                spout["name"],
+                arrivals=UniformRateProcess(
+                    float(bounds["low"]), float(bounds["high"])
+                ),
+            )
+        else:
+            raise TopologyError(
+                f"spout {spout['name']!r} needs 'rate' or 'uniform_rate'"
+            )
+    for operator in spec["operators"]:
+        if "name" not in operator:
+            raise TopologyError("operator spec missing 'name'")
+        kwargs: Dict[str, Any] = {
+            "stateful": bool(operator.get("stateful", False))
+        }
+        if "mu" in operator:
+            kwargs["mu"] = float(operator["mu"])
+        elif "service_time" in operator:
+            kwargs["service_time"] = distribution_from_spec(
+                operator["service_time"]
+            )
+        else:
+            raise TopologyError(
+                f"operator {operator['name']!r} needs 'mu' or 'service_time'"
+            )
+        builder.add_operator(operator["name"], **kwargs)
+    for edge in spec["edges"]:
+        for key in ("source", "target"):
+            if key not in edge:
+                raise TopologyError(f"edge spec missing {key!r}")
+        kwargs = {"gain": float(edge.get("gain", 1.0))}
+        if "grouping" in edge:
+            kwargs["grouping"] = _grouping_from_spec(edge["grouping"])
+        if "fanout" in edge:
+            kwargs["fanout"] = distribution_from_spec(edge["fanout"])
+        builder.connect(edge["source"], edge["target"], **kwargs)
+    return builder.build()
+
+
+def topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    """Serialise a :class:`Topology` to a plain dict (JSON-safe).
+
+    Raises :class:`TopologyError` for components without a standard
+    representation (custom arrival processes or distributions).
+    """
+    spouts: List[Dict[str, Any]] = []
+    for spout in topology.spouts.values():
+        if isinstance(spout.arrivals, PoissonProcess):
+            spouts.append({"name": spout.name, "rate": spout.arrivals.rate})
+        elif isinstance(spout.arrivals, UniformRateProcess):
+            spouts.append(
+                {
+                    "name": spout.name,
+                    "uniform_rate": {
+                        "low": spout.arrivals.low_rate,
+                        "high": spout.arrivals.high_rate,
+                    },
+                }
+            )
+        else:
+            raise TopologyError(
+                f"spout {spout.name!r} uses a non-serialisable arrival"
+                f" process {type(spout.arrivals).__name__}"
+            )
+    operators = [
+        {
+            "name": name,
+            "service_time": _distribution_to_spec(
+                topology.operator(name).service_time
+            ),
+            "stateful": topology.operator(name).stateful,
+        }
+        for name in topology.operator_names
+    ]
+    edges = []
+    for edge in topology.edges:
+        entry: Dict[str, Any] = {
+            "source": edge.source,
+            "target": edge.target,
+            "gain": edge.gain,
+            "grouping": _grouping_to_spec(edge.grouping),
+        }
+        if edge.fanout is not None:
+            entry["fanout"] = _distribution_to_spec(edge.fanout)
+        edges.append(entry)
+    return {
+        "name": topology.name,
+        "spouts": spouts,
+        "operators": operators,
+        "edges": edges,
+    }

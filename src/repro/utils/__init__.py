@@ -1,0 +1,32 @@
+"""Shared utilities: argument validation, numeric helpers, RNG handling."""
+
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    check_positive_int,
+    check_type,
+)
+from repro.utils.math_helpers import (
+    clamp,
+    is_close,
+    weighted_mean,
+    safe_divide,
+)
+from repro.utils.rng import RngFactory, derive_seed
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_positive_int",
+    "check_type",
+    "clamp",
+    "is_close",
+    "weighted_mean",
+    "safe_divide",
+    "RngFactory",
+    "derive_seed",
+]

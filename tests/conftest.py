@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model import PerformanceModel
+from repro.topology import TopologyBuilder
+from repro.topology.grouping import FieldsGrouping
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def chain_topology():
+    """A small stable 3-operator chain (spout -> a -> b -> c)."""
+    return (
+        TopologyBuilder("chain")
+        .add_spout("src", rate=10.0)
+        .add_operator("a", mu=4.0)
+        .add_operator("b", mu=6.0)
+        .add_operator("c", mu=20.0)
+        .connect("src", "a")
+        .connect("a", "b", gain=2.0)
+        .connect("b", "c", gain=0.5)
+        .build()
+    )
+
+
+@pytest.fixture
+def chain_model(chain_topology):
+    return PerformanceModel.from_topology(chain_topology)
+
+
+@pytest.fixture
+def loop_topology():
+    """A topology with split, join and a feedback loop (paper Fig. 2)."""
+    return (
+        TopologyBuilder("loopy")
+        .add_spout("src", rate=5.0)
+        .add_operator("a", mu=10.0)
+        .add_operator("b", mu=8.0)
+        .add_operator("c", mu=12.0)
+        .add_operator("e", mu=15.0)
+        .connect("src", "a")
+        .connect("a", "b", gain=0.6)  # split
+        .connect("a", "c", gain=0.4)
+        .connect("b", "e", gain=1.0)  # join
+        .connect("c", "e", gain=1.0)
+        .connect("e", "a", gain=0.2)  # feedback loop
+        .build()
+    )
+
+
+@pytest.fixture
+def vld_like_topology():
+    """The calibrated VLD shape with exponential services (fast tests)."""
+    return (
+        TopologyBuilder("vld_like")
+        .add_spout("frames", rate=13.0)
+        .add_operator("sift", mu=1.75)
+        .add_operator("matcher", mu=17.5)
+        .add_operator("aggregator", mu=150.0)
+        .connect("frames", "sift")
+        .connect("sift", "matcher", gain=10.0)
+        .connect(
+            "matcher", "aggregator", gain=0.3, grouping=FieldsGrouping(["root"])
+        )
+        .build()
+    )

@@ -1,0 +1,117 @@
+"""Tests for the Allocation vector type."""
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.scheduler import Allocation
+
+
+class TestConstruction:
+    def test_basic(self):
+        a = Allocation(["x", "y"], [2, 3])
+        assert a.total == 5
+        assert a.vector == (2, 3)
+        assert a["x"] == 2
+
+    def test_parse_paper_notation(self):
+        a = Allocation.parse(["s", "m", "g"], "10:11:1")
+        assert a.vector == (10, 11, 1)
+        assert a.spec() == "10:11:1"
+
+    def test_parse_wrong_arity(self):
+        with pytest.raises(SchedulingError):
+            Allocation.parse(["s", "m"], "1:2:3")
+
+    def test_parse_non_integer(self):
+        with pytest.raises(SchedulingError):
+            Allocation.parse(["s"], "x")
+
+    def test_from_mapping(self):
+        a = Allocation.from_mapping({"a": 1, "b": 2})
+        assert a.names == ("a", "b")
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(SchedulingError):
+            Allocation(["a"], [0])
+
+    def test_rejects_bool_count(self):
+        with pytest.raises(SchedulingError):
+            Allocation(["a"], [True])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchedulingError):
+            Allocation(["a", "a"], [1, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchedulingError):
+            Allocation([], [])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(SchedulingError):
+            Allocation(["a"], [1, 2])
+
+
+class TestMappingProtocol:
+    def test_iteration_order(self):
+        a = Allocation(["x", "y", "z"], [1, 2, 3])
+        assert list(a) == ["x", "y", "z"]
+        assert len(a) == 3
+
+    def test_unknown_key(self):
+        a = Allocation(["x"], [1])
+        with pytest.raises(KeyError):
+            a["ghost"]
+
+    def test_as_dict(self):
+        a = Allocation(["x", "y"], [1, 2])
+        assert a.as_dict() == {"x": 1, "y": 2}
+
+
+class TestTransformations:
+    def test_increment(self):
+        a = Allocation(["x", "y"], [1, 2])
+        b = a.increment("x")
+        assert b["x"] == 2
+        assert a["x"] == 1  # immutability
+
+    def test_decrement(self):
+        a = Allocation(["x"], [2])
+        assert a.decrement("x")["x"] == 1
+
+    def test_decrement_below_one_rejected(self):
+        a = Allocation(["x"], [1])
+        with pytest.raises(SchedulingError):
+            a.decrement("x")
+
+    def test_with_count_unknown_operator(self):
+        a = Allocation(["x"], [1])
+        with pytest.raises(SchedulingError):
+            a.with_count("ghost", 2)
+
+    def test_l1_distance(self):
+        a = Allocation(["x", "y"], [8, 12])
+        b = Allocation(["x", "y"], [10, 11])
+        assert a.l1_distance(b) == 3
+
+    def test_l1_requires_same_operators(self):
+        a = Allocation(["x"], [1])
+        b = Allocation(["y"], [1])
+        with pytest.raises(SchedulingError):
+            a.l1_distance(b)
+
+    def test_moves_from(self):
+        a = Allocation(["x", "y", "z"], [10, 11, 1])
+        b = Allocation(["x", "y", "z"], [8, 12, 2])
+        assert a.moves_from(b) == {"x": 2, "y": -1, "z": -1}
+
+
+class TestEqualityHash:
+    def test_equal_allocations(self):
+        assert Allocation(["x"], [1]) == Allocation(["x"], [1])
+
+    def test_hashable(self):
+        seen = {Allocation(["x"], [1]), Allocation(["x"], [1])}
+        assert len(seen) == 1
+
+    def test_different_counts_unequal(self):
+        assert Allocation(["x"], [1]) != Allocation(["x"], [2])

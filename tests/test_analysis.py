@@ -1,0 +1,173 @@
+"""Tests for the analysis helpers (stats, correlation, calibration)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    confidence_interval_mean,
+    kendall_tau,
+    pearson,
+    relative_error,
+    spearman,
+    summarise,
+)
+from repro.exceptions import ModelError
+from repro.model import CalibratedModel, PerformanceModel, PolynomialCalibrator
+
+
+class TestSummarise:
+    def test_basic(self):
+        stats = summarise([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.p50 == pytest.approx(3.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        values = [float(i) for i in range(100)]
+        low, high = confidence_interval_mean(values)
+        assert low < 49.5 < high
+
+    def test_wider_at_higher_confidence(self):
+        values = [float(i % 7) for i in range(60)]
+        low95, high95 = confidence_interval_mean(values, confidence=0.95)
+        low99, high99 = confidence_interval_mean(values, confidence=0.99)
+        assert high99 - low99 > high95 - low95
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval_mean([1.0])
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(ValueError):
+            confidence_interval_mean([1.0, 2.0], confidence=0.5)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_expected(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert math.isinf(relative_error(1.0, 0.0))
+
+    def test_infinite_expected(self):
+        assert relative_error(math.inf, math.inf) == 0.0
+        assert math.isinf(relative_error(1.0, math.inf))
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert spearman([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert kendall_tau([1, 2, 3], [5, 6, 7]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+        assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_spearman_invariant_to_monotone_transform(self):
+        xs = [1.0, 2.0, 5.0, 9.0]
+        ys = [x**3 for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        value = spearman([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= value <= 1.0
+
+    def test_constant_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+
+class TestPolynomialCalibrator:
+    def test_linear_fit_recovers_line(self):
+        calibrator = PolynomialCalibrator(degree=1)
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [3.0 * x + 1.0 for x in xs]
+        calibrator.fit(xs, ys)
+        assert calibrator.predict(5.0) == pytest.approx(16.0, rel=1e-9)
+        assert calibrator.r_squared(xs, ys) == pytest.approx(1.0)
+
+    def test_infinite_estimate_passes_through(self):
+        calibrator = PolynomialCalibrator().fit([1, 2, 3], [2, 4, 6])
+        assert math.isinf(calibrator.predict(math.inf))
+
+    def test_prediction_floored_at_zero(self):
+        calibrator = PolynomialCalibrator().fit([1, 2], [0.1, 0.0])
+        assert calibrator.predict(100.0) == 0.0
+
+    def test_unfitted_rejects_predict(self):
+        with pytest.raises(ModelError):
+            PolynomialCalibrator().predict(1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ModelError):
+            PolynomialCalibrator(degree=2).fit([1, 2], [1, 2])
+
+    def test_mismatched_samples(self):
+        with pytest.raises(ModelError):
+            PolynomialCalibrator().fit([1, 2, 3], [1, 2])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ModelError):
+            PolynomialCalibrator().fit([1, math.inf], [1, 2])
+
+
+class TestCalibratedModel:
+    def test_correction_applied(self, chain_model):
+        # Pretend measurements are always 2x the estimate.
+        xs = [0.5, 1.0, 2.0]
+        ys = [1.0, 2.0, 4.0]
+        calibrator = PolynomialCalibrator(degree=1).fit(xs, ys)
+        calibrated = CalibratedModel(chain_model, calibrator)
+        raw = calibrated.raw_expected_sojourn([4, 5, 2])
+        assert calibrated.expected_sojourn([4, 5, 2]) == pytest.approx(
+            2.0 * raw, rel=1e-6
+        )
+
+    def test_requires_fitted_calibrator(self, chain_model):
+        with pytest.raises(ModelError):
+            CalibratedModel(chain_model, PolynomialCalibrator())
+
+    def test_preserves_ordering(self, chain_model):
+        """Linear calibration keeps Algorithm 1's ranking intact."""
+        calibrator = PolynomialCalibrator(degree=1).fit(
+            [0.5, 1.0, 2.0], [1.2, 2.1, 4.3]
+        )
+        calibrated = CalibratedModel(chain_model, calibrator)
+        a = [4, 5, 2]
+        b = [5, 6, 3]
+        raw_order = chain_model.expected_sojourn(a) > chain_model.expected_sojourn(b)
+        cal_order = calibrated.expected_sojourn(a) > calibrated.expected_sojourn(b)
+        assert raw_order == cal_order
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    slope=st.floats(min_value=0.1, max_value=10.0),
+    intercept=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_linear_calibration_exact(slope, intercept):
+    xs = [1.0, 2.0, 4.0, 8.0]
+    ys = [slope * x + intercept for x in xs]
+    calibrator = PolynomialCalibrator(degree=1).fit(xs, ys)
+    for x in (0.5, 3.0, 10.0):
+        assert calibrator.predict(x) == pytest.approx(
+            slope * x + intercept, rel=1e-6, abs=1e-6
+        )

@@ -1,0 +1,136 @@
+"""Tests for the application workload models (VLD, FPD, synthetic)."""
+
+import pytest
+
+from repro.apps import FPDWorkload, SyntheticChainWorkload, VLDWorkload
+from repro.apps import fpd as fpd_app
+from repro.apps import vld as vld_app
+from repro.apps.synthetic import FIG8_TOTAL_CPU
+from repro.model import PerformanceModel
+from repro.scheduler import assign_processors
+
+
+class TestVLDWorkload:
+    def test_paper_recommendation_at_22(self):
+        model = PerformanceModel.from_topology(VLDWorkload().build())
+        assert assign_processors(model, 22).spec() == vld_app.RECOMMENDED
+
+    def test_paper_recommendation_at_17(self):
+        model = PerformanceModel.from_topology(VLDWorkload().build())
+        assert assign_processors(model, 17).spec() == vld_app.RECOMMENDED_K17
+
+    def test_external_rate_is_mean_frame_rate(self):
+        assert VLDWorkload().external_rate == pytest.approx(13.0)
+
+    def test_all_fig6_configs_stable(self):
+        model = PerformanceModel.from_topology(VLDWorkload().build())
+        for allocation in VLDWorkload().fig6_allocations():
+            value = model.expected_sojourn(list(allocation.vector))
+            assert value < float("inf"), allocation.spec()
+
+    def test_recommended_best_among_fig6_by_model(self):
+        workload = VLDWorkload()
+        model = PerformanceModel.from_topology(workload.build())
+        values = {
+            a.spec(): model.expected_sojourn(list(a.vector))
+            for a in workload.fig6_allocations()
+        }
+        assert min(values, key=values.get) == vld_app.RECOMMENDED
+
+    def test_scaling_preserves_optimum(self):
+        scaled = VLDWorkload(scale=0.5)
+        model = PerformanceModel.from_topology(scaled.build())
+        assert assign_processors(model, 22).spec() == vld_app.RECOMMENDED
+
+    def test_scaling_preserves_offered_loads(self):
+        base = PerformanceModel.from_topology(VLDWorkload().build())
+        scaled = PerformanceModel.from_topology(VLDWorkload(scale=0.25).build())
+        for b_load, s_load in zip(base.network.loads, scaled.network.loads):
+            assert (
+                b_load.arrival_rate / b_load.service_rate
+            ) == pytest.approx(
+                s_load.arrival_rate / s_load.service_rate, rel=1e-9
+            )
+
+    def test_rejects_bad_match_fraction(self):
+        with pytest.raises(ValueError):
+            VLDWorkload(match_fraction=0.0)
+
+    def test_allocation_parser(self):
+        allocation = VLDWorkload().allocation("10:11:1")
+        assert allocation["sift"] == 10
+
+
+class TestFPDWorkload:
+    def test_paper_recommendation_at_22(self):
+        model = PerformanceModel.from_topology(FPDWorkload().build())
+        assert assign_processors(model, 22).spec() == fpd_app.RECOMMENDED
+
+    def test_loop_present(self):
+        topology = FPDWorkload().build()
+        assert topology.has_cycle()
+
+    def test_loop_amplifies_detector_rate(self):
+        workload = FPDWorkload()
+        model = PerformanceModel.from_topology(workload.build())
+        rates = dict(zip(model.operator_names, model.network.arrival_rates))
+        base = workload.external_rate * workload.candidates_per_event
+        assert rates["detector"] == pytest.approx(
+            base / (1.0 - workload.loop_gain), rel=1e-9
+        )
+
+    def test_two_spouts_sum_to_external_rate(self):
+        workload = FPDWorkload()
+        assert workload.external_rate == pytest.approx(640.0)
+        topology = workload.build()
+        assert topology.external_rate == pytest.approx(640.0)
+
+    def test_all_fig6_configs_stable(self):
+        workload = FPDWorkload()
+        model = PerformanceModel.from_topology(workload.build())
+        for allocation in workload.fig6_allocations():
+            assert model.expected_sojourn(list(allocation.vector)) < float(
+                "inf"
+            ), allocation.spec()
+
+    def test_recommended_best_among_fig6_by_model(self):
+        workload = FPDWorkload()
+        model = PerformanceModel.from_topology(workload.build())
+        values = {
+            a.spec(): model.expected_sojourn(list(a.vector))
+            for a in workload.fig6_allocations()
+        }
+        assert min(values, key=values.get) == fpd_app.RECOMMENDED
+
+    def test_scaling_preserves_optimum(self):
+        model = PerformanceModel.from_topology(FPDWorkload(scale=0.25).build())
+        assert assign_processors(model, 22).spec() == fpd_app.RECOMMENDED
+
+    def test_rejects_amplifying_loop(self):
+        with pytest.raises(ValueError):
+            FPDWorkload(loop_gain=1.0)
+
+
+class TestSyntheticChain:
+    def test_cpu_split_three_ways(self):
+        workload = SyntheticChainWorkload(total_cpu=0.03)
+        assert workload.per_bolt_cpu == pytest.approx(0.01)
+
+    def test_model_estimate_close_to_total_cpu_at_low_load(self):
+        workload = SyntheticChainWorkload(total_cpu=0.03, arrival_rate=5.0)
+        model = PerformanceModel.from_topology(workload.build())
+        estimate = model.expected_sojourn(list(workload.allocation().vector))
+        # Low utilisation: E[T] ~ total service time.
+        assert estimate == pytest.approx(0.03, rel=0.05)
+
+    def test_paper_workloads_all_stable(self):
+        for total_cpu in FIG8_TOTAL_CPU:
+            workload = SyntheticChainWorkload(total_cpu=total_cpu)
+            model = PerformanceModel.from_topology(workload.build())
+            assert model.expected_sojourn([10, 10, 10]) < float("inf")
+
+    def test_unstable_workload_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            SyntheticChainWorkload(
+                total_cpu=3.0, arrival_rate=20.0, executors_per_bolt=10
+            )

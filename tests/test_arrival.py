@@ -1,0 +1,157 @@
+"""Tests for repro.randomness.arrival processes."""
+
+import random
+
+import pytest
+
+from repro.randomness.arrival import (
+    DeterministicProcess,
+    MMPP2,
+    ModulatedRateProcess,
+    PoissonProcess,
+    RenewalProcess,
+    TraceReplayProcess,
+    UniformRateProcess,
+)
+from repro.randomness.distributions import Exponential, Uniform
+
+
+def empirical_rate(process, horizon=2000.0, seed=3):
+    """Count arrivals over a horizon by walking the gap sequence."""
+    rng = random.Random(seed)
+    now = 0.0
+    count = 0
+    while True:
+        gap = process.next_gap(now, rng)
+        assert gap > 0
+        now += gap
+        if now > horizon:
+            break
+        count += 1
+    return count / horizon
+
+
+class TestPoissonProcess:
+    def test_mean_rate_property(self):
+        assert PoissonProcess(5.0).mean_rate == 5.0
+
+    def test_empirical_rate(self):
+        assert empirical_rate(PoissonProcess(4.0)) == pytest.approx(4.0, rel=0.05)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0)
+
+
+class TestDeterministicProcess:
+    def test_constant_gap(self, rng):
+        p = DeterministicProcess(4.0)
+        assert p.next_gap(0.0, rng) == pytest.approx(0.25)
+
+    def test_empirical_rate(self):
+        assert empirical_rate(DeterministicProcess(7.0)) == pytest.approx(
+            7.0, rel=0.01
+        )
+
+
+class TestRenewalProcess:
+    def test_mean_rate_from_distribution(self):
+        p = RenewalProcess(Exponential(rate=2.0))
+        assert p.mean_rate == pytest.approx(2.0)
+
+    def test_uniform_gaps(self):
+        p = RenewalProcess(Uniform(0.1, 0.3))
+        assert empirical_rate(p) == pytest.approx(5.0, rel=0.05)
+
+
+class TestUniformRateProcess:
+    def test_mean_rate(self):
+        p = UniformRateProcess(1.0, 25.0)
+        assert p.mean_rate == pytest.approx(13.0)
+
+    def test_empirical_rate_close_to_mean(self):
+        p = UniformRateProcess(1.0, 25.0)
+        assert empirical_rate(p, horizon=5000.0) == pytest.approx(13.0, rel=0.1)
+
+    def test_gaps_within_rate_bounds(self, rng):
+        p = UniformRateProcess(2.0, 10.0)
+        now = 0.0
+        for _ in range(200):
+            gap = p.next_gap(now, rng)
+            assert 1.0 / 10.0 <= gap <= 1.0 / 2.0
+            now += gap
+
+    def test_rejects_inverted_rates(self):
+        with pytest.raises(ValueError):
+            UniformRateProcess(10.0, 2.0)
+
+
+class TestMMPP2:
+    def test_mean_rate_stationary(self):
+        p = MMPP2(rate_low=2.0, rate_high=10.0, switch_to_high=1.0, switch_to_low=1.0)
+        assert p.mean_rate == pytest.approx(6.0)
+
+    def test_empirical_rate(self):
+        p = MMPP2(rate_low=2.0, rate_high=10.0, switch_to_high=0.5, switch_to_low=0.5)
+        assert empirical_rate(p, horizon=5000.0) == pytest.approx(6.0, rel=0.1)
+
+    def test_gaps_positive(self, rng):
+        p = MMPP2(rate_low=1.0, rate_high=50.0, switch_to_high=5.0, switch_to_low=5.0)
+        now = 0.0
+        for _ in range(500):
+            gap = p.next_gap(now, rng)
+            assert gap > 0
+            now += gap
+
+
+class TestModulatedRateProcess:
+    def test_constant_fn_matches_poisson(self):
+        p = ModulatedRateProcess(lambda t: 4.0, nominal_rate=4.0)
+        assert empirical_rate(p) == pytest.approx(4.0, rel=0.05)
+
+    def test_step_function_changes_rate(self):
+        p = ModulatedRateProcess(
+            lambda t: 2.0 if t < 1000 else 8.0, nominal_rate=5.0
+        )
+        rng = random.Random(0)
+        now, early, late = 0.0, 0, 0
+        while now < 2000.0:
+            now += p.next_gap(now, rng)
+            if now < 1000:
+                early += 1
+            elif now < 2000:
+                late += 1
+        assert late > 2.5 * early
+
+    def test_invalid_rate_raises(self, rng):
+        p = ModulatedRateProcess(lambda t: -1.0, nominal_rate=1.0)
+        with pytest.raises(ValueError):
+            p.next_gap(0.0, rng)
+
+
+class TestTraceReplay:
+    def test_replays_exact_gaps(self, rng):
+        p = TraceReplayProcess([0.0, 1.0, 3.0, 6.0])
+        assert p.next_gap(0.0, rng) == pytest.approx(1.0)
+        assert p.next_gap(1.0, rng) == pytest.approx(2.0)
+        assert p.next_gap(3.0, rng) == pytest.approx(3.0)
+        assert not p.exhausted or p.exhausted  # attribute exists
+
+    def test_exhaustion_falls_back_to_poisson(self, rng):
+        p = TraceReplayProcess([0.0, 1.0])
+        p.next_gap(0.0, rng)
+        assert p.exhausted
+        # Falls back without raising, at the empirical rate.
+        assert p.next_gap(1.0, rng) > 0
+
+    def test_empirical_rate_property(self):
+        p = TraceReplayProcess([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert p.mean_rate == pytest.approx(1.0)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            TraceReplayProcess([0.0, 2.0, 1.0])
+
+    def test_rejects_short_trace(self):
+        with pytest.raises(ValueError):
+            TraceReplayProcess([1.0])

@@ -1,0 +1,132 @@
+"""Tests for Algorithm 1 (AssignProcessors) — incl. Theorem 1 validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleAllocationError
+from repro.model import PerformanceModel
+from repro.scheduler import assign_processors, exhaustive_best_allocation
+from repro.scheduler.assign import assignment_trace
+
+
+def model_from(lams, mus, lam0=None):
+    names = [f"op{i}" for i in range(len(lams))]
+    return PerformanceModel.from_measurements(
+        names, lams, mus, external_rate=lam0 if lam0 is not None else lams[0]
+    )
+
+
+class TestAssignProcessors:
+    def test_uses_entire_budget(self, chain_model):
+        allocation = assign_processors(chain_model, 15)
+        assert allocation.total == 15
+
+    def test_respects_stability_floor(self, chain_model):
+        allocation = assign_processors(chain_model, 15)
+        for name, minimum in zip(
+            chain_model.operator_names, chain_model.min_allocation()
+        ):
+            assert allocation[name] >= minimum
+
+    def test_infeasible_budget_raises(self, chain_model):
+        floor = chain_model.min_total_processors()
+        with pytest.raises(InfeasibleAllocationError, match="not sufficient"):
+            assign_processors(chain_model, floor - 1)
+
+    def test_exact_floor_budget(self, chain_model):
+        floor = chain_model.min_total_processors()
+        allocation = assign_processors(chain_model, floor)
+        assert list(allocation.vector) == chain_model.min_allocation()
+
+    def test_paper_vld_recommendation(self, vld_like_topology):
+        model = PerformanceModel.from_topology(vld_like_topology)
+        assert assign_processors(model, 22).spec() == "10:11:1"
+        assert assign_processors(model, 17).spec() == "8:8:1"
+
+    def test_matches_exhaustive_on_chain(self, chain_model):
+        greedy = assign_processors(chain_model, 14)
+        best, best_value = exhaustive_best_allocation(chain_model, 14)
+        greedy_value = chain_model.expected_sojourn(list(greedy.vector))
+        assert greedy_value == pytest.approx(best_value, rel=1e-12)
+        assert greedy == best
+
+    def test_rejects_bad_kmax(self, chain_model):
+        with pytest.raises(InfeasibleAllocationError):
+            assign_processors(chain_model, 0)
+
+
+class TestAssignmentTrace:
+    def test_trace_monotone_descent(self, chain_model):
+        trace = assignment_trace(chain_model, 14)
+        values = [
+            chain_model.expected_sojourn(list(a.vector)) for a in trace
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_trace_ends_at_greedy(self, chain_model):
+        trace = assignment_trace(chain_model, 14)
+        assert trace[-1] == assign_processors(chain_model, 14)
+
+    def test_trace_lengths(self, chain_model):
+        floor = chain_model.min_total_processors()
+        trace = assignment_trace(chain_model, floor + 4)
+        assert len(trace) == 5
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    loads=st.lists(
+        st.tuples(
+            st.floats(min_value=0.5, max_value=30.0),  # lambda
+            st.floats(min_value=0.5, max_value=15.0),  # mu
+        ),
+        min_size=2,
+        max_size=3,
+    ),
+    slack=st.integers(min_value=1, max_value=6),
+)
+def test_theorem1_greedy_equals_exhaustive(loads, slack):
+    """Theorem 1: the greedy is exactly optimal (vs brute force)."""
+    lams = [lam for lam, _ in loads]
+    mus = [mu for _, mu in loads]
+    model = model_from(lams, mus)
+    kmax = model.min_total_processors() + slack
+    greedy = assign_processors(model, kmax)
+    _, best_value = exhaustive_best_allocation(model, kmax)
+    greedy_value = model.expected_sojourn(list(greedy.vector))
+    assert greedy_value == pytest.approx(best_value, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lams=st.lists(
+        st.floats(min_value=0.5, max_value=40.0), min_size=1, max_size=4
+    ),
+    slack=st.integers(min_value=0, max_value=15),
+)
+def test_budget_always_fully_used(lams, slack):
+    """Algorithm 1's while-loop runs until sum(k) == Kmax."""
+    mus = [lam / 2.0 for lam in lams]  # offered load 2 everywhere
+    model = model_from(lams, mus)
+    kmax = model.min_total_processors() + slack
+    assert assign_processors(model, kmax).total == kmax
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lams=st.lists(
+        st.floats(min_value=0.5, max_value=40.0), min_size=2, max_size=4
+    ),
+    slack=st.integers(min_value=1, max_value=10),
+)
+def test_more_budget_never_worse(lams, slack):
+    """E[T] of the optimum is monotone in Kmax."""
+    mus = [lam / 1.5 for lam in lams]
+    model = model_from(lams, mus)
+    floor = model.min_total_processors()
+    smaller = assign_processors(model, floor + slack - 1)
+    larger = assign_processors(model, floor + slack)
+    assert model.expected_sojourn(list(larger.vector)) <= model.expected_sojourn(
+        list(smaller.vector)
+    ) + 1e-12

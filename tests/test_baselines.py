@@ -1,0 +1,141 @@
+"""Tests for the baseline allocators."""
+
+import pytest
+
+from repro.baselines import (
+    ProportionalAllocator,
+    RandomAllocator,
+    ThresholdScaler,
+    UniformAllocator,
+)
+from repro.exceptions import InfeasibleAllocationError, SchedulingError
+from repro.model import PerformanceModel
+from repro.scheduler import Allocation, assign_processors
+
+
+class TestUniform:
+    def test_uses_full_budget(self, chain_model):
+        allocation = UniformAllocator().allocate(chain_model, 15)
+        assert allocation.total == 15
+
+    def test_stability_floor_respected(self, chain_model):
+        allocation = UniformAllocator().allocate(chain_model, 15)
+        for name, minimum in zip(
+            chain_model.operator_names, chain_model.min_allocation()
+        ):
+            assert allocation[name] >= minimum
+
+    def test_infeasible_raises(self, chain_model):
+        with pytest.raises(InfeasibleAllocationError):
+            UniformAllocator().allocate(
+                chain_model, chain_model.min_total_processors() - 1
+            )
+
+    def test_even_spread_of_extras(self, chain_model):
+        floor = chain_model.min_allocation()
+        allocation = UniformAllocator().allocate(
+            chain_model, sum(floor) + 3
+        )
+        extras = [
+            allocation[name] - minimum
+            for name, minimum in zip(chain_model.operator_names, floor)
+        ]
+        assert extras == [1, 1, 1]
+
+
+class TestProportional:
+    def test_uses_full_budget(self, chain_model):
+        allocation = ProportionalAllocator().allocate(chain_model, 20)
+        assert allocation.total == 20
+
+    def test_higher_load_gets_more(self, chain_model):
+        # Operator b has the largest offered load in the chain fixture.
+        allocation = ProportionalAllocator().allocate(chain_model, 25)
+        assert allocation["b"] >= allocation["a"]
+        assert allocation["b"] >= allocation["c"]
+
+
+class TestRandom:
+    def test_uses_full_budget_and_feasible(self, chain_model):
+        allocation = RandomAllocator().allocate(chain_model, 18)
+        assert allocation.total == 18
+        floor = chain_model.min_allocation()
+        for name, minimum in zip(chain_model.operator_names, floor):
+            assert allocation[name] >= minimum
+
+    def test_reproducible_with_seed(self, chain_model):
+        import random as _random
+
+        a = RandomAllocator(_random.Random(1)).allocate(chain_model, 18)
+        b = RandomAllocator(_random.Random(1)).allocate(chain_model, 18)
+        assert a == b
+
+
+class TestDRSBeatsBaselines:
+    def test_drs_model_value_at_least_as_good(self, chain_model):
+        kmax = 18
+        drs_value = chain_model.expected_sojourn(
+            list(assign_processors(chain_model, kmax).vector)
+        )
+        for allocator in (
+            UniformAllocator(),
+            ProportionalAllocator(),
+            RandomAllocator(),
+        ):
+            other = allocator.allocate(chain_model, kmax)
+            other_value = chain_model.expected_sojourn(list(other.vector))
+            assert drs_value <= other_value + 1e-12
+
+
+class TestThresholdScaler:
+    def test_scales_up_overloaded(self):
+        scaler = ThresholdScaler(high_watermark=0.8, low_watermark=0.3)
+        current = Allocation(["a", "b"], [2, 2])
+        updated = scaler.update(current, [10.0, 1.0], [6.0, 6.0])
+        assert updated["a"] == 3  # rho was 10/12 = 0.83 > 0.8
+        assert updated["b"] == 2
+
+    def test_scales_down_idle(self):
+        scaler = ThresholdScaler(high_watermark=0.9, low_watermark=0.5)
+        current = Allocation(["a", "b"], [4, 2])
+        updated = scaler.update(current, [2.0, 9.0], [6.0, 6.0])
+        assert updated["a"] == 3  # rho was 2/24 = 0.08 < 0.5
+
+    def test_never_breaks_stability(self):
+        scaler = ThresholdScaler(
+            high_watermark=0.99, low_watermark=0.98, max_steps_per_update=10
+        )
+        current = Allocation(["a"], [3])
+        # rho = 10 / (3*4) = 0.83 < 0.98 wants scale-down, but 2 executors
+        # would give rho = 1.25 -> must stay at 3.
+        updated = scaler.update(current, [10.0], [4.0])
+        assert updated["a"] == 3
+
+    def test_kmax_cap(self):
+        scaler = ThresholdScaler(max_steps_per_update=10)
+        current = Allocation(["a"], [2])
+        updated = scaler.update(current, [50.0], [10.0], kmax=3)
+        assert updated.total <= 3
+
+    def test_converges_to_stable_point(self, chain_model):
+        scaler = ThresholdScaler()
+        allocation = Allocation(
+            list(chain_model.operator_names), chain_model.min_allocation()
+        )
+        lams = chain_model.network.arrival_rates
+        mus = chain_model.network.service_rates
+        for _ in range(60):
+            updated = scaler.update(allocation, lams, mus, kmax=30)
+            if updated == allocation:
+                break
+            allocation = updated
+        assert updated == allocation  # reached a fixed point
+
+    def test_rejects_inverted_watermarks(self):
+        with pytest.raises(SchedulingError):
+            ThresholdScaler(high_watermark=0.4, low_watermark=0.5)
+
+    def test_rejects_mismatched_rates(self):
+        scaler = ThresholdScaler()
+        with pytest.raises(SchedulingError):
+            scaler.update(Allocation(["a"], [1]), [1.0, 2.0], [1.0])

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig6_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.app == "vld"
+        assert args.duration == 480.0
+
+    def test_fig9_options(self):
+        args = build_parser().parse_args(
+            ["fig9", "--app", "fpd", "--enable-at", "100", "--duration", "200"]
+        )
+        assert args.app == "fpd"
+        assert args.enable_at == 100.0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_table2_runs(self, capsys):
+        code = main(["table2", "--repetitions", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Scheduling" in out
+
+    def test_fig8_runs(self, capsys):
+        code = main(["fig8", "--duration", "60", "--warmup", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "underestimation" in out
+
+    def test_fig6_vld_short(self, capsys):
+        code = main(["fig6", "--duration", "120", "--warmup", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "10:11:1" in out
+
+    def test_baselines_short(self, capsys):
+        code = main(
+            ["baselines", "--app", "vld", "--duration", "90", "--warmup", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drs" in out

@@ -1,0 +1,125 @@
+"""Tests for DRSConfig and the configuration reader."""
+
+import pytest
+
+from repro.config import (
+    ClusterSpec,
+    ConfigReader,
+    DRSConfig,
+    MeasurementConfig,
+    OptimizationGoal,
+    SmoothingKind,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDRSConfig:
+    def test_min_sojourn_requires_kmax(self):
+        with pytest.raises(ConfigurationError, match="kmax"):
+            DRSConfig(goal=OptimizationGoal.MIN_SOJOURN)
+
+    def test_min_resource_requires_tmax(self):
+        with pytest.raises(ConfigurationError, match="tmax"):
+            DRSConfig(goal=OptimizationGoal.MIN_RESOURCE)
+
+    def test_valid_min_sojourn(self):
+        config = DRSConfig(goal=OptimizationGoal.MIN_SOJOURN, kmax=22)
+        assert config.kmax == 22
+
+    def test_valid_min_resource(self):
+        config = DRSConfig(goal=OptimizationGoal.MIN_RESOURCE, tmax=1.5)
+        assert config.tmax == 1.5
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            DRSConfig(kmax=1, rebalance_threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            DRSConfig(kmax=1, migration_cost=-1.0)
+        with pytest.raises(ConfigurationError):
+            DRSConfig(kmax=1, scale_in_safety=0.0)
+        with pytest.raises(ConfigurationError):
+            DRSConfig(kmax=1, headroom=-0.1)
+
+
+class TestMeasurementConfig:
+    def test_defaults_valid(self):
+        config = MeasurementConfig()
+        assert config.sample_every >= 1
+
+    def test_rejects_bad_nm(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(sample_every=0)
+
+    def test_rejects_bad_tm(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(pull_interval=0.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(alpha=1.0)
+
+
+class TestClusterSpecValidation:
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(slots_per_machine=0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(min_machines=5, max_machines=2)
+
+
+class TestConfigReader:
+    def test_full_round_trip(self):
+        raw = {
+            "goal": "min_resource",
+            "tmax": 1.5,
+            "migration_cost": 2.0,
+            "rebalance_threshold": 0.1,
+            "cluster": {"slots_per_machine": 4, "reserved_executors": 2},
+            "measurement": {
+                "sample_every": 5,
+                "pull_interval": 20.0,
+                "smoothing": "window",
+                "window": 8,
+            },
+        }
+        config = ConfigReader().read(raw)
+        assert config.goal is OptimizationGoal.MIN_RESOURCE
+        assert config.tmax == 1.5
+        assert config.cluster.slots_per_machine == 4
+        assert config.measurement.smoothing is SmoothingKind.WINDOW
+        assert config.measurement.window == 8
+
+    def test_unknown_top_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown configuration"):
+            ConfigReader().read({"kmax": 5, "typo_key": 1})
+
+    def test_unknown_goal_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown goal"):
+            ConfigReader().read({"goal": "make_it_fast", "kmax": 5})
+
+    def test_unknown_smoothing_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown smoothing"):
+            ConfigReader().read(
+                {"kmax": 5, "measurement": {"smoothing": "kalman"}}
+            )
+
+    def test_bad_section_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            ConfigReader().read({"kmax": 5, "cluster": "big"})
+
+    def test_bad_section_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="cluster"):
+            ConfigReader().read({"kmax": 5, "cluster": {"floors": 3}})
+
+    def test_enum_passthrough(self):
+        config = ConfigReader().read(
+            {"goal": OptimizationGoal.MIN_SOJOURN, "kmax": 10}
+        )
+        assert config.goal is OptimizationGoal.MIN_SOJOURN
+
+    def test_defaults_when_empty(self):
+        config = ConfigReader().read({"kmax": 8})
+        assert config.goal is OptimizationGoal.MIN_SOJOURN
+        assert config.cluster.slots_per_machine == 5

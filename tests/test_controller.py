@@ -1,0 +1,175 @@
+"""Tests for the DRS controller decision logic."""
+
+import pytest
+
+from repro.config import ClusterSpec, DRSConfig, OptimizationGoal
+from repro.exceptions import SchedulingError
+from repro.scheduler import Allocation, ControllerAction, DRSController
+from repro.scheduler.controller import LoadSnapshot
+
+
+VLD_NAMES = ["sift", "matcher", "aggregator"]
+VLD_LAMS = [13.0, 130.0, 39.0]
+VLD_MUS = [1.75, 17.5, 150.0]
+
+
+def snapshot(measured=None, lams=None, mus=None):
+    return LoadSnapshot(
+        arrival_rates=lams or VLD_LAMS,
+        service_rates=mus or VLD_MUS,
+        external_rate=13.0,
+        measured_sojourn=measured,
+    )
+
+
+def kmax_controller(kmax=22, threshold=0.05):
+    config = DRSConfig(
+        goal=OptimizationGoal.MIN_SOJOURN,
+        kmax=kmax,
+        rebalance_threshold=threshold,
+    )
+    return DRSController(VLD_NAMES, config)
+
+
+def tmax_controller(tmax, **kwargs):
+    config = DRSConfig(
+        goal=OptimizationGoal.MIN_RESOURCE,
+        tmax=tmax,
+        cluster=ClusterSpec(slots_per_machine=5, reserved_executors=3),
+        **kwargs,
+    )
+    return DRSController(VLD_NAMES, config)
+
+
+class TestMinSojournMode:
+    def test_recommends_paper_optimum_from_bad_start(self):
+        controller = kmax_controller()
+        current = Allocation(VLD_NAMES, [8, 12, 2])
+        decision = controller.update(snapshot(), current)
+        assert decision.action is ControllerAction.REBALANCE
+        assert decision.target_allocation.spec() == "10:11:1"
+
+    def test_no_change_when_already_optimal(self):
+        controller = kmax_controller()
+        current = Allocation(VLD_NAMES, [10, 11, 1])
+        decision = controller.update(snapshot(), current)
+        assert decision.action is ControllerAction.NONE
+        assert decision.target_allocation == current
+
+    def test_infeasible_load_yields_none(self):
+        controller = kmax_controller(kmax=5)
+        current = Allocation(VLD_NAMES, [2, 2, 1])
+        decision = controller.update(snapshot(), current)
+        assert decision.action is ControllerAction.NONE
+        assert "infeasible" in decision.reason
+
+    def test_snapshot_length_validated(self):
+        controller = kmax_controller()
+        bad = LoadSnapshot(
+            arrival_rates=[1.0], service_rates=[1.0], external_rate=1.0
+        )
+        with pytest.raises(SchedulingError):
+            controller.update(bad, Allocation(VLD_NAMES, [10, 11, 1]))
+
+
+class TestMinResourceMode:
+    def test_requires_machine_count(self):
+        controller = tmax_controller(2.0)
+        with pytest.raises(SchedulingError, match="current_machines"):
+            controller.update(snapshot(), Allocation(VLD_NAMES, [8, 8, 1]))
+
+    def test_scale_out_when_violating(self):
+        """ExpA: Tmax tight, 4 machines / 8:8:1 -> add a machine."""
+        controller = tmax_controller(1.8)
+        current = Allocation(VLD_NAMES, [8, 8, 1])
+        decision = controller.update(
+            snapshot(measured=2.5), current, current_machines=4
+        )
+        assert decision.action is ControllerAction.SCALE_OUT
+        assert decision.target_machines == 5
+        assert decision.target_allocation.total == 22
+
+    def test_scale_in_when_overprovisioned(self):
+        """ExpB: Tmax loose, 5 machines / 10:11:1 -> drop a machine."""
+        controller = tmax_controller(6.0)
+        current = Allocation(VLD_NAMES, [10, 11, 1])
+        decision = controller.update(
+            snapshot(measured=1.2), current, current_machines=5
+        )
+        assert decision.action is ControllerAction.SCALE_IN
+        assert decision.target_machines == 4
+        assert decision.target_allocation.total == 17
+
+    def test_no_action_when_sized_right(self):
+        controller = tmax_controller(2.4)
+        current = Allocation(VLD_NAMES, [10, 11, 1])
+        decision = controller.update(
+            snapshot(measured=1.3), current, current_machines=5
+        )
+        assert decision.action is ControllerAction.NONE
+
+    def test_violation_gate_needs_both_signals(self):
+        """Measured spike alone (model disagrees) must not scale out."""
+        controller = tmax_controller(2.0)
+        current = Allocation(VLD_NAMES, [10, 11, 1])  # model E[T] ~ 1.26
+        decision = controller.update(
+            snapshot(measured=5.0), current, current_machines=5
+        )
+        assert decision.action is not ControllerAction.SCALE_OUT
+
+    def test_scale_in_blocked_without_safety_margin(self):
+        """Scale-in requires the smaller pool to beat safety * Tmax."""
+        controller = tmax_controller(2.9, scale_in_safety=0.8)
+        # E[T](8:8:1) ~ 2.73 > 0.8 * 2.9 = 2.32 -> no scale-in.
+        current = Allocation(VLD_NAMES, [10, 11, 1])
+        decision = controller.update(
+            snapshot(measured=1.3), current, current_machines=5
+        )
+        assert decision.action is not ControllerAction.SCALE_IN
+
+    def test_repack_on_bad_placement(self):
+        """Violation with enough machines -> rebalance, not scale-out."""
+        controller = tmax_controller(2.0)
+        # Bad placement wastes the 22 executors: 16:5:1 starves matcher
+        # (a_m = 7.43 -> k=5 is unstable -> E[T] = inf -> corrected > tmax).
+        current = Allocation(VLD_NAMES, [16, 5, 1])
+        decision = controller.update(
+            snapshot(measured=9.0), current, current_machines=5
+        )
+        assert decision.action is ControllerAction.REBALANCE
+        assert decision.target_allocation.spec() == "10:11:1"
+
+
+class TestBias:
+    def test_bias_tracks_underestimation(self):
+        controller = kmax_controller()
+        current = Allocation(VLD_NAMES, [10, 11, 1])
+        assert controller.bias == pytest.approx(1.0)
+        for _ in range(8):
+            controller.update(snapshot(measured=4.0), current)
+        # Model estimate ~1.26, measured 4.0 -> bias climbs well above 1.
+        assert controller.bias > 2.0
+
+    def test_bias_floors_at_one(self):
+        controller = kmax_controller()
+        current = Allocation(VLD_NAMES, [10, 11, 1])
+        for _ in range(8):
+            controller.update(snapshot(measured=0.1), current)
+        assert controller.bias == pytest.approx(1.0)
+
+    def test_bias_ignored_without_measurement(self):
+        controller = kmax_controller()
+        current = Allocation(VLD_NAMES, [10, 11, 1])
+        controller.update(snapshot(measured=None), current)
+        assert controller.bias == pytest.approx(1.0)
+
+
+class TestConstruction:
+    def test_requires_operators(self):
+        config = DRSConfig(goal=OptimizationGoal.MIN_SOJOURN, kmax=5)
+        with pytest.raises(SchedulingError):
+            DRSController([], config)
+
+    def test_repr_mentions_goal(self):
+        controller = kmax_controller()
+        assert "min_sojourn" in repr(controller)

@@ -1,0 +1,112 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abc":
+            sim.schedule(1.0, lambda l=label: fired.append(l))
+        sim.run_until(2.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [2.5]
+
+    def test_clock_lands_on_horizon(self):
+        sim = Simulator()
+        sim.run_until(7.0)
+        assert sim.now == 7.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(3.0, lambda: None)
+
+    def test_past_horizon_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(3.0)
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(1))
+        sim.run_until(3.0)
+        assert fired == []
+        assert sim.pending_events == 1
+        sim.run_until(6.0)
+        assert fired == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        handle.cancel()  # must not raise
+
+
+class TestSelfScheduling:
+    def test_recurring_event(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if sim.now < 4.5:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_step_returns_false_on_empty(self):
+        assert not Simulator().step()
+
+    def test_run_all_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_all(max_events=100)
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.processed_events == 5

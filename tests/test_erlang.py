@@ -1,0 +1,174 @@
+"""Tests for the Erlang M/M/k core (paper Eq. 1-2) with hypothesis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import erlang
+
+
+class TestErlangB:
+    def test_single_server_formula(self):
+        # B(1, a) = a / (1 + a)
+        assert erlang.erlang_b(1, 2.0) == pytest.approx(2.0 / 3.0)
+
+    def test_zero_load(self):
+        assert erlang.erlang_b(5, 0.0) == 0.0
+
+    def test_zero_servers_full_blocking(self):
+        assert erlang.erlang_b(0, 1.0) == 1.0
+
+    def test_textbook_value(self):
+        # Known value: B(5, 3) ~= 0.11005
+        assert erlang.erlang_b(5, 3.0) == pytest.approx(0.110054, rel=1e-4)
+
+    def test_large_k_stable(self):
+        # The naive factorial formula overflows here; the recurrence must not.
+        value = erlang.erlang_b(10000, 9000.0)
+        assert 0.0 <= value <= 1.0
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            erlang.erlang_b(-1, 1.0)
+
+
+class TestErlangC:
+    def test_textbook_value(self):
+        # Known value: C(5, 3) ~= 0.23624
+        assert erlang.erlang_c(5, 3.0) == pytest.approx(0.23624, rel=1e-3)
+
+    def test_saturated_returns_one(self):
+        assert erlang.erlang_c(2, 2.0) == 1.0
+        assert erlang.erlang_c(2, 5.0) == 1.0
+
+    def test_zero_load(self):
+        assert erlang.erlang_c(3, 0.0) == 0.0
+
+    def test_single_server_equals_rho(self):
+        # For M/M/1, P(wait) = rho.
+        assert erlang.erlang_c(1, 0.7) == pytest.approx(0.7)
+
+
+class TestExpectedSojournTime:
+    def test_mm1_closed_form(self):
+        # M/M/1: E[T] = 1 / (mu - lam)
+        assert erlang.expected_sojourn_time(3.0, 4.0, 1) == pytest.approx(1.0)
+
+    def test_saturated_is_infinite(self):
+        assert math.isinf(erlang.expected_sojourn_time(4.0, 4.0, 1))
+        assert math.isinf(erlang.expected_sojourn_time(5.0, 1.0, 4))
+
+    def test_exact_integer_load_is_infinite(self):
+        # k == lam/mu exactly: rho == 1, unstable (paper's strict inequality).
+        assert math.isinf(erlang.expected_sojourn_time(4.0, 2.0, 2))
+
+    def test_zero_arrivals_service_only(self):
+        assert erlang.expected_sojourn_time(0.0, 2.0, 3) == pytest.approx(0.5)
+
+    def test_matches_paper_equation_form(self):
+        """Cross-check the recurrence against the paper's explicit Eq. 1-2
+        (factorial form) for a small case."""
+        lam, mu, k = 10.0, 3.0, 5
+        a = lam / mu
+        rho = lam / (mu * k)
+        # Eq. (2): normalisation term pi_0.
+        pi0 = 1.0 / (
+            sum(a**l / math.factorial(l) for l in range(k))
+            + a**k / (math.factorial(k) * (1 - rho))
+        )
+        # Eq. (1).
+        expected = (a**k * pi0) / (
+            math.factorial(k) * (1 - rho) ** 2 * mu * k
+        ) + 1.0 / mu
+        assert erlang.expected_sojourn_time(lam, mu, k) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+
+class TestMinServers:
+    def test_fractional_load(self):
+        assert erlang.min_servers(10.0, 3.0) == 4  # a = 3.33
+
+    def test_exact_integer_load_needs_one_more(self):
+        assert erlang.min_servers(9.0, 3.0) == 4  # a = 3 exactly
+
+    def test_zero_arrivals(self):
+        assert erlang.min_servers(0.0, 5.0) == 1
+
+    def test_tiny_load(self):
+        assert erlang.min_servers(0.1, 5.0) == 1
+
+
+class TestMarginalBenefit:
+    def test_positive_for_loaded_operator(self):
+        assert erlang.marginal_benefit(10.0, 3.0, 5) > 0
+
+    def test_zero_for_idle_operator(self):
+        assert erlang.marginal_benefit(0.0, 3.0, 5) == 0.0
+
+    def test_infinite_at_saturation(self):
+        assert math.isinf(erlang.marginal_benefit(10.0, 3.0, 3))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lam=st.floats(min_value=0.1, max_value=500.0),
+    mu=st.floats(min_value=0.1, max_value=100.0),
+    extra=st.integers(min_value=0, max_value=30),
+)
+def test_sojourn_monotone_decreasing_in_k(lam, mu, extra):
+    """More processors never increase the expected sojourn time."""
+    k = erlang.min_servers(lam, mu) + extra
+    t_k = erlang.expected_sojourn_time(lam, mu, k)
+    t_k1 = erlang.expected_sojourn_time(lam, mu, k + 1)
+    assert t_k1 <= t_k + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lam=st.floats(min_value=0.1, max_value=500.0),
+    mu=st.floats(min_value=0.1, max_value=100.0),
+    extra=st.integers(min_value=0, max_value=30),
+)
+def test_sojourn_convex_in_k(lam, mu, extra):
+    """E[T](k) is convex in k — the keystone of Theorem 1 (Inequality 5)."""
+    k = erlang.min_servers(lam, mu) + extra
+    t0 = erlang.expected_sojourn_time(lam, mu, k)
+    t1 = erlang.expected_sojourn_time(lam, mu, k + 1)
+    t2 = erlang.expected_sojourn_time(lam, mu, k + 2)
+    # Diminishing marginal benefit: (t0 - t1) >= (t1 - t2).
+    assert (t0 - t1) >= (t1 - t2) - 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lam=st.floats(min_value=0.1, max_value=500.0),
+    mu=st.floats(min_value=0.1, max_value=100.0),
+    extra=st.integers(min_value=0, max_value=20),
+)
+def test_sojourn_bounded_below_by_service_time(lam, mu, extra):
+    """E[T] >= 1/mu always (service is part of the sojourn)."""
+    k = erlang.min_servers(lam, mu) + extra
+    assert erlang.expected_sojourn_time(lam, mu, k) >= 1.0 / mu - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=200),
+    a=st.floats(min_value=0.0, max_value=150.0),
+)
+def test_erlang_probabilities_in_unit_interval(k, a):
+    assert 0.0 <= erlang.erlang_b(k, a) <= 1.0
+    assert 0.0 <= erlang.erlang_c(k, a) <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=100),
+    a=st.floats(min_value=0.01, max_value=80.0),
+)
+def test_erlang_c_at_least_b(k, a):
+    """C(k,a) >= B(k,a) — queueing is at least as likely as blocking."""
+    assert erlang.erlang_c(k, a) >= erlang.erlang_b(k, a) - 1e-12

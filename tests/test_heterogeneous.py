@@ -1,0 +1,153 @@
+"""Tests for heterogeneous-processor scheduling (paper Sec. III-A claim)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InfeasibleAllocationError, SchedulingError
+from repro.model import PerformanceModel
+from repro.scheduler import assign_processors
+from repro.scheduler.heterogeneous import (
+    HeterogeneousAssignment,
+    ProcessorClass,
+    assign_heterogeneous,
+    expected_sojourn_heterogeneous,
+)
+
+
+def model_from(lams, mus, lam0=None):
+    names = [f"op{i}" for i in range(len(lams))]
+    return PerformanceModel.from_measurements(
+        names, lams, mus, external_rate=lam0 if lam0 is not None else lams[0]
+    )
+
+
+class TestProcessorClass:
+    def test_valid(self):
+        cls = ProcessorClass("fast", speed=2.0, count=4)
+        assert cls.speed == 2.0
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            ProcessorClass("x", speed=0.0, count=1)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(SchedulingError):
+            ProcessorClass("x", speed=1.0, count=-1)
+
+
+class TestReductionToAlgorithm1:
+    def test_single_class_matches_homogeneous_greedy(self, chain_model):
+        """With one speed-1 class this must reduce exactly to Algorithm 1."""
+        kmax = chain_model.min_total_processors() + 5
+        homogeneous = assign_processors(chain_model, kmax)
+        heterogeneous = assign_heterogeneous(
+            chain_model, [ProcessorClass("std", speed=1.0, count=kmax)]
+        )
+        for name in chain_model.operator_names:
+            assert heterogeneous.total_processors(name) == homogeneous[name]
+
+    def test_sojourn_matches_homogeneous_model(self, chain_model):
+        kmax = chain_model.min_total_processors() + 5
+        assignment = assign_heterogeneous(
+            chain_model, [ProcessorClass("std", speed=1.0, count=kmax)]
+        )
+        value = expected_sojourn_heterogeneous(chain_model, assignment)
+        homogeneous = assign_processors(chain_model, kmax)
+        expected = chain_model.expected_sojourn(list(homogeneous.vector))
+        assert value == pytest.approx(expected, rel=1e-9)
+
+
+class TestHeterogeneousBehaviour:
+    def test_all_processors_placed(self, chain_model):
+        classes = [
+            ProcessorClass("fast", speed=2.0, count=4),
+            ProcessorClass("slow", speed=0.5, count=20),
+        ]
+        assignment = assign_heterogeneous(chain_model, classes)
+        placed = sum(
+            assignment.total_processors(name)
+            for name in chain_model.operator_names
+        )
+        assert placed == 24
+
+    def test_result_is_stable(self, chain_model):
+        classes = [
+            ProcessorClass("fast", speed=2.0, count=4),
+            ProcessorClass("slow", speed=0.5, count=20),
+        ]
+        assignment = assign_heterogeneous(chain_model, classes)
+        assert not math.isinf(
+            expected_sojourn_heterogeneous(chain_model, assignment)
+        )
+
+    def test_fast_processors_go_to_loaded_operators(self):
+        """One hot operator, one cold: the fast units serve the hot one."""
+        model = model_from([50.0, 1.0], [10.0, 10.0])
+        classes = [
+            ProcessorClass("fast", speed=4.0, count=2),
+            ProcessorClass("slow", speed=1.0, count=8),
+        ]
+        assignment = assign_heterogeneous(model, classes)
+        hot = assignment.counts("op0")
+        assert hot.get("fast", 0) >= 1
+
+    def test_speed_counts_toward_stability(self):
+        """An operator needing 6 speed-units can run on 3 speed-2 cores."""
+        model = model_from([5.9], [1.0])
+        classes = [ProcessorClass("fast", speed=2.0, count=3)]
+        assignment = assign_heterogeneous(model, classes)
+        assert assignment.total_processors("op0") == 3
+        assert not math.isinf(
+            expected_sojourn_heterogeneous(model, assignment)
+        )
+
+    def test_infeasible_pool_raises(self):
+        model = model_from([100.0], [1.0])
+        with pytest.raises(InfeasibleAllocationError):
+            assign_heterogeneous(
+                model, [ProcessorClass("tiny", speed=0.5, count=3)]
+            )
+
+    def test_duplicate_class_names_rejected(self, chain_model):
+        with pytest.raises(SchedulingError):
+            assign_heterogeneous(
+                chain_model,
+                [
+                    ProcessorClass("a", speed=1.0, count=5),
+                    ProcessorClass("a", speed=2.0, count=5),
+                ],
+            )
+
+    def test_empty_classes_rejected(self, chain_model):
+        with pytest.raises(SchedulingError):
+            assign_heterogeneous(chain_model, [])
+
+
+class TestNearOptimality:
+    def test_greedy_close_to_exhaustive_small_case(self):
+        """Brute-force all feasible splits of a tiny heterogeneous pool
+        and check the greedy is within 10% of the best."""
+        model = model_from([8.0, 6.0], [2.0, 2.0])
+        classes = [
+            ProcessorClass("fast", speed=2.0, count=2),
+            ProcessorClass("slow", speed=1.0, count=6),
+        ]
+        greedy = assign_heterogeneous(model, classes)
+        greedy_value = expected_sojourn_heterogeneous(model, greedy)
+
+        best_value = math.inf
+        # Enumerate: fast to op0 in {0,1,2}; slow to op0 in {0..6}.
+        for fast0 in range(3):
+            for slow0 in range(7):
+                assignment = HeterogeneousAssignment(
+                    operator_names=("op0", "op1"),
+                    per_operator=(
+                        {"fast": fast0, "slow": slow0},
+                        {"fast": 2 - fast0, "slow": 6 - slow0},
+                    ),
+                    class_speeds={"fast": 2.0, "slow": 1.0},
+                )
+                value = expected_sojourn_heterogeneous(model, assignment)
+                best_value = min(best_value, value)
+        assert greedy_value <= best_value * 1.10

@@ -1,0 +1,121 @@
+"""End-to-end integration: the real VLD pipeline on the Storm facade.
+
+Runs actual frames through actual SIFT-like extraction, matching and
+aggregation bolts on :class:`LocalCluster`, then checks that the
+measured load profile feeds DRS correctly — the full integration path
+of paper Sec. IV/V minus the JVMs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.sift import (
+    aggregate_matches,
+    extract_features,
+    generate_frame,
+    make_logo_library,
+    match_features,
+)
+from repro.storm import Bolt, LocalCluster, Spout, StormTopologyBuilder
+
+
+class FrameSpout(Spout):
+    def __init__(self, count: int, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self._remaining = count
+        self._frame_id = 0
+
+    def next_tuple(self):
+        if self._remaining <= 0:
+            return None
+        self._remaining -= 1
+        self._frame_id += 1
+        return (self._frame_id, generate_frame(self._rng, 48, 64))
+
+
+class SiftBolt(Bolt):
+    def execute(self, value, collector):
+        frame_id, frame = value
+        features = extract_features(frame, max_features=12, seed=frame_id)
+        for row in range(features.shape[0]):
+            collector.emit((frame_id, features[row]))
+
+
+class MatcherBolt(Bolt):
+    def __init__(self, library, features_per_logo):
+        self._library = library
+        self._per_logo = features_per_logo
+
+    def execute(self, value, collector):
+        frame_id, descriptor = value
+        matches = match_features(
+            descriptor.reshape(1, -1),
+            self._library,
+            features_per_logo=self._per_logo,
+            distance_threshold=1.3,
+        )
+        for _, logo_id in matches:
+            collector.emit((frame_id, logo_id))
+
+
+class AggregatorBolt(Bolt):
+    def __init__(self, min_matches: int = 2):
+        self._min_matches = min_matches
+        self._pairs = {}
+
+    def execute(self, value, collector):
+        frame_id, logo_id = value
+        key = (frame_id, logo_id)
+        self._pairs[key] = self._pairs.get(key, 0) + 1
+        if self._pairs[key] == self._min_matches:
+            collector.emit(
+                {"frame": frame_id, "logo": logo_id, "detected": True}
+            )
+
+
+@pytest.fixture(scope="module")
+def cluster_result():
+    library = make_logo_library(n_logos=4, features_per_logo=8, seed=2)
+    builder = StormTopologyBuilder("vld_real")
+    builder.set_spout("frames", FrameSpout(count=40, seed=5))
+    builder.set_bolt("sift", SiftBolt(), sources=["frames"])
+    builder.set_bolt(
+        "matcher", MatcherBolt(library, features_per_logo=8), sources=["sift"]
+    )
+    builder.set_bolt("aggregator", AggregatorBolt(), sources=["matcher"])
+    return LocalCluster(builder, kmax=22).run(max_tuples=40)
+
+
+class TestRealVLDPipeline:
+    def test_all_frames_processed(self, cluster_result):
+        assert cluster_result.external_tuples == 40
+        assert cluster_result.processed["sift"] == 40
+
+    def test_fanout_through_pipeline(self, cluster_result):
+        """SIFT emits several features per frame; the matcher must have
+        processed the expanded stream."""
+        assert cluster_result.processed["matcher"] > 40
+
+    def test_detections_structured(self, cluster_result):
+        for detection in cluster_result.outputs:
+            assert detection["detected"] is True
+            assert 1 <= detection["frame"] <= 40
+
+    def test_measured_rates_reflect_stage_costs(self, cluster_result):
+        """SIFT is the expensive stage: its measured service rate must be
+        far below the aggregator's (which only counts dict updates)."""
+        mu = cluster_result.service_rates
+        assert mu["sift"] < mu["aggregator"]
+
+    def test_drs_recommendation_available(self, cluster_result):
+        recommendation = cluster_result.recommendation
+        assert recommendation is not None
+        assert recommendation.total == 22
+        # The expensive SIFT stage earns a meaningful share of the budget.
+        assert recommendation["sift"] >= 1
+        assert cluster_result.estimated_sojourn > 0
+
+    def test_arrival_rates_scale_with_fanout(self, cluster_result):
+        lam = cluster_result.arrival_rates
+        assert lam["matcher"] > lam["sift"]
+        assert lam["aggregator"] <= lam["matcher"]

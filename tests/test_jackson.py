@@ -1,0 +1,152 @@
+"""Tests for the Jackson network (Eq. 3) and the performance model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError
+from repro.model import PerformanceModel
+from repro.queueing import JacksonNetwork, OperatorLoad, expected_sojourn_time
+
+
+class TestOperatorLoad:
+    def test_min_processors(self):
+        load = OperatorLoad("a", arrival_rate=10.0, service_rate=3.0)
+        assert load.min_processors == 4
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            OperatorLoad("a", arrival_rate=-1.0, service_rate=1.0)
+
+
+class TestJacksonNetwork:
+    def test_from_topology_chain(self, chain_topology):
+        network = JacksonNetwork.from_topology(chain_topology)
+        assert network.arrival_rates == pytest.approx([10.0, 20.0, 10.0])
+        assert network.external_rate == pytest.approx(10.0)
+
+    def test_visit_ratios(self, chain_topology):
+        network = JacksonNetwork.from_topology(chain_topology)
+        assert network.visit_ratios() == pytest.approx([1.0, 2.0, 1.0])
+
+    def test_equation_three_weighted_sum(self, chain_topology):
+        """E[T] must equal (1/lambda0) * sum_i lambda_i E[T_i]."""
+        network = JacksonNetwork.from_topology(chain_topology)
+        allocation = [4, 5, 2]
+        by_hand = sum(
+            lam * expected_sojourn_time(lam, mu, k)
+            for lam, mu, k in zip(
+                network.arrival_rates, network.service_rates, allocation
+            )
+        ) / network.external_rate
+        assert network.expected_total_sojourn(allocation) == pytest.approx(
+            by_hand, rel=1e-12
+        )
+
+    def test_saturated_allocation_is_infinite(self, chain_topology):
+        network = JacksonNetwork.from_topology(chain_topology)
+        # Operator a needs ceil(10/4)+ = 3 processors; give it 2.
+        assert math.isinf(network.expected_total_sojourn([2, 5, 2]))
+
+    def test_loop_topology_rates(self, loop_topology):
+        network = JacksonNetwork.from_topology(loop_topology)
+        rates = dict(zip(network.names, network.arrival_rates))
+        assert rates["a"] == pytest.approx(6.25)
+
+    def test_from_measurements(self):
+        network = JacksonNetwork.from_measurements(
+            ["x", "y"], [5.0, 10.0], [2.0, 4.0], external_rate=5.0
+        )
+        assert network.min_allocation() == [3, 3]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            JacksonNetwork.from_measurements(
+                ["x", "x"], [1.0, 1.0], [1.0, 1.0], external_rate=1.0
+            )
+
+    def test_misaligned_measurements_rejected(self):
+        with pytest.raises(ModelError):
+            JacksonNetwork.from_measurements(
+                ["x"], [1.0, 2.0], [1.0], external_rate=1.0
+            )
+
+    def test_bottleneck_identification(self, chain_topology):
+        network = JacksonNetwork.from_topology(chain_topology)
+        # Give b (highest load) barely enough processors.
+        name, contribution = network.bottleneck([10, 4, 5])
+        assert name == "b"
+        assert contribution > 0
+
+    def test_allocation_validation(self, chain_topology):
+        network = JacksonNetwork.from_topology(chain_topology)
+        with pytest.raises(ModelError):
+            network.expected_total_sojourn([1, 2])  # wrong length
+        with pytest.raises(ModelError):
+            network.expected_total_sojourn([1, 2, 0])  # zero processors
+        with pytest.raises(ModelError):
+            network.expected_total_sojourn([1.5, 2, 3])  # non-integer
+
+
+class TestPerformanceModel:
+    def test_estimate_structure(self, chain_model):
+        estimate = chain_model.estimate([4, 5, 2])
+        assert estimate.stable
+        assert set(estimate.per_operator) == {"a", "b", "c"}
+        assert estimate.expected_sojourn == pytest.approx(
+            sum(estimate.contributions.values()), rel=1e-12
+        )
+        assert estimate.bottleneck in ("a", "b", "c")
+
+    def test_estimate_meets(self, chain_model):
+        estimate = chain_model.estimate([6, 8, 3])
+        assert estimate.meets(estimate.expected_sojourn + 0.001)
+        assert not estimate.meets(estimate.expected_sojourn - 0.001)
+
+    def test_unstable_estimate(self, chain_model):
+        estimate = chain_model.estimate([1, 1, 1])
+        assert not estimate.stable
+        assert math.isinf(estimate.expected_sojourn)
+
+    def test_with_loads_refresh(self, chain_model):
+        refreshed = chain_model.with_loads(
+            [12.0, 24.0, 12.0], [4.0, 6.0, 20.0]
+        )
+        assert refreshed.network.arrival_rates == pytest.approx(
+            [12.0, 24.0, 12.0]
+        )
+        # Original untouched (immutability).
+        assert chain_model.network.arrival_rates == pytest.approx(
+            [10.0, 20.0, 10.0]
+        )
+
+    def test_min_total_processors(self, chain_model):
+        assert chain_model.min_total_processors() == sum(
+            chain_model.min_allocation()
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lam=st.lists(
+        st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=5
+    ),
+    mu_scale=st.floats(min_value=1.1, max_value=10.0),
+    extra=st.integers(min_value=0, max_value=10),
+)
+def test_adding_processors_never_hurts_network(lam, mu_scale, extra):
+    """Network-wide E[T] is monotone non-increasing in every k_i."""
+    names = [f"op{i}" for i in range(len(lam))]
+    mus = [x / 2.0 * mu_scale for x in lam]
+    network = JacksonNetwork.from_measurements(
+        names, lam, mus, external_rate=lam[0]
+    )
+    base = network.min_allocation()
+    base = [k + extra for k in base]
+    value = network.expected_total_sojourn(base)
+    for i in range(len(base)):
+        more = list(base)
+        more[i] += 1
+        assert network.expected_total_sojourn(more) <= value + 1e-9

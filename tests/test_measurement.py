@@ -1,0 +1,279 @@
+"""Tests for smoothing, metric accumulators, and the measurer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MeasurementConfig, SmoothingKind
+from repro.exceptions import MeasurementError
+from repro.measurement import (
+    AlphaSmoother,
+    IntervalCounter,
+    Measurer,
+    SampledAccumulator,
+    WelfordAccumulator,
+    WindowSmoother,
+    make_smoother,
+)
+
+
+class TestAlphaSmoother:
+    def test_seeds_with_first_value(self):
+        s = AlphaSmoother(alpha=0.9)
+        assert s.update(10.0) == pytest.approx(10.0)
+
+    def test_paper_update_rule(self):
+        # D(n) = alpha * D(n-1) + (1 - alpha) * d(n)
+        s = AlphaSmoother(alpha=0.5)
+        s.update(10.0)
+        assert s.update(20.0) == pytest.approx(15.0)
+        assert s.update(15.0) == pytest.approx(15.0)
+
+    def test_alpha_zero_tracks_raw(self):
+        s = AlphaSmoother(alpha=0.0)
+        s.update(1.0)
+        assert s.update(99.0) == pytest.approx(99.0)
+
+    def test_value_before_update_raises(self):
+        with pytest.raises(MeasurementError):
+            AlphaSmoother().value
+
+    def test_reset(self):
+        s = AlphaSmoother()
+        s.update(5.0)
+        s.reset()
+        assert not s.has_value
+
+    def test_rejects_alpha_one(self):
+        with pytest.raises(MeasurementError):
+            AlphaSmoother(alpha=1.0)
+
+
+class TestWindowSmoother:
+    def test_paper_window_rule(self):
+        s = WindowSmoother(window=3)
+        s.update(3.0)
+        s.update(6.0)
+        assert s.update(9.0) == pytest.approx(6.0)
+        # Window slides: (6 + 9 + 15) / 3
+        assert s.update(15.0) == pytest.approx(10.0)
+
+    def test_partial_window(self):
+        s = WindowSmoother(window=5)
+        assert s.update(4.0) == pytest.approx(4.0)
+        assert s.update(8.0) == pytest.approx(6.0)
+
+    def test_reset(self):
+        s = WindowSmoother(window=2)
+        s.update(1.0)
+        s.reset()
+        assert not s.has_value
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(MeasurementError):
+            WindowSmoother(window=0)
+
+
+class TestMakeSmoother:
+    def test_alpha_kind(self):
+        config = MeasurementConfig(smoothing=SmoothingKind.ALPHA, alpha=0.3)
+        assert isinstance(make_smoother(config), AlphaSmoother)
+
+    def test_window_kind(self):
+        config = MeasurementConfig(smoothing=SmoothingKind.WINDOW, window=4)
+        assert isinstance(make_smoother(config), WindowSmoother)
+
+
+class TestIntervalCounter:
+    def test_harvest_rate(self):
+        c = IntervalCounter()
+        for _ in range(20):
+            c.record()
+        assert c.harvest(4.0) == pytest.approx(5.0)
+        assert c.pending == 0
+
+    def test_lifetime_total_survives_harvest(self):
+        c = IntervalCounter()
+        c.record(10)
+        c.harvest(1.0)
+        c.record(5)
+        assert c.lifetime_total == 15
+
+    def test_harvest_without_elapsed(self):
+        c = IntervalCounter()
+        c.record()
+        assert c.harvest(0.0) is None
+
+    def test_rejects_negative(self):
+        with pytest.raises(MeasurementError):
+            IntervalCounter().record(-1)
+
+
+class TestSampledAccumulator:
+    def test_nm_one_records_everything(self):
+        acc = SampledAccumulator(sample_every=1)
+        for value in (1.0, 2.0, 3.0):
+            acc.offer(value)
+        assert acc.harvest() == pytest.approx(2.0)
+
+    def test_nm_three_records_every_third(self):
+        acc = SampledAccumulator(sample_every=3)
+        for value in (1.0, 2.0, 30.0, 4.0, 5.0, 60.0):
+            acc.offer(value)
+        # Samples: 30.0 and 60.0.
+        assert acc.sampled_count == 2
+        assert acc.harvest() == pytest.approx(45.0)
+
+    def test_harvest_empty_returns_none(self):
+        assert SampledAccumulator(2).harvest() is None
+
+    def test_rejects_bad_nm(self):
+        with pytest.raises(MeasurementError):
+            SampledAccumulator(0)
+
+
+class TestWelford:
+    def test_mean_std(self):
+        acc = WelfordAccumulator()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            acc.add(value)
+        assert acc.mean == pytest.approx(5.0)
+        assert acc.std == pytest.approx(2.0)
+
+    def test_min_max(self):
+        acc = WelfordAccumulator()
+        for value in (3.0, 1.0, 2.0):
+            acc.add(value)
+        assert acc.minimum == 1.0
+        assert acc.maximum == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            WelfordAccumulator().mean
+
+    def test_merge_matches_combined(self):
+        a, b, c = WelfordAccumulator(), WelfordAccumulator(), WelfordAccumulator()
+        for v in (1.0, 2.0, 3.0):
+            a.add(v)
+            c.add(v)
+        for v in (10.0, 20.0):
+            b.add(v)
+            c.add(v)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean)
+        assert merged.variance == pytest.approx(c.variance)
+
+    def test_merge_with_empty(self):
+        a, b = WelfordAccumulator(), WelfordAccumulator()
+        a.add(5.0)
+        merged = a.merge(b)
+        assert merged.mean == pytest.approx(5.0)
+        merged2 = b.merge(a)
+        assert merged2.mean == pytest.approx(5.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50
+    )
+)
+def test_welford_matches_direct_computation(values):
+    acc = WelfordAccumulator()
+    for value in values:
+        acc.add(value)
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    assert acc.mean == pytest.approx(mean, rel=1e-6, abs=1e-6)
+    assert acc.variance == pytest.approx(variance, rel=1e-6, abs=1e-3)
+
+
+class TestMeasurer:
+    def make(self, **kwargs):
+        return Measurer(["a", "b"], MeasurementConfig(**kwargs))
+
+    def test_rates_from_counts(self):
+        m = self.make(alpha=0.0)
+        m.pull(0.0)  # open the interval
+        for _ in range(40):
+            m.record_arrival("a", external=True)
+        for _ in range(10):
+            m.record_arrival("b")
+        report = m.pull(10.0)
+        assert report.arrival_rates[0] == pytest.approx(4.0)
+        assert report.arrival_rates[1] == pytest.approx(1.0)
+        assert report.external_rate == pytest.approx(4.0)
+
+    def test_service_rates_inverse_of_mean(self):
+        m = self.make(alpha=0.0)
+        m.pull(0.0)
+        for _ in range(5):
+            m.record_service("a", 0.25)
+        report = m.pull(10.0)
+        assert report.service_rates[0] == pytest.approx(4.0)
+        assert report.service_rates[1] is None
+
+    def test_sojourn_statistics(self):
+        m = self.make(alpha=0.0)
+        m.pull(0.0)
+        for value in (0.5, 1.5):
+            m.record_sojourn(value)
+        report = m.pull(10.0)
+        assert report.measured_sojourn == pytest.approx(1.0)
+        assert report.completed_trees == 2
+
+    def test_is_complete(self):
+        m = self.make(alpha=0.0)
+        m.pull(0.0)
+        report = m.pull(10.0)
+        assert not report.is_complete()
+        m.record_arrival("a", external=True)
+        m.record_arrival("b")
+        m.record_service("a", 0.1)
+        m.record_service("b", 0.1)
+        m.record_sojourn(0.3)
+        assert m.pull(20.0).is_complete()
+
+    def test_smoothing_applied_across_pulls(self):
+        m = self.make(alpha=0.5)
+        m.pull(0.0)
+        for _ in range(100):
+            m.record_arrival("a")
+        m.pull(10.0)  # raw 10/s -> smoothed 10
+        # Next interval is empty -> raw 0 -> smoothed 5.
+        report = m.pull(20.0)
+        assert report.arrival_rates[0] == pytest.approx(5.0)
+
+    def test_reset_smoothing(self):
+        m = self.make(alpha=0.9)
+        m.pull(0.0)
+        for _ in range(100):
+            m.record_arrival("a")
+        m.pull(10.0)  # smoothed rate 10/s with heavy memory
+        m.reset_smoothing()
+        # After reset the old smoothed state is gone: an empty interval
+        # reports a fresh 0.0 rate instead of a decayed 9.0.
+        report = m.pull(20.0)
+        assert report.arrival_rates[0] == pytest.approx(0.0)
+
+    def test_unknown_operator_rejected(self):
+        m = self.make()
+        with pytest.raises(MeasurementError):
+            m.record_arrival("ghost")
+        with pytest.raises(MeasurementError):
+            m.record_service("ghost", 0.1)
+
+    def test_negative_values_rejected(self):
+        m = self.make()
+        with pytest.raises(MeasurementError):
+            m.record_service("a", -0.1)
+        with pytest.raises(MeasurementError):
+            m.record_sojourn(-0.1)
+
+    def test_processing_time_reported(self):
+        m = self.make()
+        report = m.pull(0.0)
+        assert report.processing_time >= 0.0

@@ -1,0 +1,145 @@
+"""Property tests over randomly generated topologies.
+
+Hypothesis builds arbitrary layered topologies (random operator counts,
+gains, splits, joins, optional feedback edge) and checks the invariants
+that must hold for *every* valid application:
+
+- traffic equations agree with simulated per-operator throughput;
+- tuple-tree conservation (external = completed + in-flight + dropped);
+- Theorem 1 (greedy == exhaustive) on the derived model;
+- Program 6's answer meets its target and respects the floor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.model import PerformanceModel
+from repro.scheduler import (
+    Allocation,
+    assign_processors,
+    exhaustive_best_allocation,
+    min_processors_for_target,
+)
+from repro.sim import RuntimeOptions, Simulator, TopologyRuntime
+from repro.topology import TopologyBuilder
+
+
+@st.composite
+def random_topology(draw):
+    """A random layered topology: spout -> layer1 -> layer2 (optional
+    feedback from the last operator to the first with gain < 0.5)."""
+    n_layer1 = draw(st.integers(min_value=1, max_value=2))
+    n_layer2 = draw(st.integers(min_value=1, max_value=2))
+    rate = draw(st.floats(min_value=2.0, max_value=20.0))
+    builder = TopologyBuilder("random").add_spout("src", rate=rate)
+
+    layer1 = [f"a{i}" for i in range(n_layer1)]
+    layer2 = [f"b{i}" for i in range(n_layer2)]
+    for name in layer1:
+        mu = draw(st.floats(min_value=1.0, max_value=30.0))
+        builder.add_operator(name, mu=mu)
+    for name in layer2:
+        mu = draw(st.floats(min_value=1.0, max_value=30.0))
+        builder.add_operator(name, mu=mu)
+    # Spout feeds every layer-1 operator with a random share.
+    for name in layer1:
+        gain = draw(st.floats(min_value=0.2, max_value=1.5))
+        builder.connect("src", name, gain=gain)
+    # Random layer-1 -> layer-2 edges, then force coverage so every
+    # layer-2 operator is reachable.
+    connected = set()
+    covered_targets = set()
+    for src in layer1:
+        for target in layer2:
+            if draw(st.booleans()):
+                gain = draw(st.floats(min_value=0.2, max_value=2.0))
+                builder.connect(src, target, gain=gain)
+                connected.add((src, target))
+                covered_targets.add(target)
+    for target in layer2:
+        if target not in covered_targets:
+            gain = draw(st.floats(min_value=0.2, max_value=2.0))
+            builder.connect(layer1[0], target, gain=gain)
+            connected.add((layer1[0], target))
+    if draw(st.booleans()):
+        feedback_gain = draw(st.floats(min_value=0.05, max_value=0.4))
+        builder.connect(layer2[-1], layer1[0], gain=feedback_gain)
+    return builder.build()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(topology=random_topology(), slack=st.integers(min_value=1, max_value=4))
+def test_theorem1_on_random_topologies(topology, slack):
+    """Greedy == exhaustive for every generated topology."""
+    model = PerformanceModel.from_topology(topology)
+    kmax = model.min_total_processors() + slack
+    if kmax > model.min_total_processors() + 12:
+        kmax = model.min_total_processors() + 12
+    greedy = assign_processors(model, kmax)
+    _, best_value = exhaustive_best_allocation(model, kmax)
+    assert model.expected_sojourn(list(greedy.vector)) == pytest.approx(
+        best_value, rel=1e-9
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(topology=random_topology(), factor=st.floats(min_value=1.1, max_value=4.0))
+def test_program6_on_random_topologies(topology, factor):
+    """Program 6's answer meets its target on every generated topology."""
+    model = PerformanceModel.from_topology(topology)
+    generous = model.expected_sojourn(
+        [k + 25 for k in model.min_allocation()]
+    )
+    tmax = generous * factor
+    allocation = min_processors_for_target(model, tmax)
+    assert model.expected_sojourn(list(allocation.vector)) <= tmax
+    assert all(
+        allocation[name] >= floor
+        for name, floor in zip(model.operator_names, model.min_allocation())
+    )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(topology=random_topology(), seed=st.integers(min_value=0, max_value=99))
+def test_simulation_invariants_on_random_topologies(topology, seed):
+    """Conservation + throughput agreement for every generated topology."""
+    model = PerformanceModel.from_topology(topology)
+    # Comfortable allocation so the run reaches steady state quickly.
+    allocation = Allocation(
+        list(model.operator_names),
+        [k + 2 for k in model.min_allocation()],
+    )
+    simulator = Simulator()
+    runtime = TopologyRuntime(
+        simulator, topology, allocation, RuntimeOptions(seed=seed)
+    )
+    runtime.start()
+    simulator.run_until(150.0)
+    runtime.check_conservation()
+    stats = runtime.stats()
+    # Per-operator throughput matches the traffic equations within noise.
+    for name, lam in zip(model.operator_names, model.network.arrival_rates):
+        expected = lam * 150.0
+        if expected < 50:
+            continue  # too few tuples for a tight statistical check
+        assert stats.per_operator_processed[name] == pytest.approx(
+            expected, rel=0.35
+        ), name

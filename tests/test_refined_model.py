@@ -1,0 +1,174 @@
+"""Tests for the G/G/k refined model (Allen-Cunneen extension)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError
+from repro.model import PerformanceModel
+from repro.model.refined import RefinedPerformanceModel
+from repro.queueing import erlang, mgk
+from repro.scheduler import Allocation, assign_processors
+from repro.scheduler.min_resources import min_processors_for_target
+from repro.sim import RuntimeOptions, Simulator, TopologyRuntime
+from repro.topology import TopologyBuilder
+from repro.randomness.distributions import Deterministic, LogNormal
+
+
+class TestAllenCunneen:
+    def test_exponential_recovers_mmk(self):
+        base = erlang.expected_sojourn_time(8.0, 1.0, 10)
+        refined = mgk.expected_sojourn_time_gg(8.0, 1.0, 10, ca2=1.0, cs2=1.0)
+        assert refined == pytest.approx(base, rel=1e-12)
+
+    def test_deterministic_service_halves_wait(self):
+        """M/D/k waiting ~ half of M/M/k (cs2 = 0)."""
+        wait_mm = erlang.expected_waiting_time(8.0, 1.0, 10)
+        wait_md = mgk.expected_waiting_time_gg(8.0, 1.0, 10, ca2=1.0, cs2=0.0)
+        assert wait_md == pytest.approx(wait_mm / 2.0, rel=1e-12)
+
+    def test_mg1_matches_pollaczek_khinchine(self):
+        """For k=1 the approximation is the exact P-K mean."""
+        lam, mu, cs2 = 3.0, 4.0, 2.5
+        rho = lam / mu
+        pk_wait = rho / (mu - lam) * (1.0 + cs2) / 2.0
+        ac_wait = mgk.expected_waiting_time_gg(lam, mu, 1, ca2=1.0, cs2=cs2)
+        assert ac_wait == pytest.approx(pk_wait, rel=1e-12)
+
+    def test_saturation_still_infinite(self):
+        assert math.isinf(
+            mgk.expected_sojourn_time_gg(10.0, 1.0, 10, ca2=0.5, cs2=0.5)
+        )
+
+    def test_rejects_negative_scv(self):
+        with pytest.raises(ValueError):
+            mgk.expected_waiting_time_gg(1.0, 2.0, 2, cs2=-0.1)
+
+
+class TestRefinedModel:
+    def _topology(self, scv):
+        return (
+            TopologyBuilder("t")
+            .add_spout("s", rate=8.0)
+            .add_operator(
+                "op", service_time=LogNormal(mean=1.0, scv=scv)
+            )
+            .connect("s", "op")
+            .build()
+        )
+
+    def test_from_topology_reads_scvs(self):
+        model = RefinedPerformanceModel.from_topology(self._topology(2.0))
+        assert model.service_scvs == pytest.approx([2.0])
+
+    def test_unit_scv_matches_plain_model(self, chain_topology):
+        plain = PerformanceModel.from_topology(chain_topology)
+        refined = RefinedPerformanceModel(plain.network)  # all SCVs 1
+        for allocation in ([4, 5, 2], [5, 6, 3], [8, 9, 4]):
+            assert refined.expected_sojourn(allocation) == pytest.approx(
+                plain.expected_sojourn(allocation), rel=1e-12
+            )
+
+    def test_high_scv_raises_estimate(self, chain_topology):
+        plain = PerformanceModel.from_topology(chain_topology)
+        refined = RefinedPerformanceModel(
+            plain.network, service_scvs=[3.0, 3.0, 3.0]
+        )
+        allocation = [4, 5, 2]
+        assert refined.expected_sojourn(allocation) > plain.expected_sojourn(
+            allocation
+        )
+
+    def test_low_scv_lowers_estimate(self, chain_topology):
+        plain = PerformanceModel.from_topology(chain_topology)
+        refined = RefinedPerformanceModel(
+            plain.network, service_scvs=[0.0, 0.0, 0.0]
+        )
+        allocation = [4, 5, 2]
+        assert refined.expected_sojourn(allocation) < plain.expected_sojourn(
+            allocation
+        )
+
+    def test_scv_length_validated(self, chain_model):
+        with pytest.raises(ModelError):
+            RefinedPerformanceModel(chain_model.network, service_scvs=[1.0])
+
+    def test_optimisers_accept_refined_model(self, chain_topology):
+        refined = RefinedPerformanceModel.from_topology(chain_topology)
+        allocation = assign_processors(refined, 16)
+        assert allocation.total == 16
+        minimal = min_processors_for_target(refined, 2.0)
+        assert refined.expected_sojourn(list(minimal.vector)) <= 2.0
+
+    def test_scv_shifts_optimal_placement(self):
+        """A high-variance operator deserves more processors than the
+        plain model would give it."""
+        names = ["noisy", "steady"]
+        network_args = dict(
+            names=names,
+            arrival_rates=[10.0, 10.0],
+            service_rates=[2.0, 2.0],
+            external_rate=10.0,
+        )
+        plain = PerformanceModel.from_measurements(**network_args)
+        refined = RefinedPerformanceModel.from_measurements(
+            **network_args, service_scvs=[4.0, 0.2]
+        )
+        kmax = 16
+        plain_alloc = assign_processors(plain, kmax)
+        refined_alloc = assign_processors(refined, kmax)
+        # Symmetric rates: plain splits evenly; refined favours 'noisy'.
+        assert plain_alloc["noisy"] == plain_alloc["steady"]
+        assert refined_alloc["noisy"] > refined_alloc["steady"]
+
+
+class TestRefinedAccuracy:
+    @pytest.mark.parametrize(
+        "service,scv",
+        [(Deterministic(1.0), 0.0), (LogNormal(mean=1.0, scv=2.0), 2.0)],
+    )
+    def test_refined_tracks_simulation_better(self, service, scv):
+        """On clearly non-exponential service times the refined estimate
+        is closer to the simulated mean sojourn than plain M/M/k."""
+        topology = (
+            TopologyBuilder("t")
+            .add_spout("s", rate=8.0)
+            .add_operator("op", service_time=service)
+            .connect("s", "op")
+            .build()
+        )
+        plain = PerformanceModel.from_topology(topology)
+        refined = RefinedPerformanceModel.from_topology(topology)
+        allocation = [10]
+        simulator = Simulator()
+        runtime = TopologyRuntime(
+            simulator,
+            topology,
+            Allocation(["op"], allocation),
+            RuntimeOptions(queue_discipline="shared", seed=3),
+        )
+        runtime.start()
+        simulator.run_until(4000.0)
+        measured = runtime.stats(warmup=400.0).mean_sojourn
+        plain_err = abs(plain.expected_sojourn(allocation) - measured)
+        refined_err = abs(refined.expected_sojourn(allocation) - measured)
+        assert refined_err < plain_err
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lam=st.floats(min_value=0.5, max_value=50.0),
+    mu=st.floats(min_value=0.5, max_value=20.0),
+    extra=st.integers(min_value=0, max_value=10),
+    cs2=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_gg_convexity_preserved(lam, mu, extra, cs2):
+    """The Allen-Cunneen correction preserves the convexity Theorem 1
+    needs (the factor is constant in k)."""
+    k = erlang.min_servers(lam, mu) + extra
+    t0 = mgk.expected_sojourn_time_gg(lam, mu, k, cs2=cs2)
+    t1 = mgk.expected_sojourn_time_gg(lam, mu, k + 1, cs2=cs2)
+    t2 = mgk.expected_sojourn_time_gg(lam, mu, k + 2, cs2=cs2)
+    assert (t0 - t1) >= (t1 - t2) - 1e-12

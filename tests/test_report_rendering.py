@@ -1,0 +1,190 @@
+"""Tests for the experiment report renderers on synthetic results."""
+
+import pytest
+
+from repro.experiments.baselines import BaselineComparison, BaselineRow
+from repro.experiments.fig6 import AllocationMeasurement, Fig6Result
+from repro.experiments.fig7 import EstimatePoint, Fig7Result
+from repro.experiments.fig8 import Fig8Result, UnderestimationPoint
+from repro.experiments.fig9 import Fig9Result, TimelineCurve
+from repro.experiments.fig10 import ScalingRun
+from repro.experiments.table2 import OverheadRow, Table2Result
+from repro.experiments import report
+
+
+@pytest.fixture
+def fig6_result():
+    return Fig6Result(
+        application="vld",
+        rows=[
+            AllocationMeasurement("10:11:1", 1.1, 0.9, 5000, True),
+            AllocationMeasurement("8:12:2", 1.9, 1.7, 5000, False),
+        ],
+        drs_recommendation="10:11:1",
+    )
+
+
+class TestFig6Rendering:
+    def test_contains_star_and_values(self, fig6_result):
+        text = report.render_fig6(fig6_result)
+        assert "10:11:1" in text
+        assert "*" in text
+        assert "1100.0 ms" in text
+
+    def test_best_spec(self, fig6_result):
+        assert fig6_result.best_spec() == "10:11:1"
+        assert fig6_result.recommendation_is_best()
+
+
+class TestFig7Rendering:
+    def test_sorted_by_estimate(self):
+        result = Fig7Result(
+            application="fpd",
+            points=[
+                EstimatePoint("b", estimated=2.0, measured=2.5),
+                EstimatePoint("a", estimated=1.0, measured=1.2),
+            ],
+            rank_correlation=1.0,
+            calibration_r_squared=0.99,
+        )
+        text = report.render_fig7(result)
+        assert text.index("a") < text.index("b") or "spearman" in text
+        assert "spearman=1.000" in text
+        assert result.is_monotone()
+
+    def test_non_monotone_detected(self):
+        result = Fig7Result(
+            application="x",
+            points=[
+                EstimatePoint("a", estimated=1.0, measured=2.0),
+                EstimatePoint("b", estimated=2.0, measured=1.5),
+            ],
+            rank_correlation=-1.0,
+            calibration_r_squared=0.5,
+        )
+        assert not result.is_monotone()
+
+
+class TestFig8Rendering:
+    def test_decreasing_detection(self):
+        decreasing = Fig8Result(
+            points=[
+                UnderestimationPoint(0.001, estimated=0.001, measured=0.02),
+                UnderestimationPoint(0.1, estimated=0.1, measured=0.11),
+            ]
+        )
+        assert decreasing.is_decreasing()
+        text = report.render_fig8(decreasing)
+        assert "ratio" in text
+
+    def test_not_decreasing(self):
+        flat = Fig8Result(
+            points=[
+                UnderestimationPoint(0.001, estimated=0.001, measured=0.001),
+                UnderestimationPoint(0.1, estimated=0.1, measured=0.2),
+            ]
+        )
+        assert not flat.is_decreasing()
+
+
+class TestFig9Rendering:
+    def test_curves_rendered(self):
+        result = Fig9Result(
+            application="vld",
+            optimal_spec="10:11:1",
+            near_optimal_specs=["10:11:1"],
+            curves=[
+                TimelineCurve(
+                    initial_spec="8:12:2",
+                    final_spec="10:11:1",
+                    buckets=[(0.0, 1.5, 100), (30.0, 1.1, 110)],
+                    rebalanced_at=30.0,
+                )
+            ],
+        )
+        text = report.render_fig9(result)
+        assert "rebalanced at t=30s" in text
+        assert result.all_converged()
+
+    def test_unconverged_detected(self):
+        result = Fig9Result(
+            application="vld",
+            optimal_spec="10:11:1",
+            near_optimal_specs=["10:11:1"],
+            curves=[
+                TimelineCurve("8:12:2", "9:11:2", [], None),
+            ],
+        )
+        assert not result.all_converged()
+
+
+class TestFig10Rendering:
+    def test_run_rendered(self):
+        run = ScalingRun(
+            name="ExpA",
+            tmax=1.8,
+            initial_machines=4,
+            final_machines=5,
+            initial_spec="8:8:1",
+            final_spec="10:11:1",
+            buckets=[(0.0, 2.5, 10)],
+            scaled_at=240.0,
+            spike_sojourn=3.0,
+            settled_sojourn=1.2,
+        )
+        text = report.render_fig10([run])
+        assert "ExpA" in text
+        assert run.meets_target_after_scaling()
+
+    def test_missed_target(self):
+        run = ScalingRun(
+            name="ExpB",
+            tmax=1.0,
+            initial_machines=5,
+            final_machines=4,
+            initial_spec="10:11:1",
+            final_spec="8:8:1",
+            buckets=[],
+            scaled_at=None,
+            spike_sojourn=None,
+            settled_sojourn=2.0,
+        )
+        assert not run.meets_target_after_scaling()
+
+
+class TestTable2Rendering:
+    def test_rows_rendered(self):
+        result = Table2Result(
+            rows=[
+                OverheadRow(12, 0.1, 0.2),
+                OverheadRow(24, 0.2, 0.2),
+            ]
+        )
+        text = report.render_table2(result)
+        assert "Kmax" in text
+        assert result.scheduling_is_increasing()
+        assert result.measurement_is_flat()
+
+    def test_flatness_tolerance(self):
+        result = Table2Result(
+            rows=[OverheadRow(12, 0.1, 0.1), OverheadRow(24, 0.2, 1.0)]
+        )
+        assert not result.measurement_is_flat(tolerance=3.0)
+
+
+class TestBaselineRendering:
+    def test_rows_sorted_by_model_value(self):
+        result = BaselineComparison(
+            application="vld",
+            kmax=22,
+            rows=[
+                BaselineRow("uniform", "10:10:2", 1.3, 1.6),
+                BaselineRow("drs", "10:11:1", 1.26, 1.45),
+            ],
+        )
+        text = report.render_baselines(result)
+        assert text.index("drs") < text.index("uniform")
+        assert result.drs_wins_model()
+        assert result.row("drs").spec == "10:11:1"
+        with pytest.raises(KeyError):
+            result.row("ghost")

@@ -1,0 +1,326 @@
+"""Tests for the topology runtime — simulator vs theory, rebalancing,
+conservation laws, queue limits, disciplines."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SchedulingError, SimulationError
+from repro.model import PerformanceModel
+from repro.queueing import expected_sojourn_time
+from repro.randomness.distributions import Deterministic
+from repro.scheduler import Allocation
+from repro.sim import (
+    RebalanceCostModel,
+    RebalanceStyle,
+    RuntimeOptions,
+    Simulator,
+    TopologyRuntime,
+)
+from repro.topology import TopologyBuilder
+
+
+def single_operator_topology(lam=8.0, mu=1.0):
+    return (
+        TopologyBuilder("mmk")
+        .add_spout("src", rate=lam)
+        .add_operator("op", mu=mu)
+        .connect("src", "op")
+        .build()
+    )
+
+
+def run_topology(topology, allocation, duration, **options):
+    sim = Simulator()
+    runtime = TopologyRuntime(
+        sim, topology, allocation, RuntimeOptions(**options)
+    )
+    runtime.start()
+    sim.run_until(duration)
+    return runtime
+
+
+class TestTheoryValidation:
+    def test_shared_queue_matches_mmk_theory(self):
+        """The simulator's M/M/k sojourn matches Erlang's formula."""
+        topology = single_operator_topology(lam=8.0, mu=1.0)
+        runtime = run_topology(
+            topology,
+            Allocation(["op"], [10]),
+            3000.0,
+            queue_discipline="shared",
+            seed=3,
+        )
+        measured = runtime.stats(warmup=200.0).mean_sojourn
+        theory = expected_sojourn_time(8.0, 1.0, 10)
+        assert measured == pytest.approx(theory, rel=0.08)
+
+    def test_jsq_close_to_mmk_theory(self):
+        topology = single_operator_topology(lam=8.0, mu=1.0)
+        runtime = run_topology(
+            topology,
+            Allocation(["op"], [10]),
+            3000.0,
+            queue_discipline="jsq",
+            seed=3,
+        )
+        measured = runtime.stats(warmup=200.0).mean_sojourn
+        theory = expected_sojourn_time(8.0, 1.0, 10)
+        assert measured == pytest.approx(theory, rel=0.15)
+
+    def test_hashed_worse_than_shared(self):
+        """Random per-executor queues must have strictly higher delay —
+        the deviation the paper attributes to hashing."""
+        topology = single_operator_topology(lam=8.0, mu=1.0)
+        shared = run_topology(
+            topology,
+            Allocation(["op"], [10]),
+            1500.0,
+            queue_discipline="shared",
+            seed=3,
+        ).stats(warmup=100.0)
+        hashed = run_topology(
+            topology,
+            Allocation(["op"], [10]),
+            1500.0,
+            queue_discipline="hashed",
+            seed=3,
+        ).stats(warmup=100.0)
+        assert hashed.mean_sojourn > 1.5 * shared.mean_sojourn
+
+    def test_chain_gains_produce_expected_rates(self, chain_topology):
+        runtime = run_topology(
+            chain_topology, Allocation(["a", "b", "c"], [5, 6, 3]), 400.0, seed=5
+        )
+        processed = runtime.stats().per_operator_processed
+        # a sees ~10/s, b ~20/s, c ~10/s over 400 s.
+        assert processed["a"] == pytest.approx(4000, rel=0.1)
+        assert processed["b"] == pytest.approx(8000, rel=0.1)
+        assert processed["c"] == pytest.approx(4000, rel=0.1)
+
+
+class TestConservation:
+    def test_conservation_holds(self, chain_topology):
+        runtime = run_topology(
+            chain_topology, Allocation(["a", "b", "c"], [5, 6, 3]), 200.0, seed=7
+        )
+        runtime.check_conservation()
+
+    def test_conservation_with_loop(self, loop_topology):
+        allocation = Allocation(["a", "b", "c", "e"], [3, 2, 2, 2])
+        runtime = run_topology(loop_topology, allocation, 200.0, seed=7)
+        runtime.check_conservation()
+        stats = runtime.stats()
+        assert stats.completed_trees > 0
+
+    def test_completion_ratio_high_when_stable(self, chain_topology):
+        runtime = run_topology(
+            chain_topology, Allocation(["a", "b", "c"], [5, 6, 3]), 400.0, seed=7
+        )
+        assert runtime.stats().completion_ratio > 0.95
+
+
+class TestQueueLimit:
+    def test_overload_drops_tuples(self):
+        topology = single_operator_topology(lam=20.0, mu=1.0)
+        runtime = run_topology(
+            topology,
+            Allocation(["op"], [2]),  # hopelessly under-provisioned
+            100.0,
+            queue_limit=50,
+            seed=9,
+        )
+        stats = runtime.stats()
+        assert stats.dropped_tuples > 0
+        assert stats.dropped_trees > 0
+        runtime.check_conservation()
+
+    def test_no_drops_when_stable(self, chain_topology):
+        runtime = run_topology(
+            chain_topology,
+            Allocation(["a", "b", "c"], [5, 6, 3]),
+            200.0,
+            queue_limit=100_000,
+            seed=9,
+        )
+        assert runtime.stats().dropped_tuples == 0
+
+
+class TestRebalance:
+    def test_rebalance_changes_allocation(self, chain_topology):
+        sim = Simulator()
+        runtime = TopologyRuntime(
+            sim,
+            chain_topology,
+            Allocation(["a", "b", "c"], [5, 6, 3]),
+            RuntimeOptions(seed=11),
+        )
+        runtime.start()
+        sim.run_until(50.0)
+        pause = runtime.apply_allocation(Allocation(["a", "b", "c"], [6, 5, 3]))
+        assert runtime.paused
+        sim.run_until(50.0 + pause + 1.0)
+        assert not runtime.paused
+        assert runtime.allocation.spec() == "6:5:3"
+        sim.run_until(150.0)
+        runtime.check_conservation()
+        assert runtime.stats().rebalances == 1
+
+    def test_rebalance_causes_latency_spike(self, chain_topology):
+        """Sojourn during/after the pause is visibly above steady state."""
+        allocation = Allocation(["a", "b", "c"], [5, 6, 3])
+        sim = Simulator()
+        runtime = TopologyRuntime(
+            sim,
+            chain_topology,
+            allocation,
+            RuntimeOptions(
+                seed=11,
+                timeline_bucket=10.0,
+                rebalance_cost=RebalanceCostModel(
+                    style=RebalanceStyle.STORM_DEFAULT, default_pause=20.0
+                ),
+            ),
+        )
+        runtime.start()
+        sim.run_until(200.0)
+        runtime.apply_allocation(Allocation(["a", "b", "c"], [6, 6, 2]))
+        sim.run_until(400.0)
+        buckets = dict(
+            (start, mean) for start, mean, _ in runtime.timeline()
+        )
+        steady = buckets[150.0]
+        spike = max(v for k, v in buckets.items() if 200.0 <= k <= 240.0 and v)
+        assert spike > 3.0 * steady
+
+    def test_double_rebalance_rejected_while_paused(self, chain_topology):
+        sim = Simulator()
+        runtime = TopologyRuntime(
+            sim,
+            chain_topology,
+            Allocation(["a", "b", "c"], [5, 6, 3]),
+            RuntimeOptions(seed=11),
+        )
+        runtime.start()
+        sim.run_until(10.0)
+        runtime.apply_allocation(Allocation(["a", "b", "c"], [6, 6, 3]))
+        with pytest.raises(SimulationError, match="in progress"):
+            runtime.apply_allocation(Allocation(["a", "b", "c"], [5, 6, 3]))
+
+    def test_instant_rebalance_has_no_pause(self, chain_topology):
+        sim = Simulator()
+        runtime = TopologyRuntime(
+            sim,
+            chain_topology,
+            Allocation(["a", "b", "c"], [5, 6, 3]),
+            RuntimeOptions(
+                seed=11,
+                rebalance_cost=RebalanceCostModel(style=RebalanceStyle.INSTANT),
+            ),
+        )
+        runtime.start()
+        sim.run_until(10.0)
+        pause = runtime.apply_allocation(Allocation(["a", "b", "c"], [6, 6, 3]))
+        assert pause == 0.0
+
+
+class TestValidationAndMisc:
+    def test_allocation_topology_mismatch(self, chain_topology):
+        with pytest.raises(SchedulingError):
+            TopologyRuntime(
+                Simulator(), chain_topology, Allocation(["x"], [1])
+            )
+
+    def test_double_start_rejected(self, chain_topology):
+        sim = Simulator()
+        runtime = TopologyRuntime(
+            sim, chain_topology, Allocation(["a", "b", "c"], [5, 6, 3])
+        )
+        runtime.start()
+        with pytest.raises(SimulationError):
+            runtime.start()
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(SimulationError):
+            RuntimeOptions(queue_discipline="fifo")
+        with pytest.raises(SimulationError):
+            RuntimeOptions(hop_latency=-0.1)
+        with pytest.raises(SimulationError):
+            RuntimeOptions(queue_limit=0)
+        with pytest.raises(SimulationError):
+            RuntimeOptions(timeline_bucket=0.0)
+
+    def test_hop_latency_adds_to_sojourn(self, chain_topology):
+        allocation = Allocation(["a", "b", "c"], [6, 8, 4])
+        base = run_topology(chain_topology, allocation, 300.0, seed=13)
+        delayed = run_topology(
+            chain_topology, allocation, 300.0, seed=13, hop_latency=0.1
+        )
+        base_mean = base.stats(warmup=50).mean_sojourn
+        delayed_mean = delayed.stats(warmup=50).mean_sojourn
+        # Three hops on the critical path -> roughly +0.3 s.
+        assert delayed_mean > base_mean + 0.2
+
+    def test_measurement_reports_produced(self, chain_topology):
+        runtime = run_topology(
+            chain_topology, Allocation(["a", "b", "c"], [5, 6, 3]), 95.0, seed=13
+        )
+        # Default Tm = 10 s -> 9 reports in 95 s.
+        assert len(runtime.reports) == 9
+        last = runtime.reports[-1]
+        assert last.is_complete()
+
+    def test_deterministic_under_seed(self, chain_topology):
+        allocation = Allocation(["a", "b", "c"], [5, 6, 3])
+        a = run_topology(chain_topology, allocation, 100.0, seed=42).stats()
+        b = run_topology(chain_topology, allocation, 100.0, seed=42).stats()
+        assert a.mean_sojourn == b.mean_sojourn
+        assert a.external_tuples == b.external_tuples
+
+    def test_different_seeds_differ(self, chain_topology):
+        allocation = Allocation(["a", "b", "c"], [5, 6, 3])
+        a = run_topology(chain_topology, allocation, 100.0, seed=1).stats()
+        b = run_topology(chain_topology, allocation, 100.0, seed=2).stats()
+        assert a.mean_sojourn != b.mean_sojourn
+
+    def test_deterministic_service_chain(self):
+        """Zero-variance service + low load: sojourn == total service."""
+        topology = (
+            TopologyBuilder("det")
+            .add_spout("s", rate=1.0)
+            .add_operator("a", service_time=Deterministic(0.01))
+            .add_operator("b", service_time=Deterministic(0.02))
+            .connect("s", "a")
+            .connect("a", "b")
+            .build()
+        )
+        runtime = run_topology(
+            topology, Allocation(["a", "b"], [2, 2]), 500.0, seed=17
+        )
+        measured = runtime.stats(warmup=10).mean_sojourn
+        assert measured == pytest.approx(0.03, rel=0.05)
+
+    def test_broadcast_loop_replicates(self):
+        """A broadcast self-loop delivers one copy per executor."""
+        from repro.topology.grouping import BroadcastGrouping
+
+        topology = (
+            TopologyBuilder("bc")
+            .add_spout("s", rate=2.0)
+            .add_operator("a", mu=50.0)
+            .add_operator("b", mu=200.0)
+            .connect("s", "a")
+            # 10% of tuples notify ALL b-executors.
+            .connect("a", "b", gain=0.1, grouping=BroadcastGrouping())
+            .build()
+        )
+        runtime = run_topology(
+            topology, Allocation(["a", "b"], [1, 4]), 400.0, seed=19
+        )
+        stats = runtime.stats()
+        runtime.check_conservation()
+        # b processes ~4x the edge gain counts (one per executor).
+        expected_b = stats.per_operator_processed["a"] * 0.1 * 4
+        assert stats.per_operator_processed["b"] == pytest.approx(
+            expected_b, rel=0.2
+        )

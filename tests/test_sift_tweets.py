@@ -1,0 +1,130 @@
+"""Tests for the synthetic SIFT kernel and the tweet generator."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.sift import (
+    DESCRIPTOR_DIM,
+    aggregate_matches,
+    extract_features,
+    generate_frame,
+    make_logo_library,
+    match_features,
+)
+from repro.apps.tweets import TweetGenerator, ZipfSampler
+
+
+class TestFrameGeneration:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        frame = generate_frame(rng, height=64, width=96)
+        assert frame.shape == (64, 96)
+
+    def test_reproducible(self):
+        a = generate_frame(np.random.default_rng(7))
+        b = generate_frame(np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestFeatureExtraction:
+    def test_descriptor_shape_and_norm(self):
+        frame = generate_frame(np.random.default_rng(1))
+        features = extract_features(frame, max_features=20, seed=3)
+        assert features.shape[1] == DESCRIPTOR_DIM
+        assert 1 <= features.shape[0] <= 20
+        norms = np.linalg.norm(features, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+
+    def test_feature_count_scales_with_frame_size(self):
+        rng = np.random.default_rng(2)
+        small = extract_features(
+            generate_frame(rng, 40, 40), max_features=100, seed=1
+        )
+        big = extract_features(
+            generate_frame(rng, 200, 200), max_features=100, seed=1
+        )
+        assert big.shape[0] > small.shape[0]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            extract_features(np.zeros(10))
+
+
+class TestMatching:
+    def test_identical_descriptors_match(self):
+        library = make_logo_library(n_logos=4, features_per_logo=5, seed=0)
+        # Query with rows taken straight from logo 2.
+        query = library[10:13].copy()
+        matches = match_features(
+            query, library, features_per_logo=5, distance_threshold=0.01
+        )
+        assert matches == [(0, 2), (1, 2), (2, 2)]
+
+    def test_no_match_above_threshold(self):
+        library = make_logo_library(n_logos=2, features_per_logo=3, seed=0)
+        rng = np.random.default_rng(5)
+        query = rng.normal(size=(4, DESCRIPTOR_DIM))
+        query /= np.linalg.norm(query, axis=1, keepdims=True)
+        matches = match_features(
+            query, library, features_per_logo=3, distance_threshold=1e-6
+        )
+        assert matches == []
+
+    def test_empty_query(self):
+        library = make_logo_library(2, 3)
+        assert match_features(np.empty((0, DESCRIPTOR_DIM)), library, 3) == []
+
+
+class TestAggregation:
+    def test_threshold_rule(self):
+        matches = [(0, 1), (1, 1), (2, 1), (3, 2)]
+        detections = aggregate_matches(7, matches, min_matches=3)
+        assert len(detections) == 1
+        assert detections[0].logo_id == 1
+        assert detections[0].frame_id == 7
+        assert detections[0].matched_features == 3
+
+    def test_empty_matches(self):
+        assert aggregate_matches(1, [], min_matches=1) == []
+
+
+class TestZipfSampler:
+    def test_head_dominates(self):
+        sampler = ZipfSampler(n_items=100, exponent=1.2)
+        rng = random.Random(3)
+        samples = [sampler.sample(rng) for _ in range(5000)]
+        head = sum(1 for s in samples if s < 10)
+        tail = sum(1 for s in samples if s >= 50)
+        assert head > 3 * tail
+
+    def test_range(self):
+        sampler = ZipfSampler(n_items=10)
+        rng = random.Random(4)
+        assert all(0 <= sampler.sample(rng) < 10 for _ in range(200))
+
+
+class TestTweetGenerator:
+    def test_term_counts_in_bounds(self):
+        generator = TweetGenerator(min_terms=2, max_terms=5, rng=random.Random(0))
+        for tweet in generator.stream(100):
+            assert 1 <= len(tweet) <= 5  # collisions may shrink below min
+
+    def test_stream_count(self):
+        generator = TweetGenerator(rng=random.Random(1))
+        assert len(list(generator.stream(17))) == 17
+
+    def test_reproducible(self):
+        a = list(TweetGenerator(rng=random.Random(5)).stream(10))
+        b = list(TweetGenerator(rng=random.Random(5)).stream(10))
+        assert a == b
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            TweetGenerator(min_terms=5, max_terms=2)
+
+    def test_rejects_negative_count(self):
+        generator = TweetGenerator()
+        with pytest.raises(ValueError):
+            list(generator.stream(-1))

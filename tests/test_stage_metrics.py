@@ -1,0 +1,117 @@
+"""Per-operator stage metrics: validate the simulator against theory
+stage by stage (a stronger check than end-to-end sojourn alone)."""
+
+import pytest
+
+from repro.queueing import erlang
+from repro.scheduler import Allocation
+from repro.sim import RuntimeOptions, Simulator, TopologyRuntime
+from repro.topology import TopologyBuilder
+
+
+def run(topology, allocation, duration, **options):
+    simulator = Simulator()
+    runtime = TopologyRuntime(
+        simulator, topology, allocation, RuntimeOptions(**options)
+    )
+    runtime.start()
+    simulator.run_until(duration)
+    return runtime.stats()
+
+
+class TestStageMetrics:
+    def test_single_operator_wait_matches_erlang(self):
+        topology = (
+            TopologyBuilder("mmk")
+            .add_spout("src", rate=8.0)
+            .add_operator("op", mu=1.0)
+            .connect("src", "op")
+            .build()
+        )
+        stats = run(
+            topology,
+            Allocation(["op"], [10]),
+            3000.0,
+            queue_discipline="shared",
+            seed=3,
+        )
+        theory_wait = erlang.expected_waiting_time(8.0, 1.0, 10)
+        assert stats.per_operator_wait["op"] == pytest.approx(
+            theory_wait, rel=0.15
+        )
+        assert stats.per_operator_service["op"] == pytest.approx(1.0, rel=0.05)
+
+    def test_unit_gain_chain_stage_waits(self):
+        """With unit gains, each stage sees a Poisson flow (Burke's
+        theorem for the M/M/k departure process) and must match its own
+        M/M/k waiting time."""
+        topology = (
+            TopologyBuilder("burke")
+            .add_spout("src", rate=10.0)
+            .add_operator("a", mu=4.0)
+            .add_operator("b", mu=3.0)
+            .add_operator("c", mu=20.0)
+            .connect("src", "a")
+            .connect("a", "b")
+            .connect("b", "c")
+            .build()
+        )
+        allocation = Allocation(["a", "b", "c"], [5, 6, 3])
+        stats = run(
+            topology, allocation, 3000.0, queue_discipline="shared", seed=5
+        )
+        expected = {
+            "a": erlang.expected_waiting_time(10.0, 4.0, 5),
+            "b": erlang.expected_waiting_time(10.0, 3.0, 6),
+            "c": erlang.expected_waiting_time(10.0, 20.0, 3),
+        }
+        for name, theory in expected.items():
+            measured = stats.per_operator_wait[name]
+            assert measured == pytest.approx(theory, rel=0.25, abs=0.002), name
+
+    def test_batched_arrivals_wait_longer_than_mmk(self, chain_topology):
+        """A gain-2 edge delivers tuples in simultaneous pairs; batch
+        arrivals queue longer than the Poisson M/M/k prediction — one of
+        the model deviations the paper's robustness claim covers."""
+        allocation = Allocation(["a", "b", "c"], [5, 6, 3])
+        stats = run(
+            chain_topology,
+            allocation,
+            3000.0,
+            queue_discipline="shared",
+            seed=5,
+        )
+        theory_b = erlang.expected_waiting_time(20.0, 6.0, 6)
+        assert stats.per_operator_wait["b"] > 1.5 * theory_b
+
+    def test_service_means_match_distributions(self, chain_topology):
+        allocation = Allocation(["a", "b", "c"], [5, 6, 3])
+        stats = run(chain_topology, allocation, 1000.0, seed=7)
+        assert stats.per_operator_service["a"] == pytest.approx(0.25, rel=0.1)
+        assert stats.per_operator_service["b"] == pytest.approx(1 / 6, rel=0.1)
+        assert stats.per_operator_service["c"] == pytest.approx(0.05, rel=0.1)
+
+    def test_unprocessed_operator_reports_none(self):
+        topology = (
+            TopologyBuilder("t")
+            .add_spout("s", rate=0.001)
+            .add_operator("op", mu=10.0)
+            .connect("s", "op")
+            .build()
+        )
+        stats = run(topology, Allocation(["op"], [1]), 1.0, seed=9)
+        assert stats.per_operator_wait["op"] is None
+
+    def test_wait_grows_with_utilisation(self):
+        topology = (
+            TopologyBuilder("t")
+            .add_spout("s", rate=8.0)
+            .add_operator("op", mu=1.0)
+            .connect("s", "op")
+            .build()
+        )
+        lightly = run(topology, Allocation(["op"], [16]), 800.0, seed=11)
+        heavily = run(topology, Allocation(["op"], [9]), 800.0, seed=11)
+        assert (
+            heavily.per_operator_wait["op"] > 5 * lightly.per_operator_wait["op"]
+        )

@@ -1,0 +1,82 @@
+"""Tests for the operator-state migration cost extension (future work
+[42] of the paper: rebalances that move stateful executors pay more)."""
+
+import pytest
+
+from repro.scheduler import Allocation
+from repro.sim import (
+    RebalanceCostModel,
+    RuntimeOptions,
+    Simulator,
+    TopologyRuntime,
+)
+from repro.topology import TopologyBuilder
+
+
+def stateful_topology():
+    return (
+        TopologyBuilder("t")
+        .add_spout("s", rate=5.0)
+        .add_operator("stateless", mu=10.0)
+        .add_operator("stateful", mu=10.0, stateful=True)
+        .connect("s", "stateless")
+        .connect("stateless", "stateful")
+        .build()
+    )
+
+
+class TestCostModel:
+    def test_stateful_moves_add_pause(self):
+        model = RebalanceCostModel(state_migration_per_executor=0.5)
+        base = model.pause_duration()
+        with_state = model.pause_duration(stateful_executors_moved=4)
+        assert with_state == pytest.approx(base + 2.0)
+
+    def test_instant_style_ignores_state(self):
+        from repro.sim import RebalanceStyle
+
+        model = RebalanceCostModel(style=RebalanceStyle.INSTANT)
+        assert model.pause_duration(stateful_executors_moved=10) == 0.0
+
+    def test_rejects_negative(self):
+        import pytest as _pytest
+
+        from repro.exceptions import SimulationError
+
+        with _pytest.raises(SimulationError):
+            RebalanceCostModel().pause_duration(stateful_executors_moved=-1)
+
+
+class TestRuntimeIntegration:
+    def _run_rebalance(self, old_counts, new_counts):
+        topology = stateful_topology()
+        names = ["stateless", "stateful"]
+        simulator = Simulator()
+        runtime = TopologyRuntime(
+            simulator,
+            topology,
+            Allocation(names, old_counts),
+            RuntimeOptions(
+                seed=3,
+                rebalance_cost=RebalanceCostModel(
+                    improved_pause=1.0, state_migration_per_executor=0.5
+                ),
+            ),
+        )
+        runtime.start()
+        simulator.run_until(10.0)
+        return runtime.apply_allocation(Allocation(names, new_counts))
+
+    def test_stateless_move_costs_base_only(self):
+        pause = self._run_rebalance([3, 2], [4, 2])
+        assert pause == pytest.approx(1.0)
+
+    def test_stateful_move_costs_extra(self):
+        pause = self._run_rebalance([3, 2], [2, 3])
+        # stateful delta |3-2| = 1 -> +0.5 on top of the base pause.
+        assert pause == pytest.approx(1.5)
+
+    def test_larger_stateful_delta_costs_more(self):
+        small = self._run_rebalance([4, 2], [3, 3])
+        large = self._run_rebalance([5, 2], [2, 5])
+        assert large > small

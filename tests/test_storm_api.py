@@ -1,0 +1,186 @@
+"""Tests for the Storm-like programming facade."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.storm import (
+    Bolt,
+    LocalCluster,
+    OutputCollector,
+    Spout,
+    StormTopologyBuilder,
+)
+
+
+class NumberSpout(Spout):
+    """Emits 0, 1, 2, ... up to a limit."""
+
+    def __init__(self, limit):
+        self._limit = limit
+        self._next = 0
+
+    def next_tuple(self):
+        if self._next >= self._limit:
+            return None
+        value = self._next
+        self._next += 1
+        return value
+
+
+class DoublerBolt(Bolt):
+    def execute(self, value, collector):
+        collector.emit(value * 2)
+
+
+class FanOutBolt(Bolt):
+    """Emits n copies for input n (variable selectivity)."""
+
+    def execute(self, value, collector):
+        for _ in range(value % 3):
+            collector.emit(value)
+
+
+class SinkBolt(Bolt):
+    def __init__(self):
+        self.seen = []
+
+    def execute(self, value, collector):
+        self.seen.append(value)
+        collector.emit(value)
+
+
+def build_chain(limit=50):
+    builder = StormTopologyBuilder("test")
+    builder.set_spout("numbers", NumberSpout(limit))
+    builder.set_bolt("double", DoublerBolt(), sources=["numbers"])
+    sink = SinkBolt()
+    builder.set_bolt("sink", sink, sources=["double"])
+    return builder, sink
+
+
+class TestBuilderValidation:
+    def test_duplicate_names_rejected(self):
+        builder = StormTopologyBuilder("t")
+        builder.set_spout("a", NumberSpout(1))
+        with pytest.raises(TopologyError, match="duplicate"):
+            builder.set_bolt("a", DoublerBolt(), sources=["a"])
+
+    def test_unknown_source_rejected(self):
+        builder = StormTopologyBuilder("t")
+        with pytest.raises(TopologyError, match="unknown source"):
+            builder.set_bolt("b", DoublerBolt(), sources=["ghost"])
+
+    def test_bolt_needs_sources(self):
+        builder = StormTopologyBuilder("t")
+        with pytest.raises(TopologyError, match="source"):
+            builder.set_bolt("b", DoublerBolt(), sources=[])
+
+    def test_type_checks(self):
+        builder = StormTopologyBuilder("t")
+        with pytest.raises(TopologyError):
+            builder.set_spout("s", DoublerBolt())
+        builder.set_spout("s", NumberSpout(1))
+        with pytest.raises(TopologyError):
+            builder.set_bolt("b", NumberSpout(1), sources=["s"])
+
+
+class TestLocalCluster:
+    def test_processes_all_tuples(self):
+        builder, sink = build_chain(limit=50)
+        result = LocalCluster(builder, kmax=10).run(max_tuples=50)
+        assert result.external_tuples == 50
+        assert result.processed["double"] == 50
+        assert result.processed["sink"] == 50
+        assert sink.seen == [2 * n for n in range(50)]
+
+    def test_outputs_collected_from_terminal_bolts(self):
+        builder, _ = build_chain(limit=10)
+        result = LocalCluster(builder, kmax=10).run(max_tuples=10)
+        assert result.outputs == [2 * n for n in range(10)]
+
+    def test_spout_exhaustion_stops_run(self):
+        builder, _ = build_chain(limit=5)
+        result = LocalCluster(builder, kmax=10).run(max_tuples=100)
+        assert result.external_tuples == 5
+
+    def test_variable_selectivity(self):
+        builder = StormTopologyBuilder("fan")
+        builder.set_spout("numbers", NumberSpout(30))
+        builder.set_bolt("fan", FanOutBolt(), sources=["numbers"])
+        result = LocalCluster(builder, kmax=5).run(max_tuples=30)
+        expected = sum(n % 3 for n in range(30))
+        assert len(result.outputs) == expected
+
+    def test_measured_rates_present(self):
+        builder, _ = build_chain(limit=100)
+        result = LocalCluster(builder, kmax=10).run(max_tuples=100)
+        assert result.arrival_rates["double"] > 0
+        assert result.service_rates["double"] > 0
+        assert result.external_rate > 0
+
+    def test_recommendation_produced(self):
+        builder, _ = build_chain(limit=200)
+        result = LocalCluster(builder, kmax=10).run(max_tuples=200)
+        assert result.recommendation is not None
+        assert result.recommendation.total == 10
+        assert result.estimated_sojourn is not None
+
+    def test_sink_callback(self):
+        builder, _ = build_chain(limit=5)
+        collected = []
+        LocalCluster(builder, kmax=4).run(max_tuples=5, sink=collected.append)
+        assert collected == [0, 2, 4, 6, 8]
+
+    def test_validation(self):
+        builder, _ = build_chain()
+        with pytest.raises(TopologyError):
+            LocalCluster(builder, kmax=0)
+        cluster = LocalCluster(builder, kmax=5)
+        with pytest.raises(TopologyError):
+            cluster.run(max_tuples=0)
+
+    def test_cluster_needs_components(self):
+        empty = StormTopologyBuilder("e")
+        with pytest.raises(TopologyError):
+            LocalCluster(empty)
+        only_spout = StormTopologyBuilder("s")
+        only_spout.set_spout("s", NumberSpout(1))
+        with pytest.raises(TopologyError):
+            LocalCluster(only_spout)
+
+
+class TestOutputCollector:
+    def test_drain_clears(self):
+        collector = OutputCollector()
+        collector.emit(1)
+        collector.emit(2)
+        assert collector.drain() == [1, 2]
+        assert collector.drain() == []
+
+
+class TestLifecycleHooks:
+    def test_open_prepare_close_cleanup_called(self):
+        events = []
+
+        class HookedSpout(NumberSpout):
+            def open(self, context):
+                events.append(("open", context.component_name))
+
+            def close(self):
+                events.append(("close", "spout"))
+
+        class HookedBolt(DoublerBolt):
+            def prepare(self, context):
+                events.append(("prepare", context.component_name))
+
+            def cleanup(self):
+                events.append(("cleanup", "bolt"))
+
+        builder = StormTopologyBuilder("hooks")
+        builder.set_spout("s", HookedSpout(3))
+        builder.set_bolt("b", HookedBolt(), sources=["s"])
+        LocalCluster(builder, kmax=2).run(max_tuples=3)
+        assert ("open", "s") in events
+        assert ("prepare", "b") in events
+        assert ("close", "spout") in events
+        assert ("cleanup", "bolt") in events

@@ -1,0 +1,280 @@
+"""Tests for topology graph, builder and routing (traffic equations)."""
+
+import pytest
+
+from repro.exceptions import StabilityError, TopologyError
+from repro.randomness.distributions import Deterministic, Exponential
+from repro.topology import (
+    Edge,
+    GainMatrix,
+    Operator,
+    Spout,
+    Topology,
+    TopologyBuilder,
+    external_arrival_vector,
+)
+
+
+class TestOperator:
+    def test_service_rate(self):
+        op = Operator("a", Exponential(rate=4.0))
+        assert op.service_rate == pytest.approx(4.0)
+
+    def test_with_rate_constructor(self):
+        op = Operator.with_rate("a", 2.5)
+        assert op.service_rate == pytest.approx(2.5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Operator("", Exponential(1.0))
+
+
+class TestSpout:
+    def test_poisson_constructor(self):
+        spout = Spout.poisson("src", 3.0)
+        assert spout.mean_rate == pytest.approx(3.0)
+
+
+class TestEdge:
+    def test_gain_defaults(self):
+        edge = Edge(source="a", target="b")
+        assert edge.gain == 1.0
+
+    def test_fanout_mean_must_match_gain(self):
+        with pytest.raises(TopologyError, match="disagrees"):
+            Edge(source="a", target="b", gain=2.0, fanout=Deterministic(3.0))
+
+    def test_fanout_matching_gain_accepted(self):
+        edge = Edge(source="a", target="b", gain=3.0, fanout=Deterministic(3.0))
+        assert edge.fanout is not None
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            Edge(source="a", target="b", gain=-0.1)
+
+
+class TestTopologyValidation:
+    def test_duplicate_operator_rejected(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            (
+                TopologyBuilder("t")
+                .add_spout("s", rate=1.0)
+                .add_operator("a", mu=1.0)
+                .add_operator("a", mu=2.0)
+                .connect("s", "a")
+                .build()
+            )
+
+    def test_spout_operator_name_clash_rejected(self):
+        with pytest.raises(TopologyError, match="both"):
+            (
+                TopologyBuilder("t")
+                .add_spout("x", rate=1.0)
+                .add_operator("x", mu=1.0)
+                .connect("x", "x")
+                .build()
+            )
+
+    def test_edge_into_spout_rejected(self):
+        with pytest.raises(TopologyError, match="not an operator"):
+            (
+                TopologyBuilder("t")
+                .add_spout("s", rate=1.0)
+                .add_operator("a", mu=1.0)
+                .connect("s", "a")
+                .connect("a", "s")
+                .build()
+            )
+
+    def test_unknown_edge_source_rejected(self):
+        with pytest.raises(TopologyError, match="not defined"):
+            (
+                TopologyBuilder("t")
+                .add_spout("s", rate=1.0)
+                .add_operator("a", mu=1.0)
+                .connect("ghost", "a")
+                .build()
+            )
+
+    def test_unreachable_operator_rejected(self):
+        with pytest.raises(TopologyError, match="unreachable"):
+            Topology(
+                "t",
+                spouts=[Spout.poisson("s", 1.0)],
+                operators=[
+                    Operator.with_rate("a", 1.0),
+                    Operator.with_rate("island", 1.0),
+                ],
+                edges=[Edge(source="s", target="a")],
+            )
+
+    def test_spout_without_edges_rejected(self):
+        with pytest.raises(TopologyError, match="no outgoing"):
+            Topology(
+                "t",
+                spouts=[Spout.poisson("s", 1.0), Spout.poisson("s2", 1.0)],
+                operators=[Operator.with_rate("a", 1.0)],
+                edges=[Edge(source="s", target="a")],
+            )
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(TopologyError, match="duplicate edge"):
+            Topology(
+                "t",
+                spouts=[Spout.poisson("s", 1.0)],
+                operators=[Operator.with_rate("a", 1.0)],
+                edges=[Edge(source="s", target="a"), Edge(source="s", target="a")],
+            )
+
+    def test_needs_spout_and_operator(self):
+        with pytest.raises(TopologyError):
+            Topology("t", spouts=[], operators=[Operator.with_rate("a", 1)], edges=[])
+
+
+class TestTopologyAccessors:
+    def test_operator_names_order_stable(self, chain_topology):
+        assert chain_topology.operator_names == ("a", "b", "c")
+
+    def test_operator_index(self, chain_topology):
+        assert chain_topology.operator_index("b") == 1
+
+    def test_unknown_operator_raises(self, chain_topology):
+        with pytest.raises(TopologyError):
+            chain_topology.operator("ghost")
+        with pytest.raises(TopologyError):
+            chain_topology.operator_index("ghost")
+
+    def test_external_rate(self, chain_topology):
+        assert chain_topology.external_rate == pytest.approx(10.0)
+
+    def test_entry_operators(self, chain_topology):
+        assert chain_topology.entry_operators() == ["a"]
+
+    def test_in_out_edges(self, chain_topology):
+        assert len(chain_topology.out_edges("a")) == 1
+        assert len(chain_topology.in_edges("b")) == 1
+
+    def test_describe_mentions_everything(self, chain_topology):
+        text = chain_topology.describe()
+        for name in ("src", "a", "b", "c"):
+            assert name in text
+
+
+class TestCycleDetection:
+    def test_chain_has_no_cycle(self, chain_topology):
+        assert not chain_topology.has_cycle()
+
+    def test_loop_detected(self, loop_topology):
+        assert loop_topology.has_cycle()
+
+    def test_self_loop_detected(self):
+        topology = (
+            TopologyBuilder("self")
+            .add_spout("s", rate=1.0)
+            .add_operator("a", mu=10.0)
+            .connect("s", "a")
+            .connect("a", "a", gain=0.3)
+            .build()
+        )
+        assert topology.has_cycle()
+
+
+class TestTrafficEquations:
+    def test_chain_rates(self, chain_topology):
+        gains = GainMatrix(chain_topology)
+        ext = external_arrival_vector(chain_topology)
+        rates = gains.solve_traffic(ext)
+        # src(10) -> a(10) -> b(gain 2 -> 20) -> c(gain .5 -> 10)
+        assert rates == pytest.approx([10.0, 20.0, 10.0])
+
+    def test_split_join_loop(self, loop_topology):
+        gains = GainMatrix(loop_topology)
+        ext = external_arrival_vector(loop_topology)
+        rates = dict(zip(loop_topology.operator_names, gains.solve_traffic(ext)))
+        # lambda_a = 5 + 0.2 * lambda_e; lambda_e = lambda_b + lambda_c
+        #          = 0.6 lambda_a + 0.4 lambda_a = lambda_a
+        # => lambda_a = 5 / 0.8 = 6.25
+        assert rates["a"] == pytest.approx(6.25)
+        assert rates["e"] == pytest.approx(6.25)
+        assert rates["b"] == pytest.approx(3.75)
+        assert rates["c"] == pytest.approx(2.5)
+
+    def test_self_loop_geometric(self):
+        topology = (
+            TopologyBuilder("self")
+            .add_spout("s", rate=6.0)
+            .add_operator("a", mu=100.0)
+            .connect("s", "a")
+            .connect("a", "a", gain=0.5)
+            .build()
+        )
+        gains = GainMatrix(topology)
+        rates = gains.solve_traffic(external_arrival_vector(topology))
+        assert rates[0] == pytest.approx(12.0)  # 6 / (1 - 0.5)
+
+    def test_unstable_loop_rejected(self):
+        topology = (
+            TopologyBuilder("bad")
+            .add_spout("s", rate=1.0)
+            .add_operator("a", mu=10.0)
+            .connect("s", "a")
+            .connect("a", "a", gain=1.0)
+            .build()
+        )
+        with pytest.raises(StabilityError, match="gain"):
+            GainMatrix(topology).solve_traffic(
+                external_arrival_vector(topology)
+            )
+
+    def test_amplifying_loop_rejected(self):
+        topology = (
+            TopologyBuilder("worse")
+            .add_spout("s", rate=1.0)
+            .add_operator("a", mu=10.0)
+            .add_operator("b", mu=10.0)
+            .connect("s", "a")
+            .connect("a", "b", gain=2.0)
+            .connect("b", "a", gain=0.6)  # loop gain 1.2
+            .build()
+        )
+        with pytest.raises(StabilityError):
+            GainMatrix(topology).solve_traffic(
+                external_arrival_vector(topology)
+            )
+
+    def test_spectral_radius_of_chain_is_zero(self, chain_topology):
+        assert GainMatrix(chain_topology).spectral_radius == pytest.approx(0.0)
+
+    def test_external_vector_scaled_by_spout_edge_gain(self):
+        topology = (
+            TopologyBuilder("g")
+            .add_spout("s", rate=4.0)
+            .add_operator("a", mu=100.0)
+            .connect("s", "a", gain=2.5)
+            .build()
+        )
+        assert external_arrival_vector(topology) == pytest.approx([10.0])
+
+    def test_wrong_ext_length_rejected(self, chain_topology):
+        with pytest.raises(ValueError):
+            GainMatrix(chain_topology).solve_traffic([1.0])
+
+
+class TestBuilder:
+    def test_requires_exactly_one_rate_spec(self):
+        builder = TopologyBuilder("t")
+        with pytest.raises(TopologyError):
+            builder.add_spout("s")  # neither rate nor arrivals
+        with pytest.raises(TopologyError):
+            builder.add_operator("a")  # neither mu nor service_time
+
+    def test_cannot_reuse_after_build(self):
+        builder = (
+            TopologyBuilder("t")
+            .add_spout("s", rate=1.0)
+            .add_operator("a", mu=1.0)
+            .connect("s", "a")
+        )
+        builder.build()
+        with pytest.raises(TopologyError, match="already produced"):
+            builder.add_operator("b", mu=1.0)
