@@ -1,0 +1,56 @@
+"""Serial vs process-pool replication throughput of the scenario runner.
+
+Runs the same small synthetic-chain scenario with one worker and with
+all cores, printing replications/second and the speedup.  The merged
+summaries are asserted byte-identical — parallelism must never change
+results.
+"""
+
+import os
+import time
+
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
+from benchmarks.conftest import full_scale
+
+
+def scenario(replications: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bench-runner",
+        workload="synthetic",
+        workload_params={
+            "total_cpu": 0.03,
+            "arrival_rate": 40.0,
+            "hop_latency": 0.004,
+        },
+        policy="none",
+        initial_allocation="10:10:10",
+        duration=240.0 if full_scale() else 120.0,
+        warmup=20.0,
+        seed=17,
+        replications=replications,
+    )
+
+
+def test_serial_vs_pool_throughput(benchmark):
+    replications = max(4, (os.cpu_count() or 1))
+    spec = scenario(replications)
+
+    started = time.perf_counter()
+    serial = ScenarioRunner(max_workers=1).run(spec)
+    serial_s = time.perf_counter() - started
+
+    def pooled_run():
+        return ScenarioRunner().run(spec)
+
+    pooled = benchmark.pedantic(pooled_run, rounds=1, iterations=1)
+    pooled_s = benchmark.stats.stats.mean
+
+    assert serial.to_json() == pooled.to_json()
+    print()
+    print(
+        f"scenario runner: {replications} replications |"
+        f" serial {serial_s:.2f}s ({replications / serial_s:.2f} reps/s) |"
+        f" pool {pooled_s:.2f}s ({replications / pooled_s:.2f} reps/s) |"
+        f" speedup x{serial_s / pooled_s:.2f}"
+    )

@@ -11,7 +11,7 @@ scale ("almost negligible").
 import pytest
 
 from repro.experiments import report, table2
-from repro.experiments.table2 import KMAX_VALUES, _reference_model
+from repro.experiments.table2 import KMAX_VALUES, reference_model
 from repro.scheduler.assign import assign_processors
 
 
@@ -36,5 +36,5 @@ def test_table2_rows(benchmark):
 @pytest.mark.parametrize("kmax", KMAX_VALUES)
 def test_scheduling_cost_per_kmax(benchmark, kmax):
     """Per-Kmax timing of Algorithm 1 (the Scheduling row, per column)."""
-    model = _reference_model()
+    model = reference_model()
     benchmark(assign_processors, model, kmax)

@@ -10,18 +10,27 @@ Usage::
     python -m repro table2
     python -m repro baselines --app vld
     python -m repro all            # everything, scaled protocols
+    python -m repro list-policies  # registered scheduling policies
+    python -m repro run-scenario examples/scenarios/smoke.json --workers 4
 
-The CLI is a thin wrapper over :mod:`repro.experiments`; it prints the
-same text reports the benchmarks do.
+The CLI is a thin wrapper over :mod:`repro.experiments` and
+:mod:`repro.scenarios`; it prints the same text reports the benchmarks
+do.  ``run-scenario`` executes any JSON :class:`ScenarioSpec` — every
+workload the engine can express is reachable without writing a driver.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from repro.exceptions import DRSError
 from repro.experiments import baselines, fig6, fig7, fig8, fig9, fig10, report, table2
+from repro.scenarios.registry import available_policies
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
 
 
 def _fig6(args) -> str:
@@ -78,6 +87,26 @@ def _baselines(args) -> str:
         args.app, duration=args.duration, warmup=args.warmup
     )
     return report.render_baselines(result)
+
+
+def _run_scenario(args) -> str:
+    path = Path(args.spec)
+    if not path.exists():
+        raise SystemExit(f"scenario spec not found: {path}")
+    spec = ScenarioSpec.from_json(path.read_text())
+    if args.replications is not None:
+        spec = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "replications": args.replications}
+        )
+    runner = ScenarioRunner(max_workers=args.workers)
+    summary = runner.run(spec)
+    if args.json:
+        return summary.to_json(indent=2)
+    return report.render_scenario(summary)
+
+
+def _list_policies(args) -> str:
+    return report.render_policies(available_policies())
 
 
 def _all(args) -> str:
@@ -163,13 +192,43 @@ def build_parser() -> argparse.ArgumentParser:
     pa = sub.add_parser("all", help="every artefact, scaled protocols")
     pa.set_defaults(handler=_all)
 
+    ps = sub.add_parser(
+        "run-scenario", help="execute a JSON scenario spec end-to-end"
+    )
+    ps.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    ps.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel replication workers (default: all cores)",
+    )
+    ps.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        help="override the spec's replication count",
+    )
+    ps.add_argument(
+        "--json", action="store_true", help="print the merged summary as JSON"
+    )
+    ps.set_defaults(handler=_run_scenario)
+
+    pp = sub.add_parser(
+        "list-policies", help="registered scheduling policies"
+    )
+    pp.set_defaults(handler=_list_policies)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    print(args.handler(args))
+    try:
+        print(args.handler(args))
+    except DRSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -150,6 +150,19 @@ class DRSConfig:
             raise ConfigurationError("scale_in_safety must be in (0, 1]")
 
 
+def cluster_from_dict(raw: Mapping[str, Any]) -> ClusterSpec:
+    """Validated :class:`ClusterSpec` from a plain mapping."""
+    return ConfigReader._parse_section(raw, ClusterSpec, "cluster")
+
+
+def measurement_from_dict(raw: Mapping[str, Any]) -> MeasurementConfig:
+    """Validated :class:`MeasurementConfig` from a plain mapping."""
+    section = dict(raw)
+    if "smoothing" in section:
+        section["smoothing"] = ConfigReader._parse_smoothing(section["smoothing"])
+    return ConfigReader._parse_section(section, MeasurementConfig, "measurement")
+
+
 class ConfigReader:
     """Dict-backed configuration interface (paper Appendix B/C).
 

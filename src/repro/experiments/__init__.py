@@ -11,8 +11,14 @@ Each module reproduces one artefact:
 - :mod:`repro.experiments.baselines` — DRS vs baseline allocators
   (extension beyond the paper).
 
-The shared machinery (passive runs, the live DRS-to-simulator binding)
-lives in :mod:`repro.experiments.harness`.
+Every driver is now a thin spec builder over the scenario engine
+(:mod:`repro.scenarios`): it constructs declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` objects, hands them to a
+:class:`~repro.scenarios.runner.ScenarioRunner` (replications fan out
+over worker processes) and shapes the merged results into its
+paper-figure dataclasses.  The shared convenience layer (passive runs,
+the DRS-to-simulator binding) lives in
+:mod:`repro.experiments.harness`.
 """
 
 from repro.experiments.harness import (

@@ -3,29 +3,35 @@
 The paper compares DRS's recommendation against *nearby* allocations
 (Fig. 6).  Here we compare against the standard alternatives a
 practitioner would actually use: uniform split, load-proportional
-split, a reactive threshold scaler, and random placement.  Each
-allocator receives the same measured load and budget; we report both
-the model's ``E[T]`` and the simulator's measured sojourn.
+split, a reactive threshold scaler, and random placement.  Every
+allocator is a registered scheduling policy; its candidate allocation
+comes from :meth:`SchedulingPolicy.initial_allocation` on the same
+nominal model and budget, and the measurement leg runs each candidate
+as a passive scenario spec.  We report both the model's ``E[T]`` and
+the simulator's measured sojourn.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.apps.vld import VLDWorkload
-from repro.apps.fpd import FPDWorkload
-from repro.baselines import (
-    ProportionalAllocator,
-    RandomAllocator,
-    ThresholdScaler,
-    UniformAllocator,
-)
-from repro.experiments.harness import run_passive
 from repro.model.performance import PerformanceModel
+from repro.scenarios.registry import create_policy
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec, WORKLOADS
 from repro.scheduler.allocation import Allocation
-from repro.scheduler.assign import assign_processors
-from repro.sim.runtime import RuntimeOptions
+
+
+#: allocator label -> (registered policy name, policy parameters).
+def candidate_policies(kmax: int) -> Dict[str, Tuple[str, Dict[str, object]]]:
+    return {
+        "drs": ("drs.min_sojourn", {"kmax": kmax}),
+        "uniform": ("static.uniform", {"kmax": kmax}),
+        "proportional": ("static.proportional", {"kmax": kmax}),
+        "random": ("static.random", {"kmax": kmax}),
+        "threshold": ("threshold", {"kmax": kmax, "converge_on_model": True}),
+    }
 
 
 @dataclass(frozen=True)
@@ -58,22 +64,6 @@ class BaselineComparison:
         raise KeyError(allocator)
 
 
-def _threshold_converged(
-    model: PerformanceModel, start: Allocation, kmax: int, *, iterations: int = 50
-) -> Allocation:
-    """Run the reactive scaler to convergence on static measured load."""
-    scaler = ThresholdScaler()
-    allocation = start
-    lams = model.network.arrival_rates
-    mus = model.network.service_rates
-    for _ in range(iterations):
-        updated = scaler.update(allocation, lams, mus, kmax=kmax)
-        if updated == allocation:
-            break
-        allocation = updated
-    return allocation
-
-
 def compare(
     application: str = "vld",
     *,
@@ -82,44 +72,50 @@ def compare(
     warmup: float = 60.0,
     seed: int = 37,
     simulate: bool = True,
+    runner: Optional[ScenarioRunner] = None,
 ) -> BaselineComparison:
     """Compare allocators on ``application`` ("vld" or "fpd")."""
     if application == "vld":
-        workload = VLDWorkload()
-        hop = 0.002
+        workload_params: Dict[str, object] = {}
     elif application == "fpd":
-        workload = FPDWorkload(scale=0.5)
-        hop = workload.hop_latency
+        workload_params = {"scale": 0.5}
     else:
         raise ValueError(f"unknown application {application!r}")
+    workload = WORKLOADS[application](**workload_params)
     topology = workload.build()
     model = PerformanceModel.from_topology(topology)
 
-    candidates: Dict[str, Allocation] = {
-        "drs": assign_processors(model, kmax),
-        "uniform": UniformAllocator().allocate(model, kmax),
-        "proportional": ProportionalAllocator().allocate(model, kmax),
-        "random": RandomAllocator().allocate(model, kmax),
-    }
-    candidates["threshold"] = _threshold_converged(
-        model, candidates["uniform"], kmax
-    )
+    candidates: Dict[str, Allocation] = {}
+    for name, (policy_name, params) in candidate_policies(kmax).items():
+        policy = create_policy(policy_name, topology, params)
+        candidates[name] = policy.initial_allocation(model)
 
-    rows: List[BaselineRow] = []
-    for name, allocation in candidates.items():
-        measured = None
-        if simulate:
-            options = RuntimeOptions(seed=seed, hop_latency=hop)
-            stats, _ = run_passive(
-                topology, allocation, duration, options=options, warmup=warmup
+    measured: Dict[str, Optional[float]] = {name: None for name in candidates}
+    if simulate:
+        specs = [
+            ScenarioSpec(
+                name=f"baselines-{application}-{name}",
+                workload=application,
+                workload_params=dict(workload_params),
+                policy="none",
+                initial_allocation=allocation.spec(),
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
             )
-            measured = stats.mean_sojourn
-        rows.append(
-            BaselineRow(
-                allocator=name,
-                spec=allocation.spec(),
-                model_sojourn=model.expected_sojourn(list(allocation.vector)),
-                measured_sojourn=measured,
-            )
+            for name, allocation in candidates.items()
+        ]
+        summaries = (runner or ScenarioRunner()).run_many(specs)
+        for name, summary in zip(candidates, summaries):
+            measured[name] = summary.replications[0].mean_sojourn
+
+    rows = [
+        BaselineRow(
+            allocator=name,
+            spec=allocation.spec(),
+            model_sojourn=model.expected_sojourn(list(allocation.vector)),
+            measured_sojourn=measured[name],
         )
+        for name, allocation in candidates.items()
+    ]
     return BaselineComparison(application=application, kmax=kmax, rows=rows)

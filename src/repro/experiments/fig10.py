@@ -19,6 +19,9 @@ targets are ``Tmax_A = 1.8 s`` and ``Tmax_B = 6.0 s`` (the paper's
 because after a scale-in the backlog accumulated during the pause
 drains slowly through the smaller configuration — acting on the
 transient would cause add/remove oscillation.
+
+Each experiment is one ``drs.min_resource`` scenario spec with a
+negotiated machine pool (``initial_machines`` + ``cluster``).
 """
 
 from __future__ import annotations
@@ -27,13 +30,18 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.apps import vld as vld_app
-from repro.config import ClusterSpec, DRSConfig, MeasurementConfig, OptimizationGoal
-from repro.experiments.harness import DRSBinding
-from repro.scheduler.controller import DRSController
-from repro.sim.engine import Simulator
-from repro.sim.negotiator import SimResourceNegotiator
-from repro.sim.cluster import Cluster
-from repro.sim.runtime import RuntimeOptions, TopologyRuntime
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
+
+
+#: The paper's testbed accounting: 5 slots per machine, 3 reserved.
+CLUSTER = {
+    "slots_per_machine": 5,
+    "reserved_executors": 3,
+    "min_machines": 1,
+    "max_machines": 10,
+    "machine_boot_time": 30.0,
+}
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,37 @@ class ScalingRun:
         )
 
 
+def scaling_spec(
+    name: str,
+    *,
+    tmax: float,
+    initial_machines: int,
+    initial_spec: str,
+    enable_at: float,
+    duration: float,
+    bucket: float,
+    seed: int,
+    hop_latency: float,
+) -> ScenarioSpec:
+    """One MIN_RESOURCE scenario over the negotiated machine pool."""
+    return ScenarioSpec(
+        name=f"fig10-{name}",
+        workload="vld",
+        policy="drs.min_resource",
+        policy_params={"tmax": tmax, "rebalance_threshold": 0.12},
+        cluster=dict(CLUSTER),
+        initial_machines=initial_machines,
+        initial_allocation=initial_spec,
+        duration=duration,
+        enable_at=enable_at,
+        min_action_gap=150.0,
+        seed=seed,
+        hop_latency=hop_latency,
+        timeline_bucket=bucket,
+        measurement={"alpha": 0.85},
+    )
+
+
 def run_exp_a(
     *,
     tmax: float = 1.8,
@@ -67,6 +106,7 @@ def run_exp_a(
     bucket: float = 30.0,
     seed: int = 29,
     hop_latency: float = 0.002,
+    runner: Optional[ScenarioRunner] = None,
 ) -> ScalingRun:
     """ExpA: under-provisioned start (4 machines, 8:8:1), scale out."""
     return _run(
@@ -79,6 +119,7 @@ def run_exp_a(
         bucket=bucket,
         seed=seed,
         hop_latency=hop_latency,
+        runner=runner,
     )
 
 
@@ -90,6 +131,7 @@ def run_exp_b(
     bucket: float = 30.0,
     seed: int = 31,
     hop_latency: float = 0.002,
+    runner: Optional[ScenarioRunner] = None,
 ) -> ScalingRun:
     """ExpB: over-provisioned start (5 machines, 10:11:1), scale in."""
     return _run(
@@ -102,6 +144,7 @@ def run_exp_b(
         bucket=bucket,
         seed=seed,
         hop_latency=hop_latency,
+        runner=runner,
     )
 
 
@@ -116,62 +159,32 @@ def _run(
     bucket: float,
     seed: int,
     hop_latency: float,
+    runner: Optional[ScenarioRunner] = None,
 ) -> ScalingRun:
-    workload = vld_app.VLDWorkload()
-    topology = workload.build()
-    allocation = workload.allocation(initial_spec)
-
-    simulator = Simulator()
-    cluster_spec = ClusterSpec(
-        slots_per_machine=5,
-        reserved_executors=3,
-        min_machines=1,
-        max_machines=10,
-        machine_boot_time=30.0,
-    )
-    cluster = Cluster(
-        slots_per_machine=cluster_spec.slots_per_machine,
-        reserved_executors=cluster_spec.reserved_executors,
-    )
-    negotiator = SimResourceNegotiator(simulator, cluster, cluster_spec)
-    negotiator.bootstrap(initial_machines)
-
-    options = RuntimeOptions(
+    spec = scaling_spec(
+        name,
+        tmax=tmax,
+        initial_machines=initial_machines,
+        initial_spec=initial_spec,
+        enable_at=enable_at,
+        duration=duration,
+        bucket=bucket,
         seed=seed,
         hop_latency=hop_latency,
-        timeline_bucket=bucket,
-        measurement=MeasurementConfig(alpha=0.85),
     )
-    runtime = TopologyRuntime(simulator, topology, allocation, options)
-    config = DRSConfig(
-        goal=OptimizationGoal.MIN_RESOURCE,
-        tmax=tmax,
-        cluster=cluster_spec,
-        rebalance_threshold=0.12,
-    )
-    controller = DRSController(list(topology.operator_names), config)
-    binding = DRSBinding(
-        runtime,
-        controller,
-        negotiator=negotiator,
-        enable_at=enable_at,
-        min_action_gap=150.0,
-    )
-    runtime.start()
-    simulator.run_until(duration)
-
-    applied = binding.applied_events
-    scaled_at = applied[0].time if applied else None
-    buckets = runtime.timeline()
+    summary = (runner or ScenarioRunner()).run(spec)
+    result = summary.replications[0]
+    scaled_at = result.actions[0].time if result.actions else None
+    buckets = [tuple(b) for b in result.timeline]
     spike = _bucket_mean_at(buckets, scaled_at) if scaled_at is not None else None
     settled = _settled_mean(buckets, scaled_at, bucket)
     return ScalingRun(
         name=name,
         tmax=tmax,
         initial_machines=initial_machines,
-        final_machines=cluster.num_running,
+        final_machines=result.final_machines,
         initial_spec=initial_spec,
-        final_spec=runtime.allocation.spec(),
+        final_spec=result.final_allocation,
         buckets=buckets,
         scaled_at=scaled_at,
         spike_sojourn=spike,

@@ -4,20 +4,20 @@ For each application (VLD, FPD) the paper runs six allocations for 10
 minutes each and plots the mean and standard deviation of the total
 sojourn time; the DRS-recommended allocation (VLD ``10:11:1``, FPD
 ``6:13:3``) achieves both the smallest mean *and* the smallest standard
-deviation.  This module reruns that protocol on the simulator and also
-records what the passively-running DRS recommends from its measurements.
+deviation.  The protocol is expressed as passive scenario specs (one
+per allocation) executed by the scenario engine; this module is the
+spec builder plus the result shaping.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.apps import fpd as fpd_app
 from repro.apps import vld as vld_app
-from repro.experiments.harness import passive_recommendation, run_passive
-from repro.scheduler.allocation import Allocation
-from repro.sim.runtime import RuntimeOptions
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -48,25 +48,57 @@ class Fig6Result:
         return self.best_spec() == self.drs_recommendation
 
 
+def panel_specs(
+    application: str,
+    allocation_specs: List[str],
+    recommended_spec: str,
+    *,
+    duration: float,
+    warmup: float,
+    seed: int,
+    hop_latency: Optional[float],
+    kmax: int,
+    workload_params: Optional[Dict[str, Any]] = None,
+) -> List[ScenarioSpec]:
+    """One passive scenario per allocation; the recommended run also
+    records DRS's passive recommendation (for parity with the paper's
+    starred configuration)."""
+    return [
+        ScenarioSpec(
+            name=f"fig6-{application}-{spec}",
+            workload=application,
+            workload_params=dict(workload_params or {}),
+            policy="none",
+            initial_allocation=spec,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+            hop_latency=hop_latency,
+            recommend_kmax=kmax if spec == recommended_spec else None,
+        )
+        for spec in allocation_specs
+    ]
+
+
 def run_vld(
     *,
     duration: float = 600.0,
     warmup: float = 60.0,
     seed: int = 11,
     hop_latency: float = 0.002,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig6Result:
     """VLD panel: six allocations, 10 simulated minutes each by default."""
-    workload = vld_app.VLDWorkload()
     return _run_panel(
         "vld",
-        workload.build(),
-        workload.fig6_allocations(),
+        vld_app.FIG6_CONFIGS,
         vld_app.RECOMMENDED,
         duration=duration,
         warmup=warmup,
         seed=seed,
         hop_latency=hop_latency,
         kmax=22,
+        runner=runner,
     )
 
 
@@ -77,64 +109,69 @@ def run_fpd(
     seed: int = 13,
     scale: float = 1.0,
     hop_latency: Optional[float] = None,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig6Result:
     """FPD panel.  ``scale < 1`` shrinks all rates (fewer events) while
     preserving offered loads and therefore the ranking."""
-    workload = fpd_app.FPDWorkload(scale=scale)
-    if hop_latency is None:
-        hop_latency = workload.hop_latency
     return _run_panel(
         "fpd",
-        workload.build(),
-        workload.fig6_allocations(),
+        fpd_app.FIG6_CONFIGS,
         fpd_app.RECOMMENDED,
         duration=duration,
         warmup=warmup,
         seed=seed,
         hop_latency=hop_latency,
         kmax=22,
+        workload_params={"scale": scale},
+        runner=runner,
     )
 
 
 def _run_panel(
     application: str,
-    topology,
-    allocations: List[Allocation],
+    allocation_specs: List[str],
     recommended_spec: str,
     *,
     duration: float,
     warmup: float,
     seed: int,
-    hop_latency: float,
+    hop_latency: Optional[float],
     kmax: int,
+    workload_params: Optional[Dict[str, Any]] = None,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig6Result:
+    specs = panel_specs(
+        application,
+        allocation_specs,
+        recommended_spec,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        hop_latency=hop_latency,
+        kmax=kmax,
+        workload_params=workload_params,
+    )
+    summaries = (runner or ScenarioRunner()).run_many(specs)
     rows: List[AllocationMeasurement] = []
     recommendation: Optional[str] = None
-    for allocation in allocations:
-        options = RuntimeOptions(seed=seed, hop_latency=hop_latency)
-        stats, runtime = run_passive(
-            topology, allocation, duration, options=options, warmup=warmup
-        )
-        if stats.mean_sojourn is None:
+    for spec, summary in zip(specs, summaries):
+        result = summary.replications[0]
+        if result.mean_sojourn is None:
             raise RuntimeError(
-                f"{application} {allocation.spec()}: no completed tuples —"
-                f" duration too short"
+                f"{application} {spec.initial_allocation}: no completed"
+                f" tuples — duration too short"
             )
         rows.append(
             AllocationMeasurement(
-                spec=allocation.spec(),
-                mean_sojourn=stats.mean_sojourn,
-                std_sojourn=stats.std_sojourn or 0.0,
-                completed_trees=stats.completed_trees,
-                is_recommended=allocation.spec() == recommended_spec,
+                spec=spec.initial_allocation,
+                mean_sojourn=result.mean_sojourn,
+                std_sojourn=result.std_sojourn or 0.0,
+                completed_trees=result.completed_trees,
+                is_recommended=spec.initial_allocation == recommended_spec,
             )
         )
-        # Record DRS's passive recommendation from the recommended run's
-        # measurements (any run works; use the recommended one for parity
-        # with the paper's starred configuration).
-        if allocation.spec() == recommended_spec:
-            picked = passive_recommendation(runtime, kmax)
-            recommendation = picked.spec() if picked is not None else None
+        if spec.recommend_kmax is not None:
+            recommendation = result.recommendation
     return Fig6Result(
         application=application, rows=rows, drs_recommendation=recommendation
     )

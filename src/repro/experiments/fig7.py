@@ -8,22 +8,23 @@ estimates for the computation-intensive VLD (slight underestimation);
 correlated, so "a polynomial regression can be used straightforwardly
 to make accurate predictions".
 
-This module reruns the comparison, quantifies monotonicity with
-Spearman rank correlation, and fits the suggested regression.
+The measurement side runs as passive scenario specs; this module adds
+the model estimates, the Spearman rank correlation and the suggested
+regression fit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.correlation import spearman
 from repro.apps import fpd as fpd_app
 from repro.apps import vld as vld_app
-from repro.experiments.harness import run_passive
 from repro.model.calibration import PolynomialCalibrator
 from repro.model.performance import PerformanceModel
-from repro.sim.runtime import RuntimeOptions
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -57,23 +58,50 @@ class Fig7Result:
         )
 
 
+def panel_specs(
+    application: str,
+    allocation_specs: List[str],
+    *,
+    duration: float,
+    warmup: float,
+    seed: int,
+    hop_latency: Optional[float],
+    workload_params: Optional[Dict[str, Any]] = None,
+) -> List[ScenarioSpec]:
+    """One passive scenario per allocation."""
+    return [
+        ScenarioSpec(
+            name=f"fig7-{application}-{spec}",
+            workload=application,
+            workload_params=dict(workload_params or {}),
+            policy="none",
+            initial_allocation=spec,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+            hop_latency=hop_latency,
+        )
+        for spec in allocation_specs
+    ]
+
+
 def run_vld(
     *,
     duration: float = 600.0,
     warmup: float = 60.0,
     seed: int = 11,
     hop_latency: float = 0.002,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig7Result:
     """VLD panel of Fig. 7."""
-    workload = vld_app.VLDWorkload()
     return _run_panel(
         "vld",
-        workload.build(),
-        [workload.allocation(s) for s in vld_app.FIG6_CONFIGS],
+        vld_app.FIG6_CONFIGS,
         duration=duration,
         warmup=warmup,
         seed=seed,
         hop_latency=hop_latency,
+        runner=runner,
     )
 
 
@@ -84,49 +112,59 @@ def run_fpd(
     seed: int = 13,
     scale: float = 1.0,
     hop_latency: Optional[float] = None,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig7Result:
     """FPD panel of Fig. 7 (data-intensive: expect underestimation)."""
-    workload = fpd_app.FPDWorkload(scale=scale)
-    if hop_latency is None:
-        hop_latency = workload.hop_latency
     return _run_panel(
         "fpd",
-        workload.build(),
-        [workload.allocation(s) for s in fpd_app.FIG6_CONFIGS],
+        fpd_app.FIG6_CONFIGS,
         duration=duration,
         warmup=warmup,
         seed=seed,
         hop_latency=hop_latency,
+        workload_params={"scale": scale},
+        runner=runner,
     )
 
 
 def _run_panel(
     application: str,
-    topology,
-    allocations,
+    allocation_specs: List[str],
     *,
     duration: float,
     warmup: float,
     seed: int,
-    hop_latency: float,
+    hop_latency: Optional[float],
+    workload_params: Optional[Dict[str, Any]] = None,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig7Result:
-    model = PerformanceModel.from_topology(topology)
+    specs = panel_specs(
+        application,
+        allocation_specs,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        hop_latency=hop_latency,
+        workload_params=workload_params,
+    )
+    model = PerformanceModel.from_topology(specs[0].build_workload().build())
+    summaries = (runner or ScenarioRunner()).run_many(specs)
     points: List[EstimatePoint] = []
-    for allocation in allocations:
-        estimated = model.expected_sojourn(list(allocation.vector))
-        options = RuntimeOptions(seed=seed, hop_latency=hop_latency)
-        stats, _ = run_passive(
-            topology, allocation, duration, options=options, warmup=warmup
-        )
-        if stats.mean_sojourn is None:
+    for spec, summary in zip(specs, summaries):
+        result = summary.replications[0]
+        if result.mean_sojourn is None:
             raise RuntimeError(
-                f"{application} {allocation.spec()}: no completed tuples"
+                f"{application} {spec.initial_allocation}: no completed tuples"
             )
+        allocation = spec.initial_allocation
+        estimated = model.expected_sojourn(
+            [int(k) for k in allocation.split(":")]
+        )
         points.append(
             EstimatePoint(
-                spec=allocation.spec(),
+                spec=allocation,
                 estimated=estimated,
-                measured=stats.mean_sojourn,
+                measured=result.mean_sojourn,
             )
         )
     correlation = spearman(

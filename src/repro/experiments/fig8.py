@@ -6,17 +6,20 @@ estimated* average sojourn time.  When per-tuple CPU is tiny, the
 fixed per-hop framework/network overhead (which the model ignores)
 dominates and the ratio is large; as CPU grows the ratio approaches 1
 — "a clear decreasing trend of the degree of underestimation".
+
+Each CPU workload is one passive scenario spec over the ``synthetic``
+chain topology.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.apps.synthetic import FIG8_TOTAL_CPU, SyntheticChainWorkload
-from repro.experiments.harness import run_passive
 from repro.model.performance import PerformanceModel
-from repro.sim.runtime import RuntimeOptions
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,38 @@ class Fig8Result:
         return all(a > b for a, b in zip(ratios, ratios[1:]))
 
 
+def sweep_specs(
+    workloads: Sequence[float],
+    *,
+    duration: float,
+    warmup: float,
+    seed: int,
+    hop_latency: float,
+    arrival_rate: float,
+) -> List[ScenarioSpec]:
+    """One passive synthetic-chain scenario per total-CPU workload."""
+    executors = SyntheticChainWorkload().executors_per_bolt
+    allocation = ":".join([str(executors)] * 3)
+    return [
+        ScenarioSpec(
+            name=f"fig8-cpu{total_cpu}",
+            workload="synthetic",
+            workload_params={
+                "total_cpu": total_cpu,
+                "arrival_rate": arrival_rate,
+                "hop_latency": hop_latency,
+            },
+            policy="none",
+            initial_allocation=allocation,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+            hop_latency=hop_latency,
+        )
+        for total_cpu in workloads
+    ]
+
+
 def run(
     *,
     workloads: Sequence[float] = tuple(FIG8_TOTAL_CPU),
@@ -56,30 +91,31 @@ def run(
     seed: int = 17,
     hop_latency: float = 0.004,
     arrival_rate: float = 20.0,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig8Result:
     """Sweep the total-CPU workloads and collect measured/estimated ratios."""
+    specs = sweep_specs(
+        workloads,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        hop_latency=hop_latency,
+        arrival_rate=arrival_rate,
+    )
+    summaries = (runner or ScenarioRunner()).run_many(specs)
     points: List[UnderestimationPoint] = []
-    for total_cpu in workloads:
-        workload = SyntheticChainWorkload(
-            total_cpu=total_cpu,
-            arrival_rate=arrival_rate,
-            hop_latency=hop_latency,
-        )
-        topology = workload.build()
-        model = PerformanceModel.from_topology(topology)
-        allocation = workload.allocation()
-        estimated = model.expected_sojourn(list(allocation.vector))
-        options = RuntimeOptions(seed=seed, hop_latency=hop_latency)
-        stats, _ = run_passive(
-            topology, allocation, duration, options=options, warmup=warmup
-        )
-        if stats.mean_sojourn is None:
+    for total_cpu, spec, summary in zip(workloads, specs, summaries):
+        result = summary.replications[0]
+        if result.mean_sojourn is None:
             raise RuntimeError(f"total_cpu={total_cpu}: no completed tuples")
+        workload = spec.build_workload()
+        model = PerformanceModel.from_topology(workload.build())
+        estimated = model.expected_sojourn(list(workload.allocation().vector))
         points.append(
             UnderestimationPoint(
                 total_cpu=total_cpu,
                 estimated=estimated,
-                measured=stats.mean_sojourn,
+                measured=result.mean_sojourn,
             )
         )
     return Fig8Result(points=points)

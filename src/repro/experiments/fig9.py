@@ -6,25 +6,23 @@ initial allocations.  Re-balancing is disabled until the end of the
 optimal allocation within the 14th minute at negligible cost, after
 which all three curves coincide.
 
-Durations here are parameterised (defaults are a scaled-down protocol —
-the ratio of disabled to enabled phases is preserved) because the full
-27-minute FPD run is ~10M simulated events.
+Each curve is one ``drs.min_sojourn`` scenario spec (policy enabled at
+``enable_at``); durations are parameterised (defaults are a scaled-down
+protocol — the ratio of disabled to enabled phases is preserved)
+because the full 27-minute FPD run is ~10M simulated events.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.apps import fpd as fpd_app
 from repro.apps import vld as vld_app
-from repro.config import MeasurementConfig
-from repro.experiments.harness import DRSBinding, make_kmax_controller
 from repro.model.performance import PerformanceModel
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
 from repro.scheduler.assign import assign_processors
-from repro.scheduler.allocation import Allocation
-from repro.sim.engine import Simulator
-from repro.sim.runtime import RuntimeOptions, TopologyRuntime
 
 
 @dataclass(frozen=True)
@@ -63,6 +61,45 @@ class Fig9Result:
         )
 
 
+def panel_specs(
+    application: str,
+    initial_specs: List[str],
+    *,
+    enable_at: float,
+    duration: float,
+    bucket: float,
+    seed: int,
+    hop_latency: Optional[float],
+    workload_params: Optional[Dict[str, Any]] = None,
+    kmax: int = 22,
+) -> List[ScenarioSpec]:
+    """One live-DRS scenario per initial allocation.
+
+    Heavy smoothing (alpha = 0.85 over 10 s pulls gives a ~1-minute
+    memory) plus a 12% hysteresis keep measurement noise from flapping
+    the optimum between near-equivalent allocations — the role the
+    paper assigns to the measurer's smoothing options.
+    """
+    return [
+        ScenarioSpec(
+            name=f"fig9-{application}-{initial}",
+            workload=application,
+            workload_params=dict(workload_params or {}),
+            policy="drs.min_sojourn",
+            policy_params={"kmax": kmax, "rebalance_threshold": 0.12},
+            initial_allocation=initial,
+            duration=duration,
+            enable_at=enable_at,
+            min_action_gap=60.0,
+            seed=seed,
+            hop_latency=hop_latency,
+            timeline_bucket=bucket,
+            measurement={"alpha": 0.85},
+        )
+        for initial in initial_specs
+    ]
+
+
 def run_vld(
     *,
     enable_at: float = 390.0,
@@ -70,20 +107,20 @@ def run_vld(
     bucket: float = 30.0,
     seed: int = 19,
     hop_latency: float = 0.002,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig9Result:
     """VLD panel.  Defaults scale the paper's 13/27-minute protocol by
     half (6.5 min disabled, 13.5 min total) with 30 s buckets."""
-    workload = vld_app.VLDWorkload()
     return _run_panel(
         "vld",
-        workload.build(),
-        [workload.allocation(s) for s in vld_app.FIG9_INITIAL],
+        list(vld_app.FIG9_INITIAL),
         vld_app.RECOMMENDED,
         enable_at=enable_at,
         duration=duration,
         bucket=bucket,
         seed=seed,
         hop_latency=hop_latency,
+        runner=runner,
     )
 
 
@@ -95,65 +132,59 @@ def run_fpd(
     seed: int = 23,
     scale: float = 0.5,
     hop_latency: Optional[float] = None,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig9Result:
     """FPD panel (rates scaled by default to bound event counts)."""
-    workload = fpd_app.FPDWorkload(scale=scale)
-    if hop_latency is None:
-        hop_latency = workload.hop_latency
     return _run_panel(
         "fpd",
-        workload.build(),
-        [workload.allocation(s) for s in fpd_app.FIG9_INITIAL],
+        list(fpd_app.FIG9_INITIAL),
         fpd_app.RECOMMENDED,
         enable_at=enable_at,
         duration=duration,
         bucket=bucket,
         seed=seed,
         hop_latency=hop_latency,
+        workload_params={"scale": scale},
+        runner=runner,
     )
 
 
 def _run_panel(
     application: str,
-    topology,
-    initial_allocations: List[Allocation],
+    initial_specs: List[str],
     optimal_spec: str,
     *,
     enable_at: float,
     duration: float,
     bucket: float,
     seed: int,
-    hop_latency: float,
+    hop_latency: Optional[float],
+    workload_params: Optional[Dict[str, Any]] = None,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Fig9Result:
+    specs = panel_specs(
+        application,
+        initial_specs,
+        enable_at=enable_at,
+        duration=duration,
+        bucket=bucket,
+        seed=seed,
+        hop_latency=hop_latency,
+        workload_params=workload_params,
+    )
+    topology = specs[0].build_workload().build()
+    summaries = (runner or ScenarioRunner()).run_many(specs)
     curves: List[TimelineCurve] = []
-    for initial in initial_allocations:
-        simulator = Simulator()
-        # Heavy smoothing (alpha = 0.85 over 10 s pulls gives a ~1-minute
-        # memory) plus a 12% hysteresis keep measurement noise from
-        # flapping the optimum between near-equivalent allocations — the
-        # role the paper assigns to the measurer's smoothing options.
-        options = RuntimeOptions(
-            seed=seed,
-            hop_latency=hop_latency,
-            timeline_bucket=bucket,
-            measurement=MeasurementConfig(alpha=0.85),
-        )
-        runtime = TopologyRuntime(simulator, topology, initial, options)
-        controller = make_kmax_controller(
-            topology, kmax=22, rebalance_threshold=0.12
-        )
-        binding = DRSBinding(
-            runtime, controller, enable_at=enable_at, min_action_gap=60.0
-        )
-        runtime.start()
-        simulator.run_until(duration)
-        applied = binding.applied_events
+    for spec, summary in zip(specs, summaries):
+        result = summary.replications[0]
         curves.append(
             TimelineCurve(
-                initial_spec=initial.spec(),
-                final_spec=runtime.allocation.spec(),
-                buckets=runtime.timeline(),
-                rebalanced_at=applied[0].time if applied else None,
+                initial_spec=spec.initial_allocation,
+                final_spec=result.final_allocation,
+                buckets=[tuple(b) for b in result.timeline],
+                rebalanced_at=(
+                    result.actions[0].time if result.actions else None
+                ),
             )
         )
     return Fig9Result(

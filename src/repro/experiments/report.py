@@ -124,6 +124,66 @@ def render_table2(result: Table2Result) -> str:
     return "\n".join(lines)
 
 
+def render_scenario(summary) -> str:
+    """A :class:`~repro.scenarios.runner.ScenarioSummary` as text."""
+    lines = [
+        f"Scenario {summary.name}: policy={summary.policy}"
+        f" replications={len(summary.replications)}"
+    ]
+    if summary.extra and "overhead_rows" in summary.extra:
+        for row in summary.extra["overhead_rows"]:
+            lines.append(
+                f"  Kmax={row['kmax']:>5}"
+                f"  scheduling={row['scheduling_ms']:.3f} ms"
+                f"  measurement={row['measurement_ms']:.3f} ms"
+            )
+        return "\n".join(lines)
+    for rep in summary.replications:
+        mean = _ms(rep.mean_sojourn) if rep.mean_sojourn is not None else "-"
+        p95 = _ms(rep.p95_sojourn) if rep.p95_sojourn is not None else "-"
+        machines = (
+            f"  machines={rep.final_machines}"
+            if rep.final_machines is not None
+            else ""
+        )
+        lines.append(
+            f"  rep {rep.index} (seed {rep.seed}): mean={mean:>12}"
+            f"  p95={p95:>12}  n={rep.completed_trees}"
+            f"  final={rep.final_allocation}{machines}"
+        )
+        for action in rep.actions:
+            target = (
+                f" -> {action.machines} machines"
+                if action.machines is not None
+                else ""
+            )
+            lines.append(
+                f"    t={action.time:>6.0f}s  {action.action}"
+                f"  {action.allocation}{target}"
+            )
+        if rep.recommendation is not None:
+            lines.append(f"    passive DRS recommendation: {rep.recommendation}")
+    mean = _ms(summary.mean_sojourn) if summary.mean_sojourn is not None else "-"
+    spread = (
+        _ms(summary.std_between) if summary.std_between is not None else "-"
+    )
+    lines.append(
+        f"  merged: mean-of-means={mean}  between-rep std={spread}"
+        f"  completed={summary.total_completed}"
+        f"  rebalances={summary.total_rebalances}"
+    )
+    return "\n".join(lines)
+
+
+def render_policies(policies) -> str:
+    """The policy registry as ``name - description`` rows."""
+    lines = ["Registered scheduling policies:"]
+    width = max(len(name) for name in policies) if policies else 0
+    for name, description in policies.items():
+        lines.append(f"  {name:<{width}}  {description}")
+    return "\n".join(lines)
+
+
 def render_baselines(result: BaselineComparison) -> str:
     """DRS vs baseline allocators."""
     lines = [

@@ -13,7 +13,7 @@ candidate allocations correctly (the property DRS actually relies on).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List
 
 from repro.model.performance import PerformanceModel
 from repro.randomness.arrival import (

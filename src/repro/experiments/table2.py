@@ -9,21 +9,25 @@ measurement processing is flat (0.100 ms) because it depends on the
 task count, not ``Kmax``.
 
 This module reproduces the measurement with wall-clock timing of our
-implementations.  Absolute numbers depend on the host; the assertions
-in the test suite check the *shape* (monotone growth ~linear in Kmax,
-Kmax-independent measurement cost).
+implementations, expressed as an ``"overhead"``-kind scenario spec the
+scenario runner executes (the timing primitives stay here; the runner
+imports them lazily).  Absolute numbers depend on the host; the
+assertions in the test suite check the *shape* (monotone growth ~linear
+in Kmax, Kmax-independent measurement cost).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.apps.vld import VLDWorkload
 from repro.config import MeasurementConfig
 from repro.measurement.measurer import Measurer
 from repro.model.performance import PerformanceModel
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
 from repro.scheduler.assign import assign_processors
 
 
@@ -56,7 +60,7 @@ class Table2Result:
         return max(values) <= tolerance * max(min(values), 1e-9)
 
 
-def _reference_model() -> PerformanceModel:
+def reference_model() -> PerformanceModel:
     """The 3-operator VLD-shaped model used across all Kmax values.
 
     The paper fixes lambda_0, lambda_i, mu_i and varies only Kmax (down
@@ -71,14 +75,15 @@ def _reference_model() -> PerformanceModel:
     )
 
 
-def _time_scheduling(model: PerformanceModel, kmax: int, repetitions: int) -> float:
+def time_scheduling(model: PerformanceModel, kmax: int, repetitions: int) -> float:
+    """Mean wall-clock cost (ms) of one Algorithm-1 run at ``kmax``."""
     started = time.perf_counter()
     for _ in range(repetitions):
         assign_processors(model, kmax)
     return (time.perf_counter() - started) / repetitions * 1000.0
 
 
-def _time_measurement(repetitions: int, *, tuples_per_interval: int = 200) -> float:
+def time_measurement(repetitions: int, *, tuples_per_interval: int = 200) -> float:
     """Cost of one measurer pull over a fixed task count (Kmax-free)."""
     workload = VLDWorkload()
     names = workload.operator_names
@@ -96,10 +101,29 @@ def _time_measurement(repetitions: int, *, tuples_per_interval: int = 200) -> fl
     return (time.perf_counter() - started) / repetitions * 1000.0
 
 
+def spec(
+    *,
+    kmax_values: Sequence[int] = tuple(KMAX_VALUES),
+    repetitions: int = 2000,
+) -> ScenarioSpec:
+    """Table II as an ``"overhead"``-kind scenario spec."""
+    return ScenarioSpec(
+        name="table2",
+        workload="vld",
+        policy="none",
+        kind="overhead",
+        policy_params={
+            "kmax_values": [int(k) for k in kmax_values],
+            "repetitions": int(repetitions),
+        },
+    )
+
+
 def run(
     *,
     kmax_values: Sequence[int] = tuple(KMAX_VALUES),
     repetitions: int = 2000,
+    runner: Optional[ScenarioRunner] = None,
 ) -> Table2Result:
     """Time scheduling and measurement processing for each ``Kmax``.
 
@@ -107,14 +131,15 @@ def run(
     2k keeps the benchmark under a second per row while staying well
     above timer resolution).
     """
-    model = _reference_model()
-    measurement_ms = _time_measurement(repetitions)
+    summary = (runner or ScenarioRunner(max_workers=1)).run(
+        spec(kmax_values=kmax_values, repetitions=repetitions)
+    )
     rows = [
         OverheadRow(
-            kmax=kmax,
-            scheduling_ms=_time_scheduling(model, kmax, repetitions),
-            measurement_ms=measurement_ms,
+            kmax=row["kmax"],
+            scheduling_ms=row["scheduling_ms"],
+            measurement_ms=row["measurement_ms"],
         )
-        for kmax in kmax_values
+        for row in summary.extra["overhead_rows"]
     ]
     return Table2Result(rows=rows)

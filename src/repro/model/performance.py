@@ -18,8 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import ModelError
-from repro.queueing.jackson import JacksonNetwork, OperatorLoad
+from repro.queueing.jackson import JacksonNetwork
 from repro.topology.graph import Topology
 
 

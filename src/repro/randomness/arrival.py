@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.randomness.distributions import Distribution
 from repro.utils.validation import check_positive
@@ -227,6 +227,64 @@ class ModulatedRateProcess(ArrivalProcess):
 
     def __repr__(self) -> str:
         return f"ModulatedRateProcess(nominal={self._nominal})"
+
+
+class PhasedArrivalProcess(ArrivalProcess):
+    """Scale a base process's rate by a piecewise-constant schedule.
+
+    ``phases`` is a sequence of ``(start_time, rate_multiplier)`` pairs
+    with strictly increasing start times; the multiplier in force at
+    ``now`` divides the base process's gap (doubling the multiplier
+    doubles the instantaneous rate).  Before the first phase the base
+    rate applies unchanged.  A gap that straddles a phase boundary keeps
+    the multiplier sampled at its start — exact for the minute-scale
+    phase schedules scenarios use, where gaps are far shorter than
+    phases.  ``mean_rate`` reports the base rate under the multiplier
+    in force at ``t = 0`` (the nominal starting load the performance
+    model plans for — the base rate itself when the first phase starts
+    later); controllers see later phases through measurements.
+    """
+
+    def __init__(
+        self, base: ArrivalProcess, phases: Sequence[Tuple[float, float]]
+    ):
+        if not phases:
+            raise ValueError("phases must be non-empty")
+        starts = [float(start) for start, _ in phases]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError("phase start times must be strictly increasing")
+        if starts[0] < 0:
+            raise ValueError("phase start times must be >= 0")
+        for _, multiplier in phases:
+            check_positive("rate_multiplier", multiplier)
+        self._base = base
+        self._phases = [(float(s), float(m)) for s, m in phases]
+
+    @property
+    def base(self) -> ArrivalProcess:
+        return self._base
+
+    @property
+    def phases(self) -> Sequence[Tuple[float, float]]:
+        return list(self._phases)
+
+    def _multiplier(self, now: float) -> float:
+        multiplier = 1.0
+        for start, value in self._phases:
+            if now < start:
+                break
+            multiplier = value
+        return multiplier
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        return self._base.next_gap(now, rng) / self._multiplier(now)
+
+    @property
+    def mean_rate(self) -> float:
+        return self._base.mean_rate * self._multiplier(0.0)
+
+    def __repr__(self) -> str:
+        return f"PhasedArrivalProcess({self._base!r}, phases={self._phases})"
 
 
 class TraceReplayProcess(ArrivalProcess):

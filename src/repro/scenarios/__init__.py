@@ -1,0 +1,73 @@
+"""The scenario engine: declarative experiments over pluggable policies.
+
+Three pieces replace the per-figure driver pattern:
+
+- :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, a JSON-round-
+  trippable description of a workload + policy + protocol + replication
+  plan;
+- :mod:`repro.scenarios.registry` — the string-keyed policy registry
+  (``"drs.min_sojourn"``, ``"drs.min_resource"``, ``"static.*"``,
+  ``"threshold"``, ``"none"``) with :func:`create_policy` /
+  :func:`register_policy`;
+- :mod:`repro.scenarios.runner` — :class:`ScenarioRunner`, executing a
+  spec's replications in parallel with deterministic per-replication
+  seeds and merging them into one :class:`ScenarioSummary`.
+
+The figure drivers under :mod:`repro.experiments` are now thin spec
+builders plus result-shaping glue over this engine, and the CLI's
+``run-scenario`` verb executes any spec straight from a JSON file.
+"""
+
+from repro.scenarios.binding import (
+    BindingEvent,
+    PolicyBinding,
+    model_from_report,
+    passive_recommendation,
+)
+from repro.scenarios.policies import (
+    DRSControllerPolicy,
+    PassivePolicy,
+    PolicyObservation,
+    SchedulingPolicy,
+    StaticAllocatorPolicy,
+    ThresholdPolicy,
+)
+from repro.scenarios.registry import (
+    available_policies,
+    create_policy,
+    register_policy,
+)
+from repro.scenarios.runner import (
+    AppliedAction,
+    ReplicationResult,
+    ScenarioRunner,
+    ScenarioSummary,
+    replication_seed,
+    run_replication,
+)
+from repro.scenarios.spec import RatePhase, ScenarioSpec, WORKLOADS
+
+__all__ = [
+    "AppliedAction",
+    "BindingEvent",
+    "DRSControllerPolicy",
+    "PassivePolicy",
+    "PolicyBinding",
+    "PolicyObservation",
+    "RatePhase",
+    "ReplicationResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "ScenarioSummary",
+    "SchedulingPolicy",
+    "StaticAllocatorPolicy",
+    "ThresholdPolicy",
+    "WORKLOADS",
+    "available_policies",
+    "create_policy",
+    "model_from_report",
+    "passive_recommendation",
+    "register_policy",
+    "replication_seed",
+    "run_replication",
+]

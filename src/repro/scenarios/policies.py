@@ -1,0 +1,210 @@
+"""The uniform scheduling-policy interface and its adapters.
+
+Every allocation strategy in the repository — the DRS controller in
+both of its optimisation modes, the static model-free baselines and the
+reactive threshold scaler — sits behind one protocol so the scenario
+engine can drive any of them interchangeably:
+
+- :meth:`SchedulingPolicy.initial_allocation` answers "where would you
+  start?" from the nominal performance model (``None`` when the policy
+  cannot decide without runtime context, e.g. MIN_RESOURCE needs a
+  machine count);
+- :meth:`SchedulingPolicy.observe` consumes one measurement interval's
+  :class:`PolicyObservation` and returns a
+  :class:`~repro.scheduler.controller.ControllerDecision` that the
+  binding may apply (rebalance / machine scaling).
+
+Policies are constructed by name through :mod:`repro.scenarios.registry`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.baselines.static import UniformAllocator
+from repro.baselines.threshold import ThresholdScaler
+from repro.config import OptimizationGoal
+from repro.model.performance import PerformanceModel
+from repro.scheduler.allocation import Allocation
+from repro.scheduler.assign import assign_processors
+from repro.scheduler.controller import (
+    ControllerAction,
+    ControllerDecision,
+    DRSController,
+    LoadSnapshot,
+)
+
+
+@dataclass(frozen=True)
+class PolicyObservation:
+    """One measurement interval's aggregated view handed to a policy."""
+
+    time: float
+    snapshot: LoadSnapshot
+    current_allocation: Allocation
+    current_machines: Optional[int] = None
+
+
+@runtime_checkable
+class SchedulingPolicy(Protocol):
+    """What every scheduling strategy must provide to the scenario engine."""
+
+    def initial_allocation(
+        self, model: PerformanceModel
+    ) -> Optional[Allocation]:
+        """The allocation this policy would start from, or ``None``."""
+
+    def observe(self, observation: PolicyObservation) -> ControllerDecision:
+        """React to one measurement interval with a decision."""
+
+
+def _no_change(
+    observation: PolicyObservation, reason: str
+) -> ControllerDecision:
+    return ControllerDecision(
+        ControllerAction.NONE,
+        observation.current_allocation,
+        observation.current_machines,
+        math.inf,
+        reason,
+    )
+
+
+class PassivePolicy:
+    """Keep the scenario's initial allocation forever (policy ``"none"``).
+
+    The workhorse of the passive experiment family (Fig. 6/7/8 and the
+    baseline-comparison runs): measurements still flow, but nothing is
+    ever applied.
+    """
+
+    def initial_allocation(
+        self, model: PerformanceModel
+    ) -> Optional[Allocation]:
+        return None
+
+    def observe(self, observation: PolicyObservation) -> ControllerDecision:
+        return _no_change(observation, "passive policy never acts")
+
+    def __repr__(self) -> str:
+        return "PassivePolicy()"
+
+
+class DRSControllerPolicy:
+    """Adapter putting a :class:`DRSController` behind the protocol.
+
+    Covers both optimisation modes: MIN_SOJOURN derives its starting
+    point from Algorithm 1 at the configured ``Kmax``; MIN_RESOURCE
+    cannot size the machine pool from the model alone, so the scenario
+    must supply an explicit initial allocation.
+    """
+
+    def __init__(self, controller: DRSController):
+        self._controller = controller
+
+    @property
+    def controller(self) -> DRSController:
+        return self._controller
+
+    def initial_allocation(
+        self, model: PerformanceModel
+    ) -> Optional[Allocation]:
+        config = self._controller.config
+        if config.goal is OptimizationGoal.MIN_SOJOURN:
+            return assign_processors(model, config.kmax)
+        return None
+
+    def observe(self, observation: PolicyObservation) -> ControllerDecision:
+        return self._controller.update(
+            observation.snapshot,
+            observation.current_allocation,
+            observation.current_machines,
+        )
+
+    def __repr__(self) -> str:
+        return f"DRSControllerPolicy({self._controller!r})"
+
+
+class StaticAllocatorPolicy:
+    """One-shot model-free allocator: place ``Kmax`` once, never react.
+
+    Wraps any of the :mod:`repro.baselines.static` allocators (uniform,
+    proportional, random).
+    """
+
+    def __init__(self, allocator, kmax: int):
+        self._allocator = allocator
+        self._kmax = int(kmax)
+
+    def initial_allocation(
+        self, model: PerformanceModel
+    ) -> Optional[Allocation]:
+        return self._allocator.allocate(model, self._kmax)
+
+    def observe(self, observation: PolicyObservation) -> ControllerDecision:
+        return _no_change(observation, "static allocator never re-balances")
+
+    def __repr__(self) -> str:
+        return f"StaticAllocatorPolicy({self._allocator!r}, kmax={self._kmax})"
+
+
+class ThresholdPolicy:
+    """The reactive threshold scaler behind the policy protocol.
+
+    ``initial_allocation`` starts from the uniform split; with
+    ``converge_on_model`` it first iterates the scaler to a fixed point
+    on the nominal rates (the static variant the baseline comparison
+    reports).  ``observe`` steps the scaler once per measurement
+    interval on the *measured* rates — the live reactive controller.
+    """
+
+    def __init__(
+        self,
+        scaler: ThresholdScaler,
+        kmax: int,
+        *,
+        converge_on_model: bool = False,
+        convergence_iterations: int = 50,
+    ):
+        self._scaler = scaler
+        self._kmax = int(kmax)
+        self._converge = bool(converge_on_model)
+        self._iterations = int(convergence_iterations)
+
+    def initial_allocation(
+        self, model: PerformanceModel
+    ) -> Optional[Allocation]:
+        allocation = UniformAllocator().allocate(model, self._kmax)
+        if not self._converge:
+            return allocation
+        lams = model.network.arrival_rates
+        mus = model.network.service_rates
+        for _ in range(self._iterations):
+            updated = self._scaler.update(allocation, lams, mus, kmax=self._kmax)
+            if updated == allocation:
+                break
+            allocation = updated
+        return allocation
+
+    def observe(self, observation: PolicyObservation) -> ControllerDecision:
+        updated = self._scaler.update(
+            observation.current_allocation,
+            list(observation.snapshot.arrival_rates),
+            list(observation.snapshot.service_rates),
+            kmax=self._kmax,
+        )
+        if updated == observation.current_allocation:
+            return _no_change(observation, "utilisation within watermarks")
+        return ControllerDecision(
+            ControllerAction.REBALANCE,
+            updated,
+            observation.current_machines,
+            math.inf,
+            f"threshold step {observation.current_allocation.spec()}"
+            f" -> {updated.spec()}",
+        )
+
+    def __repr__(self) -> str:
+        return f"ThresholdPolicy({self._scaler!r}, kmax={self._kmax})"

@@ -1,0 +1,430 @@
+"""Execute scenario specs: N replications, N cores, one merged summary.
+
+:class:`ScenarioRunner` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
+into results.  Each replication is an independent simulation whose seed
+is *derived from the spec's base seed and the replication index*, so the
+result set is identical no matter how many worker processes execute it
+(replication 0 runs the base seed itself, keeping single-replication
+scenarios bit-for-bit compatible with the legacy figure drivers).
+Replications are distributed over a :class:`ProcessPoolExecutor`;
+results are merged in index order, making the summary deterministic —
+the property the determinism regression test pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    ClusterSpec,
+    MeasurementConfig,
+    OptimizationGoal,
+    cluster_from_dict,
+    measurement_from_dict,
+)
+from repro.exceptions import ConfigurationError
+from repro.model.performance import PerformanceModel
+from repro.scenarios.binding import (
+    PolicyBinding,
+    passive_recommendation,
+)
+from repro.scenarios.policies import DRSControllerPolicy
+from repro.scenarios.registry import create_policy, policy_uses_cluster
+from repro.scenarios.spec import DEFAULT_HOP_LATENCY, ScenarioSpec
+from repro.scheduler.allocation import Allocation
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.negotiator import SimResourceNegotiator
+from repro.sim.runtime import RuntimeOptions, TopologyRuntime
+from repro.utils.rng import derive_seed
+
+
+def replication_seed(base_seed: int, index: int) -> int:
+    """Deterministic seed of replication ``index``.
+
+    Replication 0 is the base seed itself (bit-for-bit compatibility
+    with the single-run figure drivers); later replications derive
+    independent seeds via SHA-256, stable across platforms and worker
+    counts.
+    """
+    if index < 0:
+        raise ConfigurationError(f"replication index must be >= 0, got {index}")
+    if index == 0:
+        return int(base_seed)
+    return derive_seed(base_seed, "replication", str(index))
+
+
+@dataclass(frozen=True)
+class AppliedAction:
+    """One policy decision the binding actually executed."""
+
+    time: float
+    action: str
+    allocation: str
+    machines: Optional[int]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "action": self.action,
+            "allocation": self.allocation,
+            "machines": self.machines,
+        }
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Everything one replication reports back to the merger."""
+
+    index: int
+    seed: int
+    duration: float
+    external_tuples: int
+    completed_trees: int
+    dropped_tuples: int
+    dropped_trees: int
+    rebalances: int
+    mean_sojourn: Optional[float]
+    std_sojourn: Optional[float]
+    p95_sojourn: Optional[float]
+    final_allocation: str
+    final_machines: Optional[int]
+    actions: Tuple[AppliedAction, ...]
+    timeline: Tuple[Tuple[float, Optional[float], int], ...]
+    recommendation: Optional[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "duration": self.duration,
+            "external_tuples": self.external_tuples,
+            "completed_trees": self.completed_trees,
+            "dropped_tuples": self.dropped_tuples,
+            "dropped_trees": self.dropped_trees,
+            "rebalances": self.rebalances,
+            "mean_sojourn": self.mean_sojourn,
+            "std_sojourn": self.std_sojourn,
+            "p95_sojourn": self.p95_sojourn,
+            "final_allocation": self.final_allocation,
+            "final_machines": self.final_machines,
+            "actions": [a.to_dict() for a in self.actions],
+            "timeline": [list(b) for b in self.timeline],
+            "recommendation": self.recommendation,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSummary:
+    """Merged view over a scenario's replications.
+
+    ``mean_sojourn`` is the mean of the replication means (each
+    replication is one i.i.d. sample of the scenario's mean sojourn
+    time); ``std_between`` is the sample standard deviation across
+    those means — the replication-level uncertainty.
+    """
+
+    name: str
+    policy: str
+    replications: Tuple[ReplicationResult, ...]
+    mean_sojourn: Optional[float]
+    std_between: Optional[float]
+    min_sojourn: Optional[float]
+    max_sojourn: Optional[float]
+    total_external: int
+    total_completed: int
+    total_rebalances: int
+    extra: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "policy": self.policy,
+            "replications": [r.to_dict() for r in self.replications],
+            "mean_sojourn": self.mean_sojourn,
+            "std_between": self.std_between,
+            "min_sojourn": self.min_sojourn,
+            "max_sojourn": self.max_sojourn,
+            "total_external": self.total_external,
+            "total_completed": self.total_completed,
+            "total_rebalances": self.total_rebalances,
+            "extra": self.extra,
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# one replication (module-level so process pools can pickle it)
+# ----------------------------------------------------------------------
+def _resolve_policy_params(spec: ScenarioSpec) -> Dict[str, Any]:
+    params = dict(spec.policy_params)
+    if spec.cluster is not None and policy_uses_cluster(spec.policy):
+        # The negotiator and the controller must agree on the machine
+        # accounting, so the spec-level cluster is the default.
+        params.setdefault("cluster", dict(spec.cluster))
+    return params
+
+
+def _initial_allocation(
+    spec: ScenarioSpec, policy, model: PerformanceModel, topology
+) -> Allocation:
+    if spec.initial_allocation is not None:
+        return Allocation.parse(
+            list(topology.operator_names), spec.initial_allocation
+        )
+    picked = policy.initial_allocation(model)
+    if picked is None:
+        raise ConfigurationError(
+            f"scenario {spec.name!r}: policy {spec.policy!r} cannot derive a"
+            " starting point; set initial_allocation explicitly"
+        )
+    return picked
+
+
+def _check_machine_pool(spec: ScenarioSpec, policy) -> None:
+    """Reject pool-sizing policies with no pool *before* simulating.
+
+    Without this a MIN_RESOURCE controller only fails at its first
+    measurement report, mid-replication inside a worker process, with
+    a controller-internal message that never names the spec field.
+    """
+    if spec.initial_machines is not None:
+        return
+    if (
+        isinstance(policy, DRSControllerPolicy)
+        and policy.controller.config.goal is OptimizationGoal.MIN_RESOURCE
+    ):
+        raise ConfigurationError(
+            f"scenario {spec.name!r}: policy {spec.policy!r} sizes the"
+            " machine pool; set initial_machines (and cluster) in the spec"
+        )
+
+
+def run_replication(spec: ScenarioSpec, index: int) -> ReplicationResult:
+    """Execute replication ``index`` of ``spec`` and collect its results."""
+    if spec.kind != "simulation":
+        raise ConfigurationError(
+            f"scenario kind {spec.kind!r} has no simulation replications"
+        )
+    seed = replication_seed(spec.seed, index)
+    workload = spec.build_workload()
+    topology = workload.build()
+    model = PerformanceModel.from_topology(topology)
+    policy = create_policy(spec.policy, topology, _resolve_policy_params(spec))
+    _check_machine_pool(spec, policy)
+    allocation = _initial_allocation(spec, policy, model, topology)
+
+    hop_latency = (
+        spec.hop_latency
+        if spec.hop_latency is not None
+        else getattr(workload, "hop_latency", DEFAULT_HOP_LATENCY)
+    )
+    measurement = (
+        measurement_from_dict(spec.measurement)
+        if spec.measurement is not None
+        else MeasurementConfig()
+    )
+    options = RuntimeOptions(
+        seed=seed,
+        hop_latency=hop_latency,
+        queue_discipline=spec.queue_discipline,
+        timeline_bucket=spec.timeline_bucket,
+        measurement=measurement,
+        arrival_rate_phases=(
+            tuple((p.start, p.rate_multiplier) for p in spec.rate_phases)
+            or None
+        ),
+    )
+    simulator = Simulator()
+    runtime = TopologyRuntime(simulator, topology, allocation, options)
+
+    negotiator = None
+    cluster = None
+    if spec.initial_machines is not None:
+        cluster_spec = (
+            cluster_from_dict(spec.cluster)
+            if spec.cluster is not None
+            else ClusterSpec()
+        )
+        cluster = Cluster(
+            slots_per_machine=cluster_spec.slots_per_machine,
+            reserved_executors=cluster_spec.reserved_executors,
+        )
+        negotiator = SimResourceNegotiator(simulator, cluster, cluster_spec)
+        negotiator.bootstrap(spec.initial_machines)
+
+    binding = PolicyBinding(
+        runtime,
+        policy,
+        negotiator=negotiator,
+        enable_at=spec.enable_at,
+        min_action_gap=spec.min_action_gap,
+    )
+    runtime.start()
+    simulator.run_until(spec.duration)
+
+    stats = runtime.stats(warmup=spec.warmup)
+    recommendation = None
+    if spec.recommend_kmax is not None:
+        picked = passive_recommendation(runtime, spec.recommend_kmax)
+        recommendation = picked.spec() if picked is not None else None
+    actions = tuple(
+        AppliedAction(
+            time=event.time,
+            action=event.decision.action.value,
+            allocation=event.decision.target_allocation.spec(),
+            machines=event.decision.target_machines,
+        )
+        for event in binding.applied_events
+    )
+    return ReplicationResult(
+        index=index,
+        seed=seed,
+        duration=stats.duration,
+        external_tuples=stats.external_tuples,
+        completed_trees=stats.completed_trees,
+        dropped_tuples=stats.dropped_tuples,
+        dropped_trees=stats.dropped_trees,
+        rebalances=stats.rebalances,
+        mean_sojourn=stats.mean_sojourn,
+        std_sojourn=stats.std_sojourn,
+        p95_sojourn=stats.p95_sojourn,
+        final_allocation=runtime.allocation.spec(),
+        final_machines=cluster.num_running if cluster is not None else None,
+        actions=actions,
+        timeline=tuple(runtime.timeline()),
+        recommendation=recommendation,
+    )
+
+
+def _run_job(job: Tuple[ScenarioSpec, int]) -> ReplicationResult:
+    spec, index = job
+    return run_replication(spec, index)
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+class ScenarioRunner:
+    """Executes specs, fanning replications out over worker processes.
+
+    ``max_workers=None`` uses every core; ``max_workers=1`` runs
+    serially in-process (no pool), which is also the fallback when
+    there is only one job to do.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1 when set")
+        self._max_workers = max_workers
+
+    def run(self, spec: ScenarioSpec) -> ScenarioSummary:
+        """Execute one spec and merge its replications."""
+        if spec.kind == "overhead":
+            return self._run_overhead(spec)
+        jobs = [(spec, index) for index in range(spec.replications)]
+        return self._summarize(spec, self._execute(jobs))
+
+    def run_many(self, specs: Sequence[ScenarioSpec]) -> List[ScenarioSummary]:
+        """Execute several specs, sharing one worker pool across all of
+        their replications (a fig6-style panel is six specs; running
+        them jointly keeps every core busy)."""
+        overhead = [s for s in specs if s.kind == "overhead"]
+        if overhead:
+            raise ConfigurationError(
+                "run_many only batches simulation scenarios; run overhead"
+                " specs individually"
+            )
+        jobs: List[Tuple[ScenarioSpec, int]] = []
+        for spec in specs:
+            jobs.extend((spec, index) for index in range(spec.replications))
+        results = self._execute(jobs)
+        summaries: List[ScenarioSummary] = []
+        cursor = 0
+        for spec in specs:
+            chunk = results[cursor : cursor + spec.replications]
+            cursor += spec.replications
+            summaries.append(self._summarize(spec, chunk))
+        return summaries
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _execute(
+        self, jobs: Sequence[Tuple[ScenarioSpec, int]]
+    ) -> List[ReplicationResult]:
+        workers = self._max_workers or os.cpu_count() or 1
+        workers = min(workers, len(jobs))
+        if workers <= 1:
+            return [_run_job(job) for job in jobs]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_job, jobs))
+
+    @staticmethod
+    def _summarize(
+        spec: ScenarioSpec, results: Sequence[ReplicationResult]
+    ) -> ScenarioSummary:
+        means = [r.mean_sojourn for r in results if r.mean_sojourn is not None]
+        mean = sum(means) / len(means) if means else None
+        if len(means) > 1:
+            centered = [(m - mean) ** 2 for m in means]
+            std_between = math.sqrt(sum(centered) / (len(means) - 1))
+        elif means:
+            std_between = 0.0
+        else:
+            std_between = None
+        return ScenarioSummary(
+            name=spec.name,
+            policy=spec.policy,
+            replications=tuple(results),
+            mean_sojourn=mean,
+            std_between=std_between,
+            min_sojourn=min(means) if means else None,
+            max_sojourn=max(means) if means else None,
+            total_external=sum(r.external_tuples for r in results),
+            total_completed=sum(r.completed_trees for r in results),
+            total_rebalances=sum(r.rebalances for r in results),
+        )
+
+    def _run_overhead(self, spec: ScenarioSpec) -> ScenarioSummary:
+        # Timing primitives live with the Table-II experiment; imported
+        # lazily because table2 itself builds overhead specs.
+        from repro.experiments import table2
+
+        kmax_values = [
+            int(k)
+            for k in spec.policy_params.get("kmax_values", table2.KMAX_VALUES)
+        ]
+        repetitions = int(spec.policy_params.get("repetitions", 2000))
+        model = table2.reference_model()
+        measurement_ms = table2.time_measurement(repetitions)
+        rows = [
+            {
+                "kmax": kmax,
+                "scheduling_ms": table2.time_scheduling(
+                    model, kmax, repetitions
+                ),
+                "measurement_ms": measurement_ms,
+            }
+            for kmax in kmax_values
+        ]
+        return ScenarioSummary(
+            name=spec.name,
+            policy=spec.policy,
+            replications=(),
+            mean_sojourn=None,
+            std_between=None,
+            min_sojourn=None,
+            max_sojourn=None,
+            total_external=0,
+            total_completed=0,
+            total_rebalances=0,
+            extra={"overhead_rows": rows},
+        )

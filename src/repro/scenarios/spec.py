@@ -1,0 +1,242 @@
+"""Declarative scenario descriptions — every workload is a data file.
+
+A :class:`ScenarioSpec` captures everything one experiment run needs:
+the workload (topology family + parameters), the scheduling policy and
+its parameters, the load schedule (rate phases), the protocol
+(duration, warmup, when re-balancing is enabled) and the statistical
+plan (replications + base seed).  Specs serialize to/from plain JSON
+dicts, so new scenarios are files, not drivers::
+
+    {
+      "name": "vld-drs",
+      "workload": "vld",
+      "policy": "drs.min_sojourn",
+      "policy_params": {"kmax": 22},
+      "initial_allocation": "8:12:2",
+      "duration": 480.0,
+      "replications": 4
+    }
+
+Execution lives in :mod:`repro.scenarios.runner`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.apps.fpd import FPDWorkload
+from repro.apps.synthetic import SyntheticChainWorkload
+from repro.apps.vld import VLDWorkload
+from repro.exceptions import ConfigurationError
+
+#: Topology families a spec may name.  Values are dataclass factories
+#: whose keyword arguments become the spec's ``workload_params``.
+WORKLOADS = {
+    "vld": VLDWorkload,
+    "fpd": FPDWorkload,
+    "synthetic": SyntheticChainWorkload,
+}
+
+#: Hop latency used when the workload object does not define one (VLD's
+#: computation-intensive calibration — the figure drivers' default).
+DEFAULT_HOP_LATENCY = 0.002
+
+_KINDS = ("simulation", "overhead")
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """One piece of the external-load schedule.
+
+    From ``start`` (simulated seconds) onward every spout's rate is the
+    workload's nominal rate times ``rate_multiplier``, until the next
+    phase begins.
+    """
+
+    start: float
+    rate_multiplier: float
+
+    def __post_init__(self):
+        if self.start < 0:
+            raise ConfigurationError("rate phase start must be >= 0")
+        if self.rate_multiplier <= 0:
+            raise ConfigurationError("rate_multiplier must be > 0")
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"start": self.start, "rate_multiplier": self.rate_multiplier}
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "RatePhase":
+        unknown = set(raw) - {"start", "rate_multiplier"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown rate-phase keys: {sorted(unknown)}"
+            )
+        try:
+            return cls(
+                start=float(raw["start"]),
+                rate_multiplier=float(raw["rate_multiplier"]),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"rate phase missing key {exc.args[0]!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, serializable experiment description."""
+
+    name: str
+    workload: str
+    policy: str
+    duration: float = 0.0
+    kind: str = "simulation"
+    workload_params: Dict[str, Any] = field(default_factory=dict)
+    policy_params: Dict[str, Any] = field(default_factory=dict)
+    #: ``"k1:k2:..."`` starting allocation; ``None`` asks the policy.
+    initial_allocation: Optional[str] = None
+    warmup: float = 0.0
+    #: Policy decisions are recorded but not applied before this time
+    #: (the paper's "re-balancing disabled until minute 13" protocol).
+    enable_at: float = 0.0
+    min_action_gap: float = 30.0
+    replications: int = 1
+    seed: int = 7
+    rate_phases: Tuple[RatePhase, ...] = ()
+    #: ``None`` uses the workload's own hop latency (or the VLD default).
+    hop_latency: Optional[float] = None
+    queue_discipline: str = "jsq"
+    timeline_bucket: float = 60.0
+    #: Optional :class:`~repro.config.MeasurementConfig` overrides.
+    measurement: Optional[Dict[str, Any]] = None
+    #: Optional :class:`~repro.config.ClusterSpec` fields; required when
+    #: ``initial_machines`` puts a negotiator in the loop.
+    cluster: Optional[Dict[str, Any]] = None
+    initial_machines: Optional[int] = None
+    #: When set, each replication also records what a passively watching
+    #: DRS would recommend at this ``Kmax`` from its last measurement.
+    recommend_kmax: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; available:"
+                f" {sorted(WORKLOADS)}"
+            )
+        if self.kind == "simulation" and self.duration <= 0:
+            raise ConfigurationError("duration must be > 0")
+        if self.warmup < 0:
+            raise ConfigurationError("warmup must be >= 0")
+        if self.replications < 1:
+            raise ConfigurationError("replications must be >= 1")
+        if self.min_action_gap < 0:
+            raise ConfigurationError("min_action_gap must be >= 0")
+        if self.initial_machines is not None and self.initial_machines < 1:
+            raise ConfigurationError("initial_machines must be >= 1 when set")
+        if self.recommend_kmax is not None and self.recommend_kmax < 1:
+            raise ConfigurationError("recommend_kmax must be >= 1 when set")
+        phases = tuple(
+            p if isinstance(p, RatePhase) else RatePhase.from_dict(p)
+            for p in self.rate_phases
+        )
+        starts = [p.start for p in phases]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ConfigurationError(
+                "rate phases must have strictly increasing start times"
+            )
+        object.__setattr__(self, "rate_phases", phases)
+        object.__setattr__(self, "workload_params", dict(self.workload_params))
+        object.__setattr__(self, "policy_params", dict(self.policy_params))
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def build_workload(self):
+        """Instantiate the named workload with this spec's parameters."""
+        factory = WORKLOADS[self.workload]
+        try:
+            return factory(**self.workload_params)
+        except (TypeError, ValueError) as exc:
+            # TypeError: unknown parameter names; ValueError: the
+            # workload's own value validation (e.g. unstable loads).
+            raise ConfigurationError(
+                f"bad workload_params for {self.workload!r}: {exc}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-ready mapping (round-trips via :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "policy": self.policy,
+            "duration": self.duration,
+            "kind": self.kind,
+            "workload_params": dict(self.workload_params),
+            "policy_params": dict(self.policy_params),
+            "initial_allocation": self.initial_allocation,
+            "warmup": self.warmup,
+            "enable_at": self.enable_at,
+            "min_action_gap": self.min_action_gap,
+            "replications": self.replications,
+            "seed": self.seed,
+            "rate_phases": [p.to_dict() for p in self.rate_phases],
+            "hop_latency": self.hop_latency,
+            "queue_discipline": self.queue_discipline,
+            "timeline_bucket": self.timeline_bucket,
+            "measurement": (
+                dict(self.measurement) if self.measurement is not None else None
+            ),
+            "cluster": dict(self.cluster) if self.cluster is not None else None,
+            "initial_machines": self.initial_machines,
+            "recommend_kmax": self.recommend_kmax,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "ScenarioSpec":
+        """Validated spec from a plain mapping; unknown keys fail loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario keys: {sorted(unknown)}"
+            )
+        kwargs = {key: value for key, value in raw.items() if value is not None}
+        if "rate_phases" in kwargs:
+            kwargs["rate_phases"] = tuple(
+                RatePhase.from_dict(p) if not isinstance(p, RatePhase) else p
+                for p in kwargs["rate_phases"]
+            )
+        missing = {"name", "workload", "policy"} - set(kwargs)
+        if missing:
+            raise ConfigurationError(
+                f"scenario spec missing required keys: {sorted(missing)}"
+            )
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(str(exc)) from None
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid scenario JSON: {exc}") from None
+        if not isinstance(raw, Mapping):
+            raise ConfigurationError("scenario JSON must be an object")
+        return cls.from_dict(raw)

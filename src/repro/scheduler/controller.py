@@ -29,9 +29,9 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.config import ClusterSpec, DRSConfig, OptimizationGoal
+from repro.config import DRSConfig, OptimizationGoal
 from repro.exceptions import InfeasibleAllocationError, SchedulingError
 from repro.model.performance import PerformanceModel
 from repro.scheduler.allocation import Allocation
@@ -240,7 +240,6 @@ class DRSController:
         current_machines: int,
     ) -> ControllerDecision:
         tmax = self._config.tmax
-        cluster = self._config.cluster
         current_estimate = model.expected_sojourn(list(current_allocation.vector))
         corrected = self._corrected(current_estimate)
         measured = snapshot.measured_sojourn

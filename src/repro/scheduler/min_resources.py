@@ -15,8 +15,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Optional
-
 from repro.exceptions import InfeasibleAllocationError
 from repro.model.performance import PerformanceModel
 from repro.scheduler.allocation import Allocation
@@ -97,8 +95,15 @@ def min_processors_for_target(
             current = model.expected_sojourn(counts)
         else:
             # delta already equals lambda_i*(E[Ti](k)-E[Ti](k+1)); Eq. (3)
-            # scales it by 1/lambda_0.
+            # scales it by 1/lambda_0.  The subtraction cancels two
+            # nearly-equal quantities, so near the Tmax boundary — or
+            # when the previous value was huge (rho ~ 1) — the rounding
+            # error can flip the termination test in either direction.
+            # Recompute exactly before trusting a terminal verdict.
+            previous = current
             current -= delta / lambda0
+            if current <= tmax or abs(current - tmax) <= 1e-9 * max(tmax, previous):
+                current = model.expected_sojourn(counts)
         new_delta = model.marginal_benefit(i, counts[i])
         heapq.heappush(heap, (-new_delta, next(counter), i))
 

@@ -15,7 +15,7 @@ from typing import Callable, List, Optional
 
 from repro.config import ClusterSpec
 from repro.exceptions import NegotiationError
-from repro.sim.cluster import Cluster, MachineState
+from repro.sim.cluster import Cluster
 from repro.sim.engine import Simulator
 
 

@@ -43,6 +43,7 @@ from repro.exceptions import SchedulingError, SimulationError
 from repro.measurement.measurer import Measurer, MeasurementReport
 from repro.measurement.metrics import WelfordAccumulator
 from repro.measurement.sojourn import TupleTreeTracker
+from repro.randomness.arrival import DeterministicProcess, PhasedArrivalProcess
 from repro.randomness.distributions import Distribution
 from repro.scheduler.allocation import Allocation
 from repro.sim.engine import Simulator
@@ -72,6 +73,10 @@ class RuntimeOptions:
     rebalance_cost: RebalanceCostModel = field(default_factory=RebalanceCostModel)
     timeline_bucket: float = 60.0
     seed: int = 7
+    #: Piecewise-constant external-rate schedule applied to every spout:
+    #: ``((start_time, rate_multiplier), ...)``.  ``None`` leaves the
+    #: workload's own arrival processes untouched.
+    arrival_rate_phases: Optional[Tuple[Tuple[float, float], ...]] = None
 
     def __post_init__(self):
         if self.queue_discipline not in ("jsq", "hashed", "shared"):
@@ -85,6 +90,13 @@ class RuntimeOptions:
             raise SimulationError("queue_limit must be >= 1 when set")
         if self.timeline_bucket <= 0:
             raise SimulationError("timeline_bucket must be > 0")
+        if self.arrival_rate_phases is not None:
+            try:
+                PhasedArrivalProcess(
+                    DeterministicProcess(1.0), self.arrival_rate_phases
+                )
+            except ValueError as exc:
+                raise SimulationError(f"bad arrival_rate_phases: {exc}") from None
 
 
 @dataclass
@@ -200,11 +212,17 @@ class TopologyRuntime:
         }
         # Arrival processes can be stateful (rate-modulated, MMPP, trace
         # replay); deep-copy them so several runtimes can share one
-        # Topology object without leaking clock state across runs.
-        self._arrival_processes = {
-            name: copy.deepcopy(spout.arrivals)
-            for name, spout in topology.spouts.items()
-        }
+        # Topology object without leaking clock state across runs.  An
+        # ``arrival_rate_phases`` schedule wraps each copy so scenario
+        # specs can modulate the external load without a custom workload.
+        self._arrival_processes = {}
+        for name, spout in topology.spouts.items():
+            process = copy.deepcopy(spout.arrivals)
+            if self._options.arrival_rate_phases is not None:
+                process = PhasedArrivalProcess(
+                    process, self._options.arrival_rate_phases
+                )
+            self._arrival_processes[name] = process
         self._fanout_rng = rng_factory.stream("fanout")
 
         self._operators: Dict[str, _OperatorRuntime] = {}

@@ -19,7 +19,7 @@ validated when the traffic equations are solved (:mod:`repro.queueing`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import TopologyError
 from repro.randomness.distributions import Distribution, Exponential

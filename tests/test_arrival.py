@@ -8,6 +8,7 @@ from repro.randomness.arrival import (
     DeterministicProcess,
     MMPP2,
     ModulatedRateProcess,
+    PhasedArrivalProcess,
     PoissonProcess,
     RenewalProcess,
     TraceReplayProcess,
@@ -155,3 +156,46 @@ class TestTraceReplay:
     def test_rejects_short_trace(self):
         with pytest.raises(ValueError):
             TraceReplayProcess([1.0])
+
+
+class TestPhasedArrivalProcess:
+    def test_scales_rate_per_phase(self):
+        p = PhasedArrivalProcess(
+            DeterministicProcess(10.0), [(0.0, 1.0), (100.0, 2.0)]
+        )
+        rng = random.Random(1)
+        assert p.next_gap(0.0, rng) == pytest.approx(0.1)
+        assert p.next_gap(150.0, rng) == pytest.approx(0.05)
+
+    def test_base_rate_before_first_phase(self):
+        p = PhasedArrivalProcess(DeterministicProcess(10.0), [(50.0, 3.0)])
+        rng = random.Random(1)
+        assert p.next_gap(0.0, rng) == pytest.approx(0.1)
+        assert p.next_gap(60.0, rng) == pytest.approx(0.1 / 3.0)
+
+    def test_mean_rate_uses_multiplier_at_time_zero(self):
+        surge_later = PhasedArrivalProcess(
+            DeterministicProcess(10.0), [(300.0, 3.0)]
+        )
+        assert surge_later.mean_rate == pytest.approx(10.0)
+        from_start = PhasedArrivalProcess(
+            DeterministicProcess(10.0), [(0.0, 3.0)]
+        )
+        assert from_start.mean_rate == pytest.approx(30.0)
+
+    def test_empirical_rate_matches_schedule(self):
+        p = PhasedArrivalProcess(
+            PoissonProcess(5.0), [(0.0, 1.0), (1000.0, 2.0)]
+        )
+        assert empirical_rate(p, horizon=2000.0) == pytest.approx(7.5, rel=0.1)
+
+    def test_validation(self):
+        base = DeterministicProcess(1.0)
+        with pytest.raises(ValueError):
+            PhasedArrivalProcess(base, [])
+        with pytest.raises(ValueError):
+            PhasedArrivalProcess(base, [(10.0, 1.0), (10.0, 2.0)])
+        with pytest.raises(ValueError):
+            PhasedArrivalProcess(base, [(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            PhasedArrivalProcess(base, [(-1.0, 1.0)])

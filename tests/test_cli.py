@@ -54,3 +54,68 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "drs" in out
+
+    def test_list_policies(self, capsys):
+        code = main(["list-policies"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drs.min_sojourn" in out
+        assert "threshold" in out
+
+    def test_run_scenario(self, capsys, tmp_path):
+        from repro.scenarios.spec import ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="cli-smoke",
+            workload="synthetic",
+            workload_params={
+                "total_cpu": 0.03,
+                "arrival_rate": 20.0,
+                "hop_latency": 0.004,
+            },
+            policy="none",
+            initial_allocation="10:10:10",
+            duration=60.0,
+            warmup=10.0,
+            replications=2,
+            seed=17,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        code = main(["run-scenario", str(path), "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli-smoke" in out
+        assert "rep 0" in out and "rep 1" in out
+
+    def test_run_scenario_json_output(self, capsys, tmp_path):
+        from repro.scenarios.spec import ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="cli-json",
+            workload="synthetic",
+            workload_params={"total_cpu": 0.03, "arrival_rate": 20.0},
+            policy="none",
+            initial_allocation="10:10:10",
+            duration=30.0,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        code = main(["run-scenario", str(path), "--json", "--workers", "1"])
+        assert code == 0
+        import json
+
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["name"] == "cli-json"
+        assert len(summary["replications"]) == 1
+
+    def test_run_scenario_bad_spec_errors(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "workload": "nope", "policy": "none"}')
+        code = main(["run-scenario", str(path)])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_run_scenario_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["run-scenario", "/does/not/exist.json"])

@@ -1,0 +1,209 @@
+"""Tests for the scenario runner: determinism, merging, policies live."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.runner import (
+    ScenarioRunner,
+    replication_seed,
+    run_replication,
+)
+from repro.scenarios.spec import RatePhase, ScenarioSpec
+
+
+def smoke_spec(**overrides) -> ScenarioSpec:
+    """Small, fast synthetic-chain scenario (deterministic service)."""
+    base = dict(
+        name="runner-smoke",
+        workload="synthetic",
+        workload_params={
+            "total_cpu": 0.03,
+            "arrival_rate": 20.0,
+            "hop_latency": 0.004,
+        },
+        policy="none",
+        initial_allocation="10:10:10",
+        duration=90.0,
+        warmup=15.0,
+        seed=17,
+        replications=3,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestReplicationSeeds:
+    def test_rep0_is_base_seed(self):
+        assert replication_seed(42, 0) == 42
+
+    def test_later_reps_derive(self):
+        seeds = [replication_seed(42, i) for i in range(5)]
+        assert len(set(seeds)) == 5
+
+    def test_derivation_is_stable(self):
+        assert replication_seed(42, 3) == replication_seed(42, 3)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replication_seed(42, -1)
+
+
+class TestDeterminism:
+    def test_worker_count_does_not_change_results(self):
+        """The satellite regression: 1 worker and 4 workers produce
+        byte-identical merged summaries."""
+        spec = smoke_spec()
+        serial = ScenarioRunner(max_workers=1).run(spec)
+        pooled = ScenarioRunner(max_workers=4).run(spec)
+        assert serial.to_json(indent=2) == pooled.to_json(indent=2)
+
+    def test_rerun_is_identical(self):
+        spec = smoke_spec(replications=2)
+        runner = ScenarioRunner(max_workers=2)
+        assert runner.run(spec).to_json() == runner.run(spec).to_json()
+
+    def test_run_many_matches_individual_runs(self):
+        specs = [smoke_spec(), smoke_spec(name="runner-smoke-2", seed=23)]
+        runner = ScenarioRunner(max_workers=4)
+        joint = runner.run_many(specs)
+        solo = [ScenarioRunner(max_workers=1).run(s) for s in specs]
+        assert [s.to_json() for s in joint] == [s.to_json() for s in solo]
+
+
+class TestMerging:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return ScenarioRunner(max_workers=2).run(smoke_spec())
+
+    def test_replications_in_index_order(self, summary):
+        assert [r.index for r in summary.replications] == [0, 1, 2]
+
+    def test_distinct_seeds(self, summary):
+        seeds = [r.seed for r in summary.replications]
+        assert len(set(seeds)) == 3
+        assert seeds[0] == 17
+
+    def test_mean_of_means(self, summary):
+        means = [r.mean_sojourn for r in summary.replications]
+        assert summary.mean_sojourn == pytest.approx(sum(means) / len(means))
+        assert summary.min_sojourn == min(means)
+        assert summary.max_sojourn == max(means)
+
+    def test_totals(self, summary):
+        assert summary.total_completed == sum(
+            r.completed_trees for r in summary.replications
+        )
+        assert summary.total_completed > 0
+
+    def test_summary_is_json_ready(self, summary):
+        text = summary.to_json(indent=2)
+        assert '"runner-smoke"' in text
+
+
+class TestPoliciesLive:
+    def test_drs_rebalances_vld_from_bad_start(self):
+        spec = ScenarioSpec(
+            name="drs-live",
+            workload="vld",
+            policy="drs.min_sojourn",
+            policy_params={"kmax": 22, "rebalance_threshold": 0.12},
+            initial_allocation="8:12:2",
+            duration=300.0,
+            enable_at=120.0,
+            min_action_gap=60.0,
+            seed=19,
+            hop_latency=0.002,
+            measurement={"alpha": 0.85},
+        )
+        result = run_replication(spec, 0)
+        assert result.rebalances >= 1
+        assert result.actions
+        assert result.actions[0].time >= 120.0
+        assert result.final_allocation != "8:12:2"
+
+    def test_policy_derives_initial_allocation(self):
+        spec = ScenarioSpec(
+            name="derived-start",
+            workload="vld",
+            policy="drs.min_sojourn",
+            policy_params={"kmax": 22},
+            duration=60.0,
+            seed=11,
+        )
+        result = run_replication(spec, 0)
+        assert result.final_allocation == "10:11:1"
+
+    def test_missing_initial_allocation_fails_clearly(self):
+        broken = smoke_spec(initial_allocation=None)
+        with pytest.raises(ConfigurationError, match="initial_allocation"):
+            run_replication(broken, 0)
+
+    def test_min_resource_without_machines_fails_upfront(self):
+        """A pool-sizing policy with no pool must fail before simulating,
+        naming the spec field to set."""
+        spec = smoke_spec()
+        broken = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "policy": "drs.min_resource",
+             "policy_params": {"tmax": 1.0}}
+        )
+        with pytest.raises(ConfigurationError, match="initial_machines"):
+            run_replication(broken, 0)
+
+    def test_rate_phases_increase_load(self):
+        calm = smoke_spec(replications=1, duration=120.0)
+        surged = smoke_spec(
+            name="runner-smoke-surge",
+            replications=1,
+            duration=120.0,
+            rate_phases=(RatePhase(start=60.0, rate_multiplier=3.0),),
+        )
+        runner = ScenarioRunner(max_workers=1)
+        base = runner.run(calm).replications[0]
+        surge = runner.run(surged).replications[0]
+        assert surge.external_tuples > base.external_tuples * 1.5
+
+    def test_recommendation_recorded(self):
+        spec = ScenarioSpec(
+            name="recommend",
+            workload="vld",
+            policy="none",
+            initial_allocation="10:11:1",
+            duration=120.0,
+            warmup=20.0,
+            seed=11,
+            hop_latency=0.002,
+            recommend_kmax=22,
+        )
+        result = run_replication(spec, 0)
+        assert result.recommendation is not None
+        assert result.recommendation.count(":") == 2
+
+
+class TestOverheadKind:
+    def test_table2_spec_runs_through_runner(self):
+        from repro.experiments import table2
+
+        summary = ScenarioRunner(max_workers=1).run(
+            table2.spec(kmax_values=[12, 48], repetitions=20)
+        )
+        rows = summary.extra["overhead_rows"]
+        assert [r["kmax"] for r in rows] == [12, 48]
+        assert all(r["scheduling_ms"] > 0 for r in rows)
+
+    def test_run_many_rejects_overhead(self):
+        from repro.experiments import table2
+
+        with pytest.raises(ConfigurationError, match="overhead"):
+            ScenarioRunner().run_many([table2.spec()])
+
+
+class TestRunnerValidation:
+    def test_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioRunner(max_workers=0)
+
+    def test_overhead_replication_rejected(self):
+        from repro.experiments import table2
+
+        with pytest.raises(ConfigurationError, match="overhead"):
+            run_replication(table2.spec(), 0)

@@ -1,0 +1,153 @@
+"""Tests for scenario specs: validation and JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.spec import RatePhase, ScenarioSpec
+
+
+def full_spec() -> ScenarioSpec:
+    """A spec exercising every optional field."""
+    return ScenarioSpec(
+        name="everything",
+        workload="vld",
+        policy="drs.min_resource",
+        policy_params={"tmax": 1.8, "rebalance_threshold": 0.12},
+        workload_params={"scale": 1.0},
+        initial_allocation="8:8:1",
+        duration=810.0,
+        warmup=60.0,
+        enable_at=390.0,
+        min_action_gap=150.0,
+        replications=4,
+        seed=29,
+        rate_phases=(
+            RatePhase(start=0.0, rate_multiplier=1.0),
+            RatePhase(start=300.0, rate_multiplier=1.25),
+        ),
+        hop_latency=0.002,
+        queue_discipline="jsq",
+        timeline_bucket=30.0,
+        measurement={"alpha": 0.85},
+        cluster={"slots_per_machine": 5, "reserved_executors": 3},
+        initial_machines=4,
+        recommend_kmax=22,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = full_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = full_spec()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_to_dict_is_json_serializable(self):
+        json.dumps(full_spec().to_dict())
+
+    def test_round_trip_preserves_rate_phases(self):
+        restored = ScenarioSpec.from_dict(full_spec().to_dict())
+        assert restored.rate_phases == (
+            RatePhase(start=0.0, rate_multiplier=1.0),
+            RatePhase(start=300.0, rate_multiplier=1.25),
+        )
+
+    def test_round_trip_preserves_policy_params(self):
+        restored = ScenarioSpec.from_json(full_spec().to_json())
+        assert restored.policy_params == {
+            "tmax": 1.8,
+            "rebalance_threshold": 0.12,
+        }
+
+    def test_minimal_spec_round_trips(self):
+        spec = ScenarioSpec(
+            name="minimal", workload="vld", policy="none",
+            initial_allocation="10:11:1", duration=60.0,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rate_phases_accepted_as_dicts(self):
+        spec = ScenarioSpec(
+            name="phases", workload="vld", policy="none", duration=60.0,
+            initial_allocation="10:11:1",
+            rate_phases=({"start": 0.0, "rate_multiplier": 2.0},),
+        )
+        assert spec.rate_phases == (RatePhase(start=0.0, rate_multiplier=2.0),)
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        raw = full_spec().to_dict()
+        raw["durationn"] = 1.0
+        with pytest.raises(ConfigurationError, match="durationn"):
+            ScenarioSpec.from_dict(raw)
+
+    def test_missing_required_keys(self):
+        with pytest.raises(ConfigurationError, match="workload"):
+            ScenarioSpec.from_dict({"name": "x", "policy": "none"})
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            ScenarioSpec(name="x", workload="nope", policy="none", duration=1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            ScenarioSpec(name="x", workload="vld", policy="none")
+
+    def test_overhead_kind_allows_zero_duration(self):
+        spec = ScenarioSpec(
+            name="x", workload="vld", policy="none", kind="overhead"
+        )
+        assert spec.duration == 0.0
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            ScenarioSpec(
+                name="x", workload="vld", policy="none", kind="nope",
+                duration=1.0,
+            )
+
+    def test_replications_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="replications"):
+            ScenarioSpec(
+                name="x", workload="vld", policy="none", duration=1.0,
+                replications=0,
+            )
+
+    def test_rate_phases_must_increase(self):
+        with pytest.raises(ConfigurationError, match="increasing"):
+            ScenarioSpec(
+                name="x", workload="vld", policy="none", duration=1.0,
+                rate_phases=(
+                    RatePhase(start=10.0, rate_multiplier=1.0),
+                    RatePhase(start=10.0, rate_multiplier=2.0),
+                ),
+            )
+
+    def test_rate_phase_multiplier_positive(self):
+        with pytest.raises(ConfigurationError, match="rate_multiplier"):
+            RatePhase(start=0.0, rate_multiplier=0.0)
+
+    def test_rate_phase_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="ratee"):
+            RatePhase.from_dict({"start": 0.0, "ratee": 1.0})
+
+    def test_invalid_json(self):
+        with pytest.raises(ConfigurationError, match="invalid scenario JSON"):
+            ScenarioSpec.from_json("{not json")
+
+    def test_json_must_be_object(self):
+        with pytest.raises(ConfigurationError, match="object"):
+            ScenarioSpec.from_json("[1, 2]")
+
+    def test_bad_workload_params(self):
+        spec = ScenarioSpec(
+            name="x", workload="vld", policy="none", duration=1.0,
+            workload_params={"not_a_field": 1},
+        )
+        with pytest.raises(ConfigurationError, match="workload_params"):
+            spec.build_workload()
