@@ -1,0 +1,89 @@
+"""Gate hot-path throughput against a committed baseline.
+
+Compares a fresh ``bench_runtime_hotpath.py`` result against
+``benchmarks/BENCH_RUNTIME_baseline.json`` and fails (exit 1) when any
+tracked metric regressed by more than the threshold (default 25%, per
+ISSUE 2's CI smoke criterion).
+
+Raw events/sec are not comparable across machines, so each metric is
+first normalised by the run's ``calibration_ops_per_sec`` (a fixed
+pure-Python workload timed inside the benchmark).  The comparison is
+therefore "events per unit of host compute", which cancels interpreter
+and hardware speed and leaves only real code regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_hotpath.py \
+        --out BENCH_RUNTIME.json --scale 0.25
+    python benchmarks/check_regression.py BENCH_RUNTIME.json \
+        [--baseline benchmarks/BENCH_RUNTIME_baseline.json] \
+        [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = pathlib.Path(__file__).parent / "BENCH_RUNTIME_baseline.json"
+
+#: (section, case, metric) triples gated by the check.
+TRACKED = [
+    ("simulator", "linear", "events_per_sec"),
+    ("simulator", "diamond", "events_per_sec"),
+    ("simulator", "loop", "events_per_sec"),
+    ("solver", "assign_k200", "solves_per_sec"),
+    ("solver", "assign_k200_cold", "solves_per_sec"),
+    ("solver", "min_resources", "solves_per_sec"),
+]
+
+
+def normalised(result: dict, section: str, case: str, metric: str) -> float:
+    value = result[section][case][metric]
+    calibration = result["calibration_ops_per_sec"]
+    if not value or not calibration:
+        raise SystemExit(f"missing {section}/{case}/{metric} or calibration")
+    return value / calibration
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh BENCH_RUNTIME.json to check")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional regression (0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(pathlib.Path(args.current).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    failures = []
+    for section, case, metric in TRACKED:
+        base = normalised(baseline, section, case, metric)
+        now = normalised(current, section, case, metric)
+        change = now / base - 1.0
+        status = "ok"
+        if change < -args.threshold:
+            status = "REGRESSION"
+            failures.append(f"{section}/{case}")
+        print(
+            f"{section}/{case}: {change:+.1%} vs baseline"
+            f" (normalised {now:.3f} vs {base:.3f}) [{status}]"
+        )
+    if failures:
+        print(
+            f"FAIL: >{args.threshold:.0%} regression in: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("hot-path throughput within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -146,6 +146,33 @@ class Measurer:
         self._sojourn_interval.add(sojourn)
         self._completed_trees += 1
 
+    # ------------------------------------------------------------------
+    # direct accumulator access (for allocation-free hot paths)
+    #
+    # The simulator's typed-event handlers update these objects inline
+    # (same arithmetic as record_arrival/record_service, minus the
+    # per-tuple channel lookup and call frames).  They remain owned and
+    # harvested by this measurer.
+    # ------------------------------------------------------------------
+    def arrival_counter(self, operator: str) -> IntervalCounter:
+        """The interval counter behind ``record_arrival(operator)``."""
+        channel = self._channels.get(operator)
+        if channel is None:
+            raise MeasurementError(f"unknown operator {operator!r}")
+        return channel.arrivals
+
+    def external_counter(self) -> IntervalCounter:
+        """The counter behind the ``external=True`` half of
+        :meth:`record_arrival`."""
+        return self._external
+
+    def service_accumulator(self, operator: str) -> SampledAccumulator:
+        """The sampled accumulator behind ``record_service(operator, d)``."""
+        channel = self._channels.get(operator)
+        if channel is None:
+            raise MeasurementError(f"unknown operator {operator!r}")
+        return channel.service
+
     def lifetime_arrivals(self, operator: str) -> int:
         """Total arrivals ever recorded at ``operator`` (never reset)."""
         channel = self._channels.get(operator)

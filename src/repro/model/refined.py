@@ -24,9 +24,34 @@ from typing import List, Optional, Sequence
 from repro.exceptions import ModelError
 from repro.model.performance import PerformanceModel
 from repro.queueing import mgk
+from repro.queueing.erlang import ErlangMarginalEvaluator
 from repro.queueing.jackson import JacksonNetwork
 from repro.topology.graph import Topology
 from repro.utils.validation import check_non_negative
+
+
+class _ScaledEvaluator:
+    """Wraps an M/M/k incremental evaluator with the Allen-Cunneen
+    correction, keeping the exact operation order of
+    ``marginal_benefit_gg`` (``base * (ca2 + cs2) / 2.0``)."""
+
+    __slots__ = ("_base", "_ca2", "_cs2")
+
+    def __init__(self, base, ca2: float, cs2: float):
+        self._base = base
+        self._ca2 = ca2
+        self._cs2 = cs2
+
+    def delta(self) -> float:
+        return self._scale(self._base.delta())
+
+    def advance(self) -> float:
+        return self._scale(self._base.advance())
+
+    def _scale(self, base: float) -> float:
+        if math.isinf(base):
+            return math.inf
+        return base * (self._ca2 + self._cs2) / 2.0
 
 
 class RefinedPerformanceModel:
@@ -157,6 +182,21 @@ class RefinedPerformanceModel:
             ca2=self._ca2[index],
             cs2=self._cs2[index],
         )
+
+    def marginal_evaluators(self, counts: Sequence[int]) -> List:
+        """Incremental evaluators: the M/M/k recurrence state scaled by
+        the (k-independent) Allen-Cunneen factor, exactly reproducing
+        :func:`repro.queueing.mgk.marginal_benefit_gg`."""
+        return [
+            _ScaledEvaluator(
+                ErlangMarginalEvaluator(load.arrival_rate, load.service_rate, k),
+                ca2,
+                cs2,
+            )
+            for load, k, ca2, cs2 in zip(
+                self._network.loads, counts, self._ca2, self._cs2
+            )
+        ]
 
     def plain(self) -> PerformanceModel:
         """The SCV-free M/M/k model over the same rates (for comparison)."""

@@ -152,3 +152,139 @@ def marginal_benefit(lam: float, mu: float, k: int) -> float:
     if math.isinf(current):
         return math.inf
     return lam * (current - improved)
+
+
+class ErlangMarginalEvaluator:
+    """Incremental Eq. (1) evaluation along Algorithm 1's greedy path.
+
+    The greedy only ever *increments* one ``k_i`` by 1, and the Erlang-B
+    recurrence ``B(k+1) = a*B(k) / (k+1 + a*B(k))`` extends one server
+    in O(1) — so carrying ``B`` forward turns each marginal-benefit
+    refresh from O(k) into O(1), and a whole Algorithm-1 solve from
+    O(K^2) to O(K).
+
+    Floating-point chains are identical to the from-scratch functions:
+    ``erlang_b(k)``'s loop *is* this recurrence, so ``advance()``
+    reproduces bit-for-bit the values :func:`marginal_benefit` computes
+    — the optimized solvers stay byte-identical to the naive ones.
+    """
+
+    __slots__ = ("lam", "mu", "k", "_a", "_b", "_b_next", "_cur", "_nxt", "_delta")
+
+    def __init__(self, lam: float, mu: float, k: int):
+        # No rate validation here: every caller passes rates that already
+        # went through OperatorLoad / the module-level functions, and the
+        # constructor sits inside the per-solve hot path.
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.lam = lam
+        self.mu = mu
+        self.k = k
+        self._a = lam / mu
+        self._b = erlang_b(k, self._a)  # O(k), once per solve
+        self._cur = self._sojourn(k, self._b)
+        self._b_next, self._nxt, self._delta = self._refresh(k, self._b, self._cur)
+
+    def _sojourn(self, k: int, blocking: float) -> float:
+        """Eq. (1) from a known ``B(k, a)`` — mirrors the exact branch
+        and operation order of :func:`expected_sojourn_time`."""
+        lam = self.lam
+        mu = self.mu
+        if lam == 0.0:
+            return 0.0 + 1.0 / mu
+        a = self._a
+        if k <= a:
+            return math.inf
+        wait_prob = k * blocking / (k - a * (1.0 - blocking))
+        waiting = wait_prob / (k * mu - lam)
+        return waiting + 1.0 / mu
+
+    def _refresh(self, k, blocking, cur):
+        """(B(k+1), E[T](k+1), delta(k)) from B(k) and E[T](k) — one
+        Erlang-B recurrence step (same op order as the :func:`erlang_b`
+        loop body) plus the Eq. (1) / delta arithmetic, all inline."""
+        a = self._a
+        lam = self.lam
+        mu = self.mu
+        k1 = k + 1
+        if a == 0.0:
+            b_next = 0.0
+        else:
+            b_next = a * blocking / (k1 + a * blocking)
+        if lam == 0.0:
+            nxt = 0.0 + 1.0 / mu
+        elif k1 <= a:
+            nxt = math.inf
+        else:
+            wait_prob = k1 * b_next / (k1 - a * (1.0 - b_next))
+            waiting = wait_prob / (k1 * mu - lam)
+            nxt = waiting + 1.0 / mu
+        if cur == math.inf:
+            delta = math.inf
+        else:
+            delta = lam * (cur - nxt)
+        return b_next, nxt, delta
+
+    def _state(self) -> tuple:
+        """Snapshot of the recurrence state (for exact re-seeding)."""
+        return (self.k, self._b, self._b_next, self._cur, self._nxt, self._delta)
+
+    @classmethod
+    def _from_state(cls, lam: float, mu: float, state: tuple):
+        """Rebuild an evaluator from a :meth:`_state` snapshot taken for
+        the same rates — restores the stored floats verbatim, so results
+        are bit-identical to a fresh construction while skipping the
+        O(k) Erlang-B warm-up."""
+        self = cls.__new__(cls)
+        self.lam = lam
+        self.mu = mu
+        self._a = lam / mu
+        (self.k, self._b, self._b_next, self._cur, self._nxt, self._delta) = state
+        return self
+
+    @property
+    def sojourn(self) -> float:
+        """``E[T](k)`` at the current ``k``."""
+        return self._cur
+
+    def delta(self) -> float:
+        """Marginal benefit at the current ``k`` (Algorithm 1's delta)."""
+        return self._delta
+
+    def advance(self) -> float:
+        """Move from ``k`` to ``k + 1`` in O(1); returns the new delta.
+
+        The body inlines :meth:`_refresh` — this is the innermost
+        statement of every greedy solve, so one Python call does the
+        whole recurrence step.
+        """
+        k1 = self.k + 1
+        self.k = k1
+        blocking = self._b_next
+        self._b = blocking
+        cur = self._nxt
+        self._cur = cur
+        a = self._a
+        lam = self.lam
+        mu = self.mu
+        k2 = k1 + 1
+        if a == 0.0:
+            b_next = 0.0
+        else:
+            b_next = a * blocking / (k2 + a * blocking)
+        self._b_next = b_next
+        if lam == 0.0:
+            nxt = 0.0 + 1.0 / mu
+        elif k2 <= a:
+            nxt = math.inf
+        else:
+            wait_prob = k2 * b_next / (k2 - a * (1.0 - b_next))
+            waiting = wait_prob / (k2 * mu - lam)
+            nxt = waiting + 1.0 / mu
+        self._nxt = nxt
+        if cur == math.inf:
+            delta = math.inf
+        else:
+            delta = lam * (cur - nxt)
+        self._delta = delta
+        return delta

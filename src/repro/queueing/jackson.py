@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ModelError, StabilityError
 from repro.queueing import erlang
@@ -71,6 +71,11 @@ class JacksonNetwork:
             raise ModelError(f"duplicate operator names in loads: {names}")
         self._loads: Tuple[OperatorLoad, ...] = tuple(loads)
         self._lambda0 = check_positive("external_rate", external_rate)
+        # Eq. (3) memo: the controller re-evaluates the same handful of
+        # allocation vectors (current, proposed, minimal) several times
+        # per decision cycle; rates are immutable, so caching is exact.
+        self._sojourn_memo: Dict[Tuple[int, ...], float] = {}
+        self._min_allocation: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -155,8 +160,13 @@ class JacksonNetwork:
 
     def min_allocation(self) -> List[int]:
         """Element-wise minimum stable processor counts (Algorithm 1's
-        initialisation, lines 1-4)."""
-        return [load.min_processors for load in self._loads]
+        initialisation, lines 1-4).  Computed once — rates are
+        immutable — and copied out so callers may mutate the list."""
+        if self._min_allocation is None:
+            self._min_allocation = [
+                load.min_processors for load in self._loads
+            ]
+        return list(self._min_allocation)
 
     # ------------------------------------------------------------------
     # model evaluation
@@ -170,17 +180,29 @@ class JacksonNetwork:
         """The paper's Eq. (3): ``E[T](k)`` for a full allocation vector.
 
         Returns ``math.inf`` if any operator is saturated under ``k``.
+        Memoized per allocation vector (the model is immutable, so a
+        cached value is exactly what a recomputation would produce).
         """
         self._check_allocation(allocation)
+        key = tuple(allocation)
+        memo = self._sojourn_memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
         total = 0.0
         for load, k in zip(self._loads, allocation):
             sojourn = erlang.expected_sojourn_time(
                 load.arrival_rate, load.service_rate, k
             )
             if math.isinf(sojourn):
-                return math.inf
+                total = math.inf
+                break
             total += load.arrival_rate * sojourn
-        return total / self._lambda0
+        result = total if math.isinf(total) else total / self._lambda0
+        if len(memo) >= 4096:  # bound memory on long controller runs
+            memo.clear()
+        memo[key] = result
+        return result
 
     def per_operator_sojourns(self, allocation: Sequence[int]) -> List[float]:
         """``E[T_i](k_i)`` for every operator under ``allocation``."""

@@ -364,8 +364,12 @@ class ScenarioRunner:
         workers = min(workers, len(jobs))
         if workers <= 1:
             return [_run_job(job) for job in jobs]
+        # Chunk the map: with many short replications the per-job IPC
+        # round-trip dominates; chunking amortises it while map() still
+        # returns results in submission order (determinism preserved).
+        chunksize = max(1, len(jobs) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_job, jobs))
+            return list(pool.map(_run_job, jobs, chunksize=chunksize))
 
     @staticmethod
     def _summarize(

@@ -17,13 +17,45 @@ scheduling overhead linear-ish in Kmax as reported in Table II.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import List, Optional
 
 from repro.exceptions import InfeasibleAllocationError
 from repro.model.performance import PerformanceModel
 from repro.scheduler.allocation import Allocation
+
+
+class _FallbackEvaluator:
+    """Adapter for models without ``marginal_evaluators``: recomputes
+    ``marginal_benefit`` from scratch each step (the pre-incremental
+    behaviour), so third-party model objects keep working."""
+
+    __slots__ = ("_model", "_index", "_k")
+
+    def __init__(self, model, index: int, k: int):
+        self._model = model
+        self._index = index
+        self._k = k
+
+    def delta(self) -> float:
+        return self._model.marginal_benefit(self._index, self._k)
+
+    def advance(self) -> float:
+        self._k += 1
+        return self.delta()
+
+
+def marginal_evaluators_for(model, counts: List[int]) -> List:
+    """Incremental per-operator delta evaluators for any model object.
+
+    Uses the model's own ``marginal_evaluators`` (O(1) per greedy step
+    for the Erlang-recurrence models) when available, else a from-scratch
+    fallback with identical results.
+    """
+    factory = getattr(model, "marginal_evaluators", None)
+    if factory is not None:
+        return factory(counts)
+    return [_FallbackEvaluator(model, i, k) for i, k in enumerate(counts)]
 
 
 def assign_processors(
@@ -71,23 +103,29 @@ def assign_processors(
     # Max-heap of (-delta_i, tie_breaker, operator index). The tie breaker
     # keeps heap comparisons away from index comparison and makes the
     # iteration order deterministic (first-listed operator wins ties,
-    # matching the paper's argmax).
-    counter = itertools.count()
+    # matching the paper's argmax).  Each operator's evaluator carries
+    # its Erlang-B recurrence forward, so refreshing delta after an
+    # increment is O(1) instead of O(k) — O(K) per solve overall.
+    evaluators = marginal_evaluators_for(model, counts)
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    tie = -1
     heap = []
     for i in range(len(names)):
-        delta = model.marginal_benefit(i, counts[i])
-        heapq.heappush(heap, (-delta, next(counter), i))
+        tie += 1
+        heappush(heap, (-evaluators[i].delta(), tie, i))
 
     # Lines 7-14: repeatedly add a processor where it helps most.
     while total < kmax:
-        neg_delta, _, i = heapq.heappop(heap)
+        neg_delta, _, i = heappop(heap)
         if not use_all and -neg_delta <= 0.0:
-            heapq.heappush(heap, (neg_delta, next(counter), i))
+            tie += 1
+            heappush(heap, (neg_delta, tie, i))
             break
         counts[i] += 1
         total += 1
-        delta = model.marginal_benefit(i, counts[i])
-        heapq.heappush(heap, (-delta, next(counter), i))
+        tie += 1
+        heappush(heap, (-evaluators[i].advance(), tie, i))
 
     return Allocation(names, counts)
 

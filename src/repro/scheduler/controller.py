@@ -180,7 +180,7 @@ class DRSController:
     ) -> None:
         if snapshot.measured_sojourn is None:
             return
-        estimate = model.expected_sojourn(list(current_allocation.vector))
+        estimate = model.expected_sojourn(current_allocation.vector)
         if (
             math.isinf(estimate)
             or estimate <= 0
@@ -213,8 +213,8 @@ class DRSController:
                 math.inf,
                 f"infeasible: {exc}",
             )
-        proposed_estimate = model.expected_sojourn(list(proposed.vector))
-        current_estimate = model.expected_sojourn(list(current_allocation.vector))
+        proposed_estimate = model.expected_sojourn(proposed.vector)
+        current_estimate = model.expected_sojourn(current_allocation.vector)
         decision = self._policy.evaluate(
             current_allocation,
             proposed,
@@ -240,7 +240,7 @@ class DRSController:
         current_machines: int,
     ) -> ControllerDecision:
         tmax = self._config.tmax
-        current_estimate = model.expected_sojourn(list(current_allocation.vector))
+        current_estimate = model.expected_sojourn(current_allocation.vector)
         corrected = self._corrected(current_estimate)
         measured = snapshot.measured_sojourn
 
@@ -303,7 +303,7 @@ class DRSController:
                     math.inf,
                     f"load transiently infeasible within Kmax={kmax}; waiting",
                 )
-            proposed_estimate = model.expected_sojourn(list(proposed.vector))
+            proposed_estimate = model.expected_sojourn(proposed.vector)
             return ControllerDecision(
                 ControllerAction.SCALE_OUT,
                 proposed,
@@ -325,8 +325,8 @@ class DRSController:
                 math.inf,
                 f"load transiently infeasible within Kmax={kmax}; waiting",
             )
-        proposed_estimate = model.expected_sojourn(list(proposed.vector))
-        current_estimate = model.expected_sojourn(list(current_allocation.vector))
+        proposed_estimate = model.expected_sojourn(proposed.vector)
+        current_estimate = model.expected_sojourn(current_allocation.vector)
         decision = self._policy.evaluate(
             current_allocation,
             proposed,
@@ -370,7 +370,7 @@ class DRSController:
             kmax = cluster.kmax_for_machines(machines)
             proposed = self._safe_assign(model, kmax)
             proposed_estimate = (
-                model.expected_sojourn(list(proposed.vector))
+                model.expected_sojourn(proposed.vector)
                 if proposed is not None
                 else math.inf
             )
@@ -395,8 +395,8 @@ class DRSController:
                 math.inf,
                 f"load transiently infeasible within Kmax={kmax}; waiting",
             )
-        proposed_estimate = model.expected_sojourn(list(proposed.vector))
-        current_estimate = model.expected_sojourn(list(current_allocation.vector))
+        proposed_estimate = model.expected_sojourn(proposed.vector)
+        current_estimate = model.expected_sojourn(current_allocation.vector)
         decision = self._policy.evaluate(
             current_allocation,
             proposed,

@@ -18,6 +18,7 @@ import math
 from repro.exceptions import InfeasibleAllocationError
 from repro.model.performance import PerformanceModel
 from repro.scheduler.allocation import Allocation
+from repro.scheduler.assign import marginal_evaluators_for
 from repro.utils.validation import check_positive
 
 
@@ -75,11 +76,15 @@ def min_processors_for_target(
 
     current = model.expected_sojourn(counts)
 
+    # Incremental per-operator evaluators: refreshing delta after an
+    # increment carries the Erlang-B recurrence forward in O(1).
+    evaluators = marginal_evaluators_for(model, counts)
     counter = itertools.count()
     heap = []
     for i in range(len(names)):
-        delta = model.marginal_benefit(i, counts[i])
+        delta = evaluators[i].delta()
         heapq.heappush(heap, (-delta, next(counter), i))
+    expected_sojourn = model.expected_sojourn
 
     while current > tmax:
         if total >= hard_limit:
@@ -92,7 +97,7 @@ def min_processors_for_target(
         counts[i] += 1
         total += 1
         if math.isinf(current):
-            current = model.expected_sojourn(counts)
+            current = expected_sojourn(counts)
         else:
             # delta already equals lambda_i*(E[Ti](k)-E[Ti](k+1)); Eq. (3)
             # scales it by 1/lambda_0.  The subtraction cancels two
@@ -103,9 +108,8 @@ def min_processors_for_target(
             previous = current
             current -= delta / lambda0
             if current <= tmax or abs(current - tmax) <= 1e-9 * max(tmax, previous):
-                current = model.expected_sojourn(counts)
-        new_delta = model.marginal_benefit(i, counts[i])
-        heapq.heappush(heap, (-new_delta, next(counter), i))
+                current = expected_sojourn(counts)
+        heapq.heappush(heap, (-evaluators[i].advance(), next(counter), i))
 
     return Allocation(names, counts)
 

@@ -1,35 +1,62 @@
-"""The discrete-event engine: a time-ordered callback queue.
+"""The discrete-event engine: a time-ordered typed-event queue.
 
-Minimal by design — the hot loop is ``heappop``, advance the clock, call
-the callback.  Events scheduled at equal times fire in scheduling order
-(a monotonic sequence number breaks ties), which keeps runs
-deterministic under a fixed RNG seed.
+Minimal by design — the hot loop is ``heappop``, advance the clock,
+dispatch.  Events scheduled at equal times fire in scheduling order (a
+monotonic sequence number breaks ties), which keeps runs deterministic
+under a fixed RNG seed.
+
+Two scheduling surfaces share one queue (and one tie-breaking sequence):
+
+- :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — the
+  general callback API.  Each call allocates an :class:`EventHandle`
+  supporting O(1) cancellation; this is the right surface for *rare*
+  events (rebalance resumes, controller actions, tests).
+- :meth:`Simulator.schedule_event` — the allocation-free hot path.  A
+  component registers a handler once (:meth:`Simulator.register_handler`
+  returns an integer *kind*) and then schedules plain
+  ``(time, seq, kind, a, b)`` records; the loop dispatches by kind
+  through the handler table.  No per-event closure, no handle object.
+
+Cancelled handles are counted and excluded from :attr:`pending_events`;
+when more than half of the queued entries are cancelled the heap is
+compacted in place, so a workload that schedules-and-cancels (timeouts,
+watchdogs) cannot grow the queue without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.exceptions import SimulationError
+
+#: Kind 1 is the handle-based callback surface; registered handlers
+#: start at 2 (kind 0 is reserved).
+_KIND_HANDLE = 1
 
 
 class EventHandle:
     """Handle to a scheduled event; supports O(1) cancellation."""
 
-    __slots__ = ("time", "callback", "cancelled")
+    __slots__ = ("time", "callback", "cancelled", "_sim")
 
-    def __init__(self, time: float, callback: Callable[[], None]):
+    def __init__(self, time: float, callback: Callable[[], None], sim=None):
         self.time = time
         self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
+        if self.callback is None:  # already fired or already cancelled
+            self.cancelled = True
+            return
         self.cancelled = True
         self.callback = None  # free references early
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
 
 class Simulator:
@@ -44,9 +71,13 @@ class Simulator:
 
     def __init__(self):
         self._now = 0.0
-        self._queue = []  # (time, seq, handle)
-        self._seq = itertools.count()
+        self._queue = []  # (time, seq, kind, a, b)
+        self._seq = 0
         self._processed = 0
+        self._cancelled = 0
+        # Handler table indexed by kind; slots 0/1 are the callback and
+        # handle surfaces, dispatched inline by the loop.
+        self._handlers: List[Optional[Callable]] = [None, None]  # kinds 0/1
 
     @property
     def now(self) -> float:
@@ -60,12 +91,34 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Events still queued (including cancelled ones not yet popped)."""
-        return len(self._queue)
+        """Events still queued and not cancelled."""
+        return len(self._queue) - self._cancelled
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def register_handler(self, handler: Callable) -> int:
+        """Register a typed-event handler; returns its *kind* id.
+
+        The handler is called as ``handler(a, b)`` with the two payload
+        slots of every :meth:`schedule_event` record of that kind.
+        """
+        self._handlers.append(handler)
+        return len(self._handlers) - 1
+
+    def schedule_event(self, delay: float, kind: int, a=None, b=None) -> None:
+        """Allocation-free scheduling of a typed event ``delay`` from now.
+
+        The hot path of the simulator: one heap tuple, no handle, no
+        closure.  Events of unknown kinds fail at dispatch time.
+        """
+        if not delay >= 0.0:  # catches all negative delays and NaN
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, kind, a, b))
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0 or math.isnan(delay):
@@ -78,22 +131,46 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
-        handle = EventHandle(time, callback)
-        heapq.heappush(self._queue, (time, next(self._seq), handle))
+        handle = EventHandle(time, callback, self)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, _KIND_HANDLE, handle, None))
         return handle
+
+    def _note_cancelled(self) -> None:
+        """Account a cancellation; compact the heap when more than half
+        of it is dead weight."""
+        self._cancelled += 1
+        if self._cancelled > 8 and self._cancelled * 2 > len(self._queue):
+            # In-place so loop-local aliases of the queue stay valid.
+            self._queue[:] = [
+                entry
+                for entry in self._queue
+                if not (entry[2] == _KIND_HANDLE and entry[3].cancelled)
+            ]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
 
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
-        while self._queue:
-            time, _, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
+        queue = self._queue
+        handlers = self._handlers
+        while queue:
+            time, _, kind, a, b = heapq.heappop(queue)
+            if kind >= 2:
+                self._now = time
+                self._processed += 1
+                handlers[kind](a, b)
+                return True
+            if a.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = time
-            callback = handle.callback
-            handle.callback = None
+            callback = a.callback
+            a.callback = None
             self._processed += 1
             callback()
             return True
@@ -109,18 +186,30 @@ class Simulator:
             raise SimulationError(
                 f"horizon {horizon} is before current time {self._now}"
             )
-        while self._queue:
-            time, _, handle = self._queue[0]
+        queue = self._queue
+        handlers = self._handlers
+        heappop = heapq.heappop
+        while queue:
+            entry = queue[0]
+            time = entry[0]
             if time > horizon:
                 break
-            heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = time
-            callback = handle.callback
-            handle.callback = None
-            self._processed += 1
-            callback()
+            heappop(queue)
+            kind = entry[2]
+            if kind >= 2:
+                self._now = time
+                self._processed += 1
+                handlers[kind](entry[3], entry[4])
+            else:
+                handle = entry[3]
+                if handle.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._now = time
+                callback = handle.callback
+                handle.callback = None
+                self._processed += 1
+                callback()
         self._now = horizon
 
     def run_all(self, *, max_events: int = 50_000_000) -> None:
@@ -136,6 +225,6 @@ class Simulator:
 
     def __repr__(self) -> str:
         return (
-            f"Simulator(now={self._now:.6g}, pending={len(self._queue)},"
+            f"Simulator(now={self._now:.6g}, pending={self.pending_events},"
             f" processed={self._processed})"
         )

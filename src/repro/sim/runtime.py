@@ -28,15 +28,39 @@ of a Storm topology that matters to DRS:
 The DRS measurer is wired into the hot path; a measurement tick fires
 every ``Tm`` simulated seconds and the resulting report is passed to the
 ``on_measurement`` hook (where the live controller sits).
+
+Hot-path design (ISSUE 2)
+-------------------------
+Every tuple movement goes through typed events (``Simulator.schedule_event``)
+dispatched by kind — no per-event closures or handles.  Routing state is
+precomputed once per runtime:
+
+- ``_Route`` records carry the target operator runtime, the resolved
+  grouping (``None`` for free-choice/shuffle), the deterministic-gain
+  integer/fraction split and prebound measurement recorders, so an
+  emission costs no dict lookups and no temporary objects;
+- each operator keeps an O(1) ``queued`` counter (the ``queue_limit``
+  test used to re-scan every executor queue per routed tuple);
+- ``jsq`` operators with at least ``_JSQ_HEAP_MIN`` executors maintain a
+  lazy min-heap of ``(load, index)`` pairs: every load change pushes the
+  fresh pair and stale tops are discarded on query, giving O(log k)
+  shortest-queue selection with *identical* tie-breaking to the linear
+  scan (lowest index among minimum load);
+- all of it preserves the RNG draw order and event tie-breaking of the
+  original implementation byte-for-byte — pinned by the golden
+  determinism suite (``tests/test_golden_determinism.py``).
 """
 
 from __future__ import annotations
 
 import copy
+import heapq
 import math
+from bisect import bisect_left
+from math import log as _log
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import MeasurementConfig
 from repro.exceptions import SchedulingError, SimulationError
@@ -45,12 +69,24 @@ from repro.measurement.metrics import WelfordAccumulator
 from repro.measurement.sojourn import TupleTreeTracker
 from repro.randomness.arrival import DeterministicProcess, PhasedArrivalProcess
 from repro.randomness.distributions import Distribution
+from repro.randomness.distributions import Exponential as ExponentialDistribution
 from repro.scheduler.allocation import Allocation
 from repro.sim.engine import Simulator
 from repro.sim.rebalancing import RebalanceCostModel
-from repro.topology.graph import Edge, Topology
+from repro.topology.graph import Topology
 from repro.topology.grouping import ShuffleGrouping
 from repro.utils.rng import RngFactory
+
+#: Below this executor count the early-exit linear scan beats the lazy
+#: heap's constant factors (measured on the hot-path benchmark; at high
+#: utilisation the scan loses its early exit and the heap wins from
+#: medium parallelism up); both produce identical selections.
+_JSQ_HEAP_MIN = 16
+
+# Module-level aliases: a LOAD_GLOBAL beats the attribute chain in the
+# per-tuple loops below.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 @dataclass(frozen=True)
@@ -124,40 +160,133 @@ class RunStats:
 
 
 class _Executor:
-    """One executor: a queue plus a busy flag."""
+    """One executor: a queue, a busy flag, and (for the jsq heap) its
+    index and cached load ``len(queue) + busy``.  ``payload`` /
+    ``duration`` hold the in-service tuple between the start and finish
+    events (one tuple in service at a time)."""
 
-    __slots__ = ("queue", "busy")
+    __slots__ = ("queue", "busy", "index", "load", "payload", "duration")
 
-    def __init__(self):
+    def __init__(self, index: int = 0):
         self.queue: deque = deque()
         self.busy = False
+        self.index = index
+        self.load = 0
+        self.payload = None
+        self.duration = 0.0
+
+
+class _Route:
+    """Precomputed per-edge routing record (built once per runtime).
+
+    ``sel`` is ``None`` for free-choice edges (shuffle / no grouping) and
+    the grouping object otherwise; ``base``/``frac`` are the integer and
+    fractional parts of a deterministic gain (``fanout is None``);
+    ``arrivals`` is the target operator's measurement counter, updated
+    inline by the emission loop."""
+
+    __slots__ = ("edge", "op", "sel", "fanout", "base", "frac", "arrivals")
+
+    def __init__(self, edge, op, measurer: Measurer):
+        self.edge = edge
+        self.op = op
+        grouping = edge.grouping
+        free_choice = grouping is None or isinstance(grouping, ShuffleGrouping)
+        self.sel = None if free_choice else grouping
+        self.fanout = edge.fanout
+        gain = edge.gain
+        base = int(gain)
+        self.base = base
+        self.frac = gain - base
+        self.arrivals = measurer.arrival_counter(edge.target)
+
+
+class _SpoutSource:
+    """Per-spout emission state: prebound arrival process, RNG stream
+    and outgoing routes."""
+
+    __slots__ = ("name", "rng", "next_gap", "routes")
+
+    def __init__(self, name, rng, process, routes):
+        self.name = name
+        self.rng = rng
+        self.next_gap = process.next_gap
+        self.routes = routes
 
 
 class _OperatorRuntime:
     """Mutable per-operator execution state."""
 
+    __slots__ = (
+        "name",
+        "service",
+        "discipline",
+        "shared",
+        "jsq",
+        "executors",
+        "jsq_heap",
+        "jsq_rebuild",
+        "shared_queue",
+        "held",
+        "queued",
+        "processed",
+        "wait_stats",
+        "service_stats",
+        "out_routes",
+        "sample_service",
+        "service_rng",
+        "service_acc",
+        "service_random",
+        "service_rate",
+    )
+
     def __init__(self, name: str, service: Distribution, discipline: str):
         self.name = name
         self.service = service
         self.discipline = discipline
+        self.shared = discipline == "shared"
+        self.jsq = discipline == "jsq"
         self.executors: List[_Executor] = []
+        self.jsq_heap: Optional[List[Tuple[int, int]]] = None
         self.shared_queue: deque = deque()
         self.held: deque = deque()  # buffer used while paused
+        self.queued = 0  # len(shared_queue) + len(held) + sum executor queues
         self.processed = 0
         # Per-stage observability: time spent waiting in this operator's
         # queues and in service (validated against M/M/k theory in tests).
         self.wait_stats = WelfordAccumulator()
         self.service_stats = WelfordAccumulator()
+        # Hot-path bindings filled in by TopologyRuntime.__init__.
+        self.out_routes: Tuple[_Route, ...] = ()
+        self.sample_service = service.sample
+        self.service_rng = None
+        self.service_acc = None  # the measurer's SampledAccumulator
+        # Exponential services (the overwhelmingly common case) are drawn
+        # inline as ``-log(1.0 - rng.random()) / rate`` — the exact
+        # ``random.Random.expovariate`` formula (Python 3.10–3.12) on the
+        # same stream, minus two interpreter frames per draw.
+        self.service_random: Optional[Callable[[], float]] = None
+        self.service_rate = 0.0
 
     @property
     def parallelism(self) -> int:
         return len(self.executors)
 
     def queued_total(self) -> int:
-        total = len(self.shared_queue) + len(self.held)
-        for executor in self.executors:
-            total += len(executor.queue)
-        return total
+        """Tuples queued at this operator — O(1) (maintained counter)."""
+        return self.queued
+
+    def set_executors(self, k: int) -> None:
+        """Install ``k`` fresh executors (and a fresh jsq heap when the
+        parallelism warrants one)."""
+        self.executors = [_Executor(i) for i in range(k)]
+        if self.jsq and k >= _JSQ_HEAP_MIN:
+            self.jsq_heap = [(0, i) for i in range(k)]  # sorted == heapified
+            # Compact stale pairs when the heap outgrows this bound.
+            self.jsq_rebuild = max(64, 8 * k)
+        else:
+            self.jsq_heap = None
+            self.jsq_rebuild = 0
 
     def resize(self, k: int) -> List[dict]:
         """Replace executors with ``k`` fresh ones; returns displaced
@@ -169,7 +298,8 @@ class _OperatorRuntime:
             executor.queue.clear()
         displaced.extend(entry[0] for entry in self.shared_queue)
         self.shared_queue.clear()
-        self.executors = [_Executor() for _ in range(k)]
+        self.queued -= len(displaced)
+        self.set_executors(k)
         return displaced
 
 
@@ -231,13 +361,42 @@ class TopologyRuntime:
             runtime = _OperatorRuntime(
                 name, operator.service_time, self._options.queue_discipline
             )
-            runtime.executors = [_Executor() for _ in range(allocation[name])]
+            runtime.set_executors(allocation[name])
             self._operators[name] = runtime
 
         self._measurer = Measurer(
             topology.operator_names, self._options.measurement
         )
+        self._external_counter = self._measurer.external_counter()
+        for name, runtime in self._operators.items():
+            runtime.service_acc = self._measurer.service_accumulator(name)
+            runtime.service_rng = self._service_rngs[name]
+            service_dist = topology.operator(name).service_time
+            if type(service_dist) is ExponentialDistribution:
+                runtime.service_random = runtime.service_rng.random
+                runtime.service_rate = service_dist.rate
+            runtime.out_routes = tuple(
+                _Route(edge, self._operators[edge.target], self._measurer)
+                for edge in topology.out_edges(name)
+            )
+        self._spout_sources: List[_SpoutSource] = [
+            _SpoutSource(
+                name,
+                self._spout_rngs[name],
+                self._arrival_processes[name],
+                tuple(
+                    _Route(edge, self._operators[edge.target], self._measurer)
+                    for edge in topology.out_edges(name)
+                ),
+            )
+            for name in topology.spouts
+        ]
+
         self._tracker = TupleTreeTracker(on_complete=self._on_tree_complete)
+        # The tracker never reassigns its root table; cache it (and the
+        # tree-size bound) to skip two attribute hops per event.
+        self._roots = self._tracker._roots
+        self._max_tree_size = self._tracker._max_tree_size
         self._allocation = allocation
         self._paused = False
         self._started = False
@@ -245,12 +404,29 @@ class TopologyRuntime:
         self._external_tuples = 0
         self._dropped_tuples = 0
         self._rebalances = 0
-        self._completions: List[Tuple[float, float]] = []  # (time, sojourn)
+        # Parallel completion arrays (times are nondecreasing): cheaper
+        # to append than tuple pairs, and ``stats()`` can bisect warmups.
+        self._completion_times: List[float] = []
+        self._completion_sojourns: List[float] = []
+        self._stats_cache: Dict[Tuple[float, int], tuple] = {}
         self._reports: List[MeasurementReport] = []
         self.on_measurement: Optional[Callable[[MeasurementReport], None]] = None
-        # Payloads are shared per tree: {"root": id} — enough for shuffle
-        # and root-hashing fields groupings.
-        self._payload_cache: Dict[int, dict] = {}
+
+        # Hot-path constants, prebound RNG methods and typed-event kinds.
+        self._queue_limit = self._options.queue_limit
+        # Free-choice deliveries skip the generic _deliver path entirely
+        # while unpaused (the queue-limit test is O(1) inline); kept in
+        # sync by apply_allocation.
+        self._fast = True
+        self._hop_dist = self._options.hop_latency_distribution
+        self._hop_const = self._options.hop_latency
+        self._pull_interval = self._options.measurement.pull_interval
+        self._fanout_random = self._fanout_rng.random
+        self._route_randrange = self._route_rng.randrange
+        self._kind_spout = simulator.register_handler(self._on_spout)
+        self._kind_hop = simulator.register_handler(self._on_hop)
+        self._kind_finish = simulator.register_handler(self._on_finish)
+        self._kind_tick = simulator.register_handler(self._on_tick)
 
     # ------------------------------------------------------------------
     # public accessors
@@ -291,7 +467,7 @@ class TopologyRuntime:
     @property
     def completions(self) -> List[Tuple[float, float]]:
         """(completion_time, sojourn) of every completed tree."""
-        return list(self._completions)
+        return list(zip(self._completion_times, self._completion_sojourns))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -301,15 +477,11 @@ class TopologyRuntime:
         if self._started:
             raise SimulationError("runtime already started")
         self._started = True
-        for spout_name, spout in self._topology.spouts.items():
-            rng = self._spout_rngs[spout_name]
-            gap = self._arrival_processes[spout_name].next_gap(
-                self._sim.now, rng
-            )
-            self._sim.schedule(gap, self._make_spout_event(spout_name))
-        self._sim.schedule(
-            self._options.measurement.pull_interval, self._measurement_tick
-        )
+        sim = self._sim
+        for source in self._spout_sources:
+            gap = source.next_gap(sim.now, source.rng)
+            sim.schedule_event(gap, self._kind_spout, source)
+        sim.schedule_event(self._pull_interval, self._kind_tick)
 
     def apply_allocation(
         self,
@@ -340,22 +512,25 @@ class TopologyRuntime:
         )
         self._rebalances += 1
         self._paused = True
+        self._fast = False
         # Move all queued tuples into per-operator holding buffers.
         for runtime in self._operators.values():
-            runtime.held.extend(runtime.resize(0))
+            displaced = runtime.resize(0)
+            runtime.held.extend(displaced)
+            runtime.queued += len(displaced)
 
         def resume() -> None:
             self._allocation = new_allocation
             for name, runtime in self._operators.items():
-                runtime.executors = [
-                    _Executor() for _ in range(new_allocation[name])
-                ]
+                runtime.set_executors(new_allocation[name])
             self._paused = False
-            for name, runtime in self._operators.items():
+            self._fast = True
+            for runtime in self._operators.values():
                 held = list(runtime.held)
                 runtime.held.clear()
+                runtime.queued -= len(held)
                 for payload in held:
-                    self._route_to_operator(name, payload, count_arrival=False)
+                    self._deliver(runtime, payload, None)
             # Old smoothed metrics describe the previous configuration.
             self._measurer.reset_smoothing()
 
@@ -367,23 +542,15 @@ class TopologyRuntime:
     # ------------------------------------------------------------------
     def stats(self, *, warmup: float = 0.0) -> RunStats:
         """Aggregate results, ignoring completions before ``warmup``."""
-        window = [s for t, s in self._completions if t >= warmup]
-        acc = WelfordAccumulator()
-        for sojourn in window:
-            acc.add(sojourn)
-        p95 = None
-        if window:
-            ordered = sorted(window)
-            index = max(0, int(math.ceil(0.95 * len(ordered))) - 1)
-            p95 = ordered[index]
+        mean, std, p95 = self._window_summary(warmup)
         return RunStats(
             duration=self._sim.now,
             external_tuples=self._external_tuples,
             completed_trees=self._tracker.completed,
             dropped_tuples=self._dropped_tuples,
             dropped_trees=self._tracker.dropped,
-            mean_sojourn=acc.mean if acc.count else None,
-            std_sojourn=acc.std if acc.count else None,
+            mean_sojourn=mean,
+            std_sojourn=std,
             p95_sojourn=p95,
             per_operator_processed={
                 name: runtime.processed
@@ -406,6 +573,43 @@ class TopologyRuntime:
             rebalances=self._rebalances,
         )
 
+    def _window_summary(self, warmup: float) -> tuple:
+        """(mean, std, p95) of the completions with ``t >= warmup``.
+
+        Completion times are nondecreasing, so the warmup cut is a
+        bisect instead of a full scan; p95 is selected with
+        ``heapq.nlargest`` instead of a full sort; and the result is
+        cached per ``(warmup, completion_count)`` so per-window report
+        rendering does not re-sort an unchanged window on every call.
+        """
+        times = self._completion_times
+        key = (warmup, len(times))
+        cached = self._stats_cache.get(key)
+        if cached is not None:
+            return cached
+        sojourns = self._completion_sojourns
+        lo = bisect_left(times, warmup) if warmup > 0.0 else 0
+        window = sojourns[lo:]
+        acc = WelfordAccumulator()
+        for sojourn in window:
+            acc.add(sojourn)
+        p95 = None
+        if window:
+            index = max(0, int(math.ceil(0.95 * len(window))) - 1)
+            # The index-th smallest == the (n - index)-th largest; for a
+            # p95 that's a selection of ~5% of the window, much cheaper
+            # than sorting all of it.
+            p95 = heapq.nlargest(len(window) - index, window)[-1]
+        result = (
+            acc.mean if acc.count else None,
+            acc.std if acc.count else None,
+            p95,
+        )
+        if len(self._stats_cache) >= 64:
+            self._stats_cache.clear()
+        self._stats_cache[key] = result
+        return result
+
     def timeline(self) -> List[Tuple[float, Optional[float], int]]:
         """Per-bucket mean sojourn: [(bucket_start, mean, count), ...].
 
@@ -413,14 +617,15 @@ class TopologyRuntime:
         minute curves of Fig. 9/10.
         """
         bucket = self._options.timeline_bucket
-        if not self._completions:
+        if not self._completion_times:
             return []
         horizon = self._sim.now
         n_buckets = int(math.ceil(horizon / bucket)) or 1
         sums = [0.0] * n_buckets
         counts = [0] * n_buckets
-        for t, sojourn in self._completions:
-            index = min(n_buckets - 1, int(t / bucket))
+        last = n_buckets - 1
+        for t, sojourn in zip(self._completion_times, self._completion_sojourns):
+            index = min(last, int(t / bucket))
             sums[index] += sojourn
             counts[index] += 1
         return [
@@ -439,93 +644,331 @@ class TopologyRuntime:
             )
 
     # ------------------------------------------------------------------
-    # spout side
+    # typed-event handlers (the hot path)
+    #
+    # The emission pipeline (gain sampling, arrival counting, hop delay,
+    # free-choice delivery, service start, finish-event push) is fully
+    # inlined in ``_emit_tuples`` — one interpreter frame per processed
+    # tuple.  Inlining means: direct counter and Welford-accumulator
+    # updates (same arithmetic as their methods), direct tuple-tree
+    # bookkeeping (same semantics as TupleTreeTracker
+    # add_pending/complete_one) and direct event-heap pushes (same
+    # validation and sequence numbering as ``Simulator.schedule_event``).
+    # The RNG draw order matches the original _sample_count/_dispatch
+    # factoring exactly: fanout draw, then per-copy hop/routing draws.
+    # Any change here must keep tests/test_golden_determinism.py green
+    # without regenerating its fixtures.
     # ------------------------------------------------------------------
-    def _make_spout_event(self, spout_name: str) -> Callable[[], None]:
-        def fire() -> None:
-            self._emit_external(spout_name)
-            rng = self._spout_rngs[spout_name]
-            gap = self._arrival_processes[spout_name].next_gap(
-                self._sim.now, rng
-            )
-            self._sim.schedule(gap, fire)
+    def _emit_tuples(self, routes, payload, root, now, external: bool) -> None:
+        """Emit one processed tuple's downstream copies along ``routes``.
 
-        return fire
+        One frame per processed tuple: fanout sampling, tree
+        bookkeeping, hop delay, free-choice delivery and service start
+        are all inlined below."""
+        sim = self._sim
+        tracker = self._tracker
+        roots = self._roots
+        fast = self._fast
+        limit = self._queue_limit
+        ext_counter = self._external_counter if external else None
+        frandom = self._fanout_random
+        hop_dist = self._hop_dist
+        hop_const = self._hop_const
+        kind_finish = self._kind_finish
+        state = roots.get(root)
+        for route in routes:
+            fanout = route.fanout
+            if fanout is None:
+                count = route.base
+                frac = route.frac
+                if frac > 0 and frandom() < frac:
+                    count += 1
+            else:
+                value = fanout.sample(self._fanout_rng)
+                if value < 0:
+                    count = 0
+                else:
+                    count = int(value)
+                    frac = value - count
+                    if frac > 0 and frandom() < frac:
+                        count += 1
+            if count <= 0:
+                continue
+            # inline TupleTreeTracker.add_pending (count >= 1 here)
+            if state is not None:
+                state[1] += count
+                size = state[2] + count
+                state[2] = size
+                if size > self._max_tree_size:
+                    # An exploding tree means an unstable feedback loop;
+                    # drop it and count the drop so callers can alert.
+                    if roots.pop(root, None) is not None:
+                        tracker._dropped += 1
+                    state = None
+            arrivals = route.arrivals
+            op = route.op
+            sel = route.sel
+            for _ in range(count):
+                arrivals._count += 1
+                if ext_counter is not None:
+                    ext_counter._count += 1
+                if hop_dist is not None:
+                    delay = hop_dist.sample(self._hop_rng)
+                    if delay > 0:
+                        sim.schedule_event(delay, self._kind_hop, route, payload)
+                        continue
+                elif hop_const > 0:
+                    sim.schedule_event(hop_const, self._kind_hop, route, payload)
+                    continue
+                # -- delivery (zero hop delay) ------------------------
+                if sel is not None or not fast or op.shared:
+                    self._deliver(op, payload, sel)
+                    continue
+                if limit is not None and op.queued >= limit:
+                    self._drop(payload)
+                    continue
+                executors = op.executors
+                n_ex = len(executors)
+                if n_ex == 0:
+                    self._drop(payload)
+                    continue
+                jheap = op.jsq_heap
+                if jheap is not None:
+                    while True:
+                        load, index = jheap[0]
+                        executor = executors[index]
+                        if executor.load == load:
+                            break
+                        _heappop(jheap)
+                    load += 1
+                    executor.load = load
+                    _heappush(jheap, (load, index))
+                    if len(jheap) > op.jsq_rebuild:
+                        jheap[:] = sorted(
+                            (ex.load, i) for i, ex in enumerate(executors)
+                        )
+                elif op.jsq:
+                    best_index = 0
+                    best_load = math.inf
+                    for index, executor in enumerate(executors):
+                        load = len(executor.queue) + (1 if executor.busy else 0)
+                        if load < best_load:
+                            best_load = load
+                            best_index = index
+                            if load == 0:
+                                break
+                    executor = executors[best_index]
+                else:  # hashed
+                    executor = executors[self._route_randrange(n_ex)]
+                if executor.busy:
+                    executor.queue.append((payload, now))
+                    op.queued += 1
+                    continue
+                # -- service start on an idle executor ----------------
+                # (skipping the enqueue/dequeue round-trip; the queue
+                # wait is exactly 0.0, as now - now was in _begin_service)
+                executor.busy = True
+                ws = op.wait_stats
+                n = ws._n + 1
+                ws._n = n
+                delta = 0.0 - ws._mean
+                mean = ws._mean + delta / n
+                ws._mean = mean
+                ws._m2 += delta * (0.0 - mean)
+                if 0.0 < ws._min:
+                    ws._min = 0.0
+                if 0.0 > ws._max:
+                    ws._max = 0.0
+                srandom = op.service_random
+                if srandom is not None:  # inline expovariate
+                    duration = -_log(1.0 - srandom()) / op.service_rate
+                else:
+                    duration = op.sample_service(op.service_rng)
+                ss = op.service_stats
+                n = ss._n + 1
+                ss._n = n
+                delta = duration - ss._mean
+                mean = ss._mean + delta / n
+                ss._mean = mean
+                ss._m2 += delta * (duration - mean)
+                if duration < ss._min:
+                    ss._min = duration
+                if duration > ss._max:
+                    ss._max = duration
+                executor.payload = payload
+                executor.duration = duration
+                # inline Simulator.schedule_event
+                if not duration >= 0.0:  # negative or NaN service time
+                    raise SimulationError(
+                        f"cannot schedule into the past: delay={duration}"
+                    )
+                time = now + duration
+                seq = sim._seq
+                sim._seq = seq + 1
+                _heappush(sim._queue, (time, seq, kind_finish, op, executor))
 
-    def _emit_external(self, spout_name: str) -> None:
-        now = self._sim.now
+    def _on_spout(self, source: _SpoutSource, _unused) -> None:
+        """One external arrival: emit its tuple tree roots, then
+        schedule the next arrival of this spout."""
+        sim = self._sim
+        now = sim._now
         root_id = self._root_counter
-        self._root_counter += 1
+        self._root_counter = root_id + 1
         self._external_tuples += 1
-        self._tracker.register_root(root_id, now)
+        tracker = self._tracker
+        tracker.register_root(root_id, now)
         payload = {"root": root_id}
-        self._payload_cache[root_id] = payload
-        for edge in self._topology.out_edges(spout_name):
-            count = self._sample_count(edge)
-            if count > 0:
-                self._tracker.add_pending(root_id, count)
-                for _ in range(count):
-                    self._dispatch(edge, payload, external=True)
+        self._emit_tuples(source.routes, payload, root_id, now, True)
         # The root "tuple" itself needs no processing once emitted.
-        self._tracker.complete_one(root_id, now)
+        tracker.complete_one(root_id, now)
+        gap = source.next_gap(sim._now, source.rng)
+        sim.schedule_event(gap, self._kind_spout, source)
+
+    def _on_hop(self, route: _Route, payload: dict) -> None:
+        """A tuple arrives at its target after a non-zero hop delay."""
+        self._deliver(route.op, payload, route.sel)
+
+    def _on_finish(self, op: _OperatorRuntime, executor: _Executor) -> None:
+        """Service completion: emit downstream tuples, then pull the
+        executor's next queued tuple (or the shared queue's head)."""
+        sim = self._sim
+        now = sim._now
+        op.processed += 1
+        duration = executor.duration
+        # inline SampledAccumulator.offer (the measurer's service channel)
+        acc = op.service_acc
+        phase = acc._phase + 1
+        if phase >= acc._every:
+            acc._phase = 0
+            acc._sum += duration
+            acc._sum_squares += duration * duration
+            acc._n += 1
+        else:
+            acc._phase = phase
+        payload = executor.payload
+        executor.payload = None
+        root = payload["root"]
+        roots = self._roots
+        routes = op.out_routes
+        if routes:
+            self._emit_tuples(routes, payload, root, now, False)
+        # inline TupleTreeTracker.complete_one (refreshed get: a queue
+        # drop during emission may have removed the tree)
+        state = roots.get(root)
+        if state is not None:
+            pending = state[1] - 1
+            if pending > 0:
+                state[1] = pending
+            elif pending == 0:
+                arrival = state[0]
+                del roots[root]
+                self._tracker._completed += 1
+                self._on_tree_complete(root, arrival, now - arrival)
+            else:
+                state[1] = pending
+                self._tracker.complete_one(root, now)  # raises the error
+        executor.busy = False
+        jheap = op.jsq_heap
+        if jheap is not None:
+            load = executor.load - 1
+            executor.load = load
+            index = executor.index
+            executors = op.executors
+            # Guard against executors orphaned by a rebalance resize:
+            # their finish events still fire, but they no longer belong
+            # to the (new) heap.
+            if index < len(executors) and executors[index] is executor:
+                _heappush(jheap, (load, index))
+        if op.shared:
+            self._kick_shared(op)
+            return
+        if self._paused or executor.busy:
+            return
+        queue = executor.queue
+        if not queue:
+            return
+        # -- restart on the next queued tuple (inline _begin_service) --
+        executor.busy = True
+        head_payload, enqueued_at = queue.popleft()
+        op.queued -= 1
+        ws = op.wait_stats
+        value = now - enqueued_at
+        n = ws._n + 1
+        ws._n = n
+        delta = value - ws._mean
+        mean = ws._mean + delta / n
+        ws._mean = mean
+        ws._m2 += delta * (value - mean)
+        if value < ws._min:
+            ws._min = value
+        if value > ws._max:
+            ws._max = value
+        srandom = op.service_random
+        if srandom is not None:  # inline expovariate
+            duration = -_log(1.0 - srandom()) / op.service_rate
+        else:
+            duration = op.sample_service(op.service_rng)
+        ss = op.service_stats
+        n = ss._n + 1
+        ss._n = n
+        delta = duration - ss._mean
+        mean = ss._mean + delta / n
+        ss._mean = mean
+        ss._m2 += delta * (duration - mean)
+        if duration < ss._min:
+            ss._min = duration
+        if duration > ss._max:
+            ss._max = duration
+        executor.payload = head_payload
+        executor.duration = duration
+        if not duration >= 0.0:  # negative or NaN service time
+            raise SimulationError(
+                f"cannot schedule into the past: delay={duration}"
+            )
+        time = now + duration
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._queue, (time, seq, self._kind_finish, op, executor))
+
+    def _on_tick(self, _a, _b) -> None:
+        report = self._measurer.pull(self._sim.now)
+        self._reports.append(report)
+        if self.on_measurement is not None:
+            self.on_measurement(report)
+        self._sim.schedule_event(self._pull_interval, self._kind_tick)
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def _sample_count(self, edge: Edge) -> int:
-        if edge.fanout is not None:
-            value = edge.fanout.sample(self._fanout_rng)
-        else:
-            value = edge.gain
-        if value < 0:
-            return 0
-        base = int(value)
-        fraction = value - base
-        if fraction > 0 and self._fanout_rng.random() < fraction:
-            base += 1
-        return base
-
-    def _dispatch(self, edge: Edge, payload: dict, *, external: bool = False) -> None:
-        """Send one tuple along ``edge``, after any hop latency."""
-        delay = self._hop_delay()
-        target = edge.target
-        self._measurer.record_arrival(target, external=external)
-        if delay <= 0:
-            self._route_to_operator(target, payload, edge=edge)
-        else:
-            self._sim.schedule(
-                delay,
-                lambda: self._route_to_operator(target, payload, edge=edge),
-            )
-
-    def _hop_delay(self) -> float:
-        dist = self._options.hop_latency_distribution
-        if dist is not None:
-            return dist.sample(self._hop_rng)
-        return self._options.hop_latency
-
-    def _route_to_operator(
+    def _deliver(
         self,
-        operator_name: str,
+        op: _OperatorRuntime,
         payload: dict,
-        edge: Optional[Edge] = None,
-        count_arrival: bool = False,
+        grouping,
     ) -> None:
-        """Place a tuple into the operator's queue structure."""
-        if count_arrival:
-            self._measurer.record_arrival(operator_name)
-        runtime = self._operators[operator_name]
-        limit = self._options.queue_limit
-        if limit is not None and runtime.queued_total() >= limit:
+        """Place a tuple into ``op``'s queue structure.
+
+        ``grouping`` is ``None`` for free-choice tuples (shuffle edges
+        and rebalance redistribution) and the grouping object otherwise.
+        """
+        limit = self._queue_limit
+        if limit is not None and op.queued >= limit:
             self._drop(payload)
             return
-        now = self._sim.now
         if self._paused:
-            runtime.held.append(payload)
+            op.held.append(payload)
+            op.queued += 1
             return
-        if runtime.discipline == "shared":
-            runtime.shared_queue.append((payload, now))
-            self._kick_shared(runtime)
+        now = self._sim.now
+        if op.shared:
+            op.shared_queue.append((payload, now))
+            op.queued += 1
+            self._kick_shared(op)
+            return
+        executors = op.executors
+        n = len(executors)
+        if n == 0:
+            self._drop(payload)
             return
         # Per-executor queues: the grouping picks the executor(s).  Under
         # "jsq" a shuffle-grouped (or redistributed) tuple goes to the
@@ -533,116 +976,128 @@ class TopologyRuntime:
         # load-balanced real deployment approximates, and the setting
         # under which the M/M/k model is accurate.  Key-based groupings
         # (fields/global/broadcast) are always honoured exactly.
-        if not runtime.executors:
-            indices: Sequence[int] = ()
-        else:
-            grouping = edge.grouping if edge is not None else None
-            free_choice = grouping is None or isinstance(grouping, ShuffleGrouping)
-            if free_choice and runtime.discipline == "jsq":
-                indices = (self._shortest_queue_index(runtime),)
-            elif free_choice:
-                indices = (self._route_rng.randrange(len(runtime.executors)),)
-            else:
-                indices = grouping.select_tasks(
-                    payload, len(runtime.executors), self._route_rng
-                )
+        if grouping is None:
+            jheap = op.jsq_heap
+            if jheap is not None:
+                # Lazy min-heap: pop stale (load, index) pairs until the
+                # top matches its executor's current load.  Because every
+                # load change pushes a fresh pair, the heap always holds
+                # each executor's current pair, so the first valid top is
+                # the scan's answer: minimum load, lowest index on ties.
+                heappop = heapq.heappop
+                while True:
+                    load, index = jheap[0]
+                    executor = executors[index]
+                    if executor.load == load:
+                        break
+                    heappop(jheap)
+                executor.queue.append((payload, now))
+                op.queued += 1
+                load += 1
+                executor.load = load
+                heapq.heappush(jheap, (load, index))
+                if len(jheap) > op.jsq_rebuild:
+                    # Rare compaction: drop stale pairs (a sorted list of
+                    # the current pairs is already a valid heap).
+                    jheap[:] = sorted(
+                        (ex.load, i) for i, ex in enumerate(executors)
+                    )
+                if not executor.busy:
+                    self._begin_service(op, executor)
+                return
+            if op.jsq:
+                best_index = 0
+                best_load = math.inf
+                for index, executor in enumerate(executors):
+                    load = len(executor.queue) + (1 if executor.busy else 0)
+                    if load < best_load:
+                        best_load = load
+                        best_index = index
+                        if load == 0:
+                            break
+                executor = executors[best_index]
+            else:  # hashed
+                executor = executors[self._route_rng.randrange(n)]
+            executor.queue.append((payload, now))
+            op.queued += 1
+            if not executor.busy:
+                self._begin_service(op, executor)
+            return
+        indices = grouping.select_tasks(payload, n, self._route_rng)
         if not indices:
             self._drop(payload)
             return
-        if len(indices) > 1:
+        copies = len(indices)
+        if copies > 1:
             # Replication (broadcast): each copy is an extra pending tuple.
-            self._tracker.add_pending(payload["root"], len(indices) - 1)
+            self._tracker.add_pending(payload["root"], copies - 1)
+        jheap = op.jsq_heap
         for index in indices:
-            executor = runtime.executors[index]
+            executor = executors[index]
             executor.queue.append((payload, now))
+            op.queued += 1
+            if jheap is not None:
+                load = executor.load + 1
+                executor.load = load
+                heapq.heappush(jheap, (load, index))
+                if len(jheap) > op.jsq_rebuild:
+                    jheap[:] = sorted(
+                        (ex.load, i) for i, ex in enumerate(executors)
+                    )
             if not executor.busy:
-                self._start_service(runtime, executor)
-
-    def _shortest_queue_index(self, runtime: _OperatorRuntime) -> int:
-        best_index = 0
-        best_load = math.inf
-        for index, executor in enumerate(runtime.executors):
-            load = len(executor.queue) + (1 if executor.busy else 0)
-            if load < best_load:
-                best_load = load
-                best_index = index
-                if load == 0:
-                    break
-        return best_index
+                self._begin_service(op, executor)
 
     def _drop(self, payload: dict) -> None:
         self._dropped_tuples += 1
-        root = payload["root"]
         # Abandon the whole tree: a dropped intermediate result means the
         # external tuple can never be fully processed.
-        self._tracker.drop_tree(root)
-        self._payload_cache.pop(root, None)
+        self._tracker.drop_tree(payload["root"])
 
     # ------------------------------------------------------------------
     # bolt side
     # ------------------------------------------------------------------
-    def _kick_shared(self, runtime: _OperatorRuntime) -> None:
-        if self._paused or not runtime.shared_queue:
+    def _kick_shared(self, op: _OperatorRuntime) -> None:
+        if self._paused:
             return
-        for executor in runtime.executors:
-            if not runtime.shared_queue:
+        shared_queue = op.shared_queue
+        if not shared_queue:
+            return
+        for executor in op.executors:
+            if not shared_queue:
                 break
             if not executor.busy:
-                executor.queue.append(runtime.shared_queue.popleft())
-                self._start_service(runtime, executor)
+                # shared pop and executor append cancel out in `queued`;
+                # _begin_service accounts the service pop.
+                executor.queue.append(shared_queue.popleft())
+                self._begin_service(op, executor)
 
-    def _start_service(self, runtime: _OperatorRuntime, executor: _Executor) -> None:
-        if self._paused or executor.busy or not executor.queue:
-            return
+    def _begin_service(self, op: _OperatorRuntime, executor: _Executor) -> None:
+        """Start serving the executor's queue head.  Callers guarantee
+        the executor is idle, its queue non-empty, and the runtime not
+        paused (the checks the old guarded ``_start_service`` re-did on
+        every call)."""
         executor.busy = True
         payload, enqueued_at = executor.queue.popleft()
-        runtime.wait_stats.add(self._sim.now - enqueued_at)
-        duration = runtime.service.sample(self._service_rngs[runtime.name])
-        runtime.service_stats.add(duration)
-        self._sim.schedule(
-            duration,
-            lambda: self._finish_service(runtime, executor, payload, duration),
-        )
-
-    def _finish_service(
-        self,
-        runtime: _OperatorRuntime,
-        executor: _Executor,
-        payload: dict,
-        duration: float,
-    ) -> None:
-        now = self._sim.now
-        runtime.processed += 1
-        self._measurer.record_service(runtime.name, duration)
-        root = payload["root"]
-        for edge in self._topology.out_edges(runtime.name):
-            count = self._sample_count(edge)
-            if count > 0:
-                self._tracker.add_pending(root, count)
-                for _ in range(count):
-                    self._dispatch(edge, payload)
-        self._tracker.complete_one(root, now)
-        executor.busy = False
-        if runtime.discipline == "shared":
-            self._kick_shared(runtime)
-        self._start_service(runtime, executor)
+        op.queued -= 1
+        sim = self._sim
+        op.wait_stats.add(sim._now - enqueued_at)
+        srandom = op.service_random
+        if srandom is not None:  # inline expovariate
+            duration = -_log(1.0 - srandom()) / op.service_rate
+        else:
+            duration = op.sample_service(op.service_rng)
+        op.service_stats.add(duration)
+        executor.payload = payload
+        executor.duration = duration
+        sim.schedule_event(duration, self._kind_finish, op, executor)
 
     # ------------------------------------------------------------------
     # measurement
     # ------------------------------------------------------------------
     def _on_tree_complete(self, root_id: int, arrival: float, sojourn: float) -> None:
         self._measurer.record_sojourn(sojourn)
-        self._completions.append((self._sim.now, sojourn))
-        self._payload_cache.pop(root_id, None)
-
-    def _measurement_tick(self) -> None:
-        report = self._measurer.pull(self._sim.now)
-        self._reports.append(report)
-        if self.on_measurement is not None:
-            self.on_measurement(report)
-        self._sim.schedule(
-            self._options.measurement.pull_interval, self._measurement_tick
-        )
+        self._completion_times.append(self._sim.now)
+        self._completion_sojourns.append(sojourn)
 
     def __repr__(self) -> str:
         return (

@@ -76,6 +76,71 @@ class TestCancellation:
         sim.run_until(2.0)
         handle.cancel()  # must not raise
 
+    def test_cancelled_events_excluded_from_pending(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(4)]
+        assert sim.pending_events == 4
+        handles[0].cancel()
+        handles[2].cancel()
+        assert sim.pending_events == 2
+        assert "pending=2" in repr(sim)
+        handles[0].cancel()  # double cancel must not double-count
+        assert sim.pending_events == 2
+
+    def test_heap_compaction_reclaims_cancelled_entries(self):
+        sim = Simulator()
+        keep = [sim.schedule(5.0, lambda: None) for _ in range(3)]
+        doomed = [sim.schedule(1.0, lambda: None) for _ in range(50)]
+        for handle in doomed:
+            handle.cancel()
+        # More than half of the heap was cancelled -> compacted away.
+        assert len(sim._queue) == 3
+        assert sim.pending_events == 3
+        fired = []
+        for handle in keep:
+            handle.callback = lambda: fired.append(1)
+        sim.run_until(6.0)
+        assert len(fired) == 3
+
+
+class TestTypedEvents:
+    def test_registered_handler_receives_payload(self):
+        sim = Simulator()
+        seen = []
+        kind = sim.register_handler(lambda a, b: seen.append((sim.now, a, b)))
+        sim.schedule_event(2.0, kind, "payload", 7)
+        sim.schedule_event(1.0, kind, "first")
+        sim.run_until(5.0)
+        assert seen == [(1.0, "first", None), (2.0, "payload", 7)]
+
+    def test_typed_and_callback_events_share_tie_order(self):
+        sim = Simulator()
+        fired = []
+        kind = sim.register_handler(lambda a, b: fired.append(a))
+        sim.schedule(1.0, lambda: fired.append("cb1"))
+        sim.schedule_event(1.0, kind, "typed1")
+        sim.schedule(1.0, lambda: fired.append("cb2"))
+        sim.schedule_event(1.0, kind, "typed2")
+        sim.run_until(1.0)
+        assert fired == ["cb1", "typed1", "cb2", "typed2"]
+
+    def test_typed_event_rejects_negative_delay(self):
+        sim = Simulator()
+        kind = sim.register_handler(lambda a, b: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_event(-0.5, kind)
+        with pytest.raises(SimulationError):
+            sim.schedule_event(float("nan"), kind)
+
+    def test_step_dispatches_typed_events(self):
+        sim = Simulator()
+        seen = []
+        kind = sim.register_handler(lambda a, b: seen.append(a))
+        sim.schedule_event(1.0, kind, "x")
+        assert sim.step()
+        assert seen == ["x"]
+        assert sim.processed_events == 1
+
 
 class TestSelfScheduling:
     def test_recurring_event(self):
