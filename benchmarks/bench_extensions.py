@@ -5,8 +5,6 @@ controller's decision path in extended deployments; they must stay in
 the same "almost negligible" cost class as Algorithm 1 (Table II).
 """
 
-import pytest
-
 from repro.model import PerformanceModel, RefinedPerformanceModel
 from repro.scheduler import (
     ProcessorClass,

@@ -1,0 +1,109 @@
+"""Single-operator assumption-violation workload (robustness study).
+
+The robustness experiment (paper Sec. V discussion) drives one operator
+with arrival processes and service-time distributions that
+progressively violate the M/M/k assumptions.  Expressing each
+``(arrival, service)`` combination as a workload makes the whole study
+a campaign grid over the scenario engine instead of a hand-rolled loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.randomness.arrival import (
+    ArrivalProcess,
+    DeterministicProcess,
+    MMPP2,
+    PoissonProcess,
+    UniformRateProcess,
+)
+from repro.randomness.distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+)
+from repro.topology.graph import Edge, Operator, Spout, Topology
+from repro.utils.validation import check_positive
+
+
+def arrival_variants(rate: float) -> Dict[str, ArrivalProcess]:
+    """Arrival processes from assumption-conforming to strongly violating."""
+    return {
+        "poisson": PoissonProcess(rate),
+        "deterministic": DeterministicProcess(rate),
+        "uniform_rate": UniformRateProcess(rate * 0.2, rate * 1.8),
+        "bursty_mmpp": MMPP2(
+            rate_low=rate * 0.4,
+            rate_high=rate * 2.2,
+            switch_to_high=0.05,
+            switch_to_low=0.1,
+        ),
+    }
+
+
+def service_variants(mu: float) -> Dict[str, Distribution]:
+    """Service distributions spanning SCV 0 to 4."""
+    return {
+        "exponential": Exponential(rate=mu),
+        "deterministic": Deterministic(1.0 / mu),
+        "erlang4": Erlang(k=4, rate=4.0 * mu),
+        "lognormal_scv2": LogNormal(mean=1.0 / mu, scv=2.0),
+        "hyperexp_scv4": HyperExponential.balanced_from_mean_scv(
+            mean=1.0 / mu, scv=4.0
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class RobustnessWorkload:
+    """One cell of the assumption-violation grid.
+
+    ``arrival`` / ``service`` name entries of :func:`arrival_variants` /
+    :func:`service_variants`.  ``hop_latency`` is zero: the study
+    isolates queueing-assumption violations from transport overhead.
+    """
+
+    arrival: str = "poisson"
+    service: str = "exponential"
+    rate: float = 8.0
+    mu: float = 1.0
+
+    #: No per-hop transport delay (see class docstring).
+    hop_latency: float = 0.0
+
+    def __post_init__(self):
+        check_positive("rate", self.rate)
+        check_positive("mu", self.mu)
+        if self.arrival not in arrival_variants(1.0):
+            raise ValueError(
+                f"unknown arrival variant {self.arrival!r}; available:"
+                f" {sorted(arrival_variants(1.0))}"
+            )
+        if self.service not in service_variants(1.0):
+            raise ValueError(
+                f"unknown service variant {self.service!r}; available:"
+                f" {sorted(service_variants(1.0))}"
+            )
+
+    @property
+    def operator_names(self) -> List[str]:
+        return ["op"]
+
+    def build(self) -> Topology:
+        return Topology(
+            "robustness",
+            spouts=[
+                Spout(name="src", arrivals=arrival_variants(self.rate)[self.arrival])
+            ],
+            operators=[
+                Operator(
+                    name="op", service_time=service_variants(self.mu)[self.service]
+                )
+            ],
+            edges=[Edge(source="src", target="op")],
+        )

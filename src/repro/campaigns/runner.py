@@ -1,0 +1,296 @@
+"""Execute campaigns: expand the grid, skip stored work, run the rest.
+
+The runner plans one *job* per ``(cell, replication index)`` pair and
+asks the store (when one is attached) which jobs already have results.
+Remaining jobs are deduplicated by ``(spec hash, seed)`` — two grid
+cells that expand to identical simulation inputs share one computation
+— and distributed over a :class:`ProcessPoolExecutor`.  Every result is
+written to the store *the moment it completes* (atomically), so killing
+a campaign mid-run loses at most the replications in flight; a resumed
+run recomputes only those.
+
+Determinism: each replication's outcome depends only on its scenario
+spec and derived seed (see :func:`repro.scenarios.runner.run_replication`),
+so worker count, completion order and cache hits cannot change a
+campaign's merged summaries — the property the equivalence tests pin.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaigns.spec import CampaignCell, CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.exceptions import ConfigurationError
+from repro.scenarios.runner import (
+    ReplicationResult,
+    ScenarioRunner,
+    ScenarioSummary,
+    replication_seed,
+    run_replication,
+    summarize_replications,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+#: One unit of simulation work: (spec hash, derived seed) plus the spec
+#: and replication index that produce it.
+_Job = Tuple[str, int, ScenarioSpec, int]
+
+
+def _run_job(job: _Job) -> ReplicationResult:
+    _, _, spec, index = job
+    return run_replication(spec, index)
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """What a run would do: which jobs are cached, which must compute."""
+
+    total: int
+    cached: int
+
+    @property
+    def to_compute(self) -> int:
+        return self.total - self.cached
+
+
+@dataclass(frozen=True)
+class CampaignCellResult:
+    """One grid cell's merged summary plus its result provenance.
+
+    ``computed``/``reused`` count this cell's replications by where
+    their results came from: computed by this run, or loaded from the
+    store.  Cells that expand to identical simulation inputs share one
+    computation, so summing cell counts over-states executed work —
+    campaign-level totals live on :class:`CampaignResult`, which counts
+    unique jobs.
+    """
+
+    cell: CampaignCell
+    summary: ScenarioSummary
+    computed: int
+    reused: int
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.cell.label,
+            "coordinates": self.cell.coordinates,
+            "spec_hash": self.cell.spec_hash,
+            "computed": self.computed,
+            "reused": self.reused,
+            "summary": self.summary.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All cells of one campaign run.
+
+    ``computed`` / ``reused`` count *unique* ``(spec hash, seed)`` jobs
+    — simulations actually executed by this run vs. loaded from the
+    store — so deduplicated identical cells are not double-counted.
+    """
+
+    campaign: CampaignSpec
+    cells: Tuple[CampaignCellResult, ...]
+    computed: int
+    reused: int
+
+    @property
+    def summaries(self) -> List[ScenarioSummary]:
+        return [c.summary for c in self.cells]
+
+    def cell(self, label: str) -> CampaignCellResult:
+        for result in self.cells:
+            if result.cell.label == label:
+                return result
+        raise KeyError(label)
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.campaign.name,
+            "computed": self.computed,
+            "reused": self.reused,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+
+class CampaignRunner:
+    """Runs campaigns, optionally against a resumable result store.
+
+    Without a store every replication is computed fresh — exactly what
+    :class:`~repro.scenarios.runner.ScenarioRunner.run_many` would do
+    for the expanded specs.  With a store, completed replications are
+    loaded instead of recomputed and fresh ones are persisted as they
+    finish.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        *,
+        max_workers: Optional[int] = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1 when set")
+        self._store = store
+        self._max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, campaign: CampaignSpec) -> CampaignPlan:
+        """Cache accounting without running anything (``--dry-run``).
+
+        Mirrors :meth:`run` exactly: unique ``(spec hash, seed)`` jobs
+        (identical cells share one), plus one uncacheable job per
+        overhead cell — so ``to_compute`` predicts ``run()``'s
+        ``computed`` count.
+        """
+        cells = campaign.expand()
+        keys = set()
+        for cell in _simulation_cells(cells):
+            spec_hash = cell.spec_hash
+            for index in range(cell.spec.replications):
+                keys.add((spec_hash, replication_seed(cell.spec.seed, index)))
+        cached = 0
+        if self._store is not None:
+            for spec_hash, seed in keys:
+                if self._store.load_record(spec_hash, seed) is not None:
+                    cached += 1
+        overhead = len(cells) - len(_simulation_cells(cells))
+        return CampaignPlan(total=len(keys) + overhead, cached=cached)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, campaign: CampaignSpec) -> CampaignResult:
+        cells = campaign.expand()
+        if not cells:
+            raise ConfigurationError(
+                f"campaign {campaign.name!r} expands to no cells"
+            )
+        cached: Dict[Tuple[str, int], ReplicationResult] = {}
+        jobs: List[_Job] = []
+        pending_keys = set()
+        for cell in _simulation_cells(cells):
+            spec_hash = cell.spec_hash
+            for index in range(cell.spec.replications):
+                seed = replication_seed(cell.spec.seed, index)
+                key = (spec_hash, seed)
+                if key in cached or key in pending_keys:
+                    continue
+                result = (
+                    self._store.load(spec_hash, seed)
+                    if self._store is not None
+                    else None
+                )
+                if result is not None:
+                    cached[key] = result
+                else:
+                    pending_keys.add(key)
+                    jobs.append((spec_hash, seed, cell.spec, index))
+
+        computed = self._execute(campaign, cells, jobs)
+
+        results: List[CampaignCellResult] = []
+        overhead_runs = 0
+        for cell in cells:
+            if cell.spec.kind != "simulation":
+                summary = ScenarioRunner(max_workers=1).run(cell.spec)
+                overhead_runs += 1
+                results.append(
+                    CampaignCellResult(
+                        cell=cell, summary=summary, computed=1, reused=0
+                    )
+                )
+                continue
+            spec_hash = cell.spec_hash
+            merged: List[ReplicationResult] = []
+            fresh = 0
+            reused = 0
+            for index in range(cell.spec.replications):
+                seed = replication_seed(cell.spec.seed, index)
+                key = (spec_hash, seed)
+                if key in computed:
+                    fresh += 1
+                    result = computed[key]
+                else:
+                    reused += 1
+                    result = cached[key]
+                # A cell whose rep index differs from the cached record
+                # (same inputs reached via another cell) still reports
+                # its own index.
+                if result.index != index:
+                    result = ReplicationResult.from_dict(
+                        {**result.to_dict(), "index": index}
+                    )
+                merged.append(result)
+            results.append(
+                CampaignCellResult(
+                    cell=cell,
+                    summary=summarize_replications(cell.spec, merged),
+                    computed=fresh,
+                    reused=reused,
+                )
+            )
+        return CampaignResult(
+            campaign=campaign,
+            cells=tuple(results),
+            computed=len(computed) + overhead_runs,
+            reused=len(cached),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        campaign: CampaignSpec,
+        cells: Sequence[CampaignCell],
+        jobs: Sequence[_Job],
+    ) -> Dict[Tuple[str, int], ReplicationResult]:
+        if not jobs:
+            return {}
+        label_by_hash = {c.spec_hash: c.label for c in cells}
+        computed: Dict[Tuple[str, int], ReplicationResult] = {}
+
+        def persist(job: _Job, result: ReplicationResult) -> None:
+            spec_hash, seed, spec, _ = job
+            computed[(spec_hash, seed)] = result
+            if self._store is not None:
+                self._store.put(
+                    spec,
+                    spec_hash,
+                    seed,
+                    result,
+                    campaign=campaign.name,
+                    cell=label_by_hash.get(spec_hash, ""),
+                )
+
+        workers = self._max_workers or os.cpu_count() or 1
+        workers = min(workers, len(jobs))
+        if workers <= 1:
+            for job in jobs:
+                persist(job, _run_job(job))
+            return computed
+        # submit/wait rather than map: each result is persisted the
+        # moment it completes, so an interrupt loses only in-flight
+        # replications instead of a whole ordered prefix.
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_job, job): job for job in jobs}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    persist(futures[future], future.result())
+        return computed
+
+
+def _simulation_cells(
+    cells: Sequence[CampaignCell],
+) -> List[CampaignCell]:
+    return [c for c in cells if c.spec.kind == "simulation"]

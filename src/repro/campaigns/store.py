@@ -1,0 +1,169 @@
+"""Content-addressed, resumable on-disk store of replication results.
+
+Layout (one directory per scenario content hash, one file per seed)::
+
+    <root>/
+      ab/
+        ab12...ef/
+          spec.json        # provenance: the first spec stored here
+          7.json           # record of the replication run with seed 7
+          1734...55.json
+
+Records are written atomically (temp file + ``os.replace``), so a
+killed ``run-campaign`` never leaves a half-written record: on resume a
+record either parses — and its replication is skipped — or it does not
+exist.  A record that fails to parse (torn write on a crash-unsafe
+filesystem, manual truncation) is treated as missing and recomputed.
+
+The key is ``(scenario_hash(spec), seed)`` — *what* was simulated, not
+what the campaign called it — so renamed campaigns, re-ordered grids
+and grown replication counts all reuse every completed replication.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.runner import ReplicationResult
+from repro.scenarios.spec import ScenarioSpec
+
+#: Bump when the record schema changes; mismatched records are ignored
+#: (recomputed), never misread.
+RECORD_VERSION = 1
+
+
+class ResultStore:
+    """Directory-backed store of per-replication results."""
+
+    def __init__(self, root: os.PathLike):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def _bucket(self, spec_hash: str) -> Path:
+        if len(spec_hash) < 8 or not all(
+            c in "0123456789abcdef" for c in spec_hash
+        ):
+            raise ConfigurationError(f"malformed spec hash {spec_hash!r}")
+        return self._root / spec_hash[:2] / spec_hash
+
+    def record_path(self, spec_hash: str, seed: int) -> Path:
+        return self._bucket(spec_hash) / f"{int(seed)}.json"
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def has(self, spec_hash: str, seed: int) -> bool:
+        """True when a *parseable* record exists for ``(hash, seed)``."""
+        return self.load(spec_hash, seed) is not None
+
+    def load(self, spec_hash: str, seed: int) -> Optional[ReplicationResult]:
+        """The stored replication result, or ``None`` when absent/torn."""
+        record = self.load_record(spec_hash, seed)
+        if record is None:
+            return None
+        try:
+            return ReplicationResult.from_dict(record["result"])
+        except (KeyError, TypeError, ValueError):
+            # Shape-corrupted record (hand-edited, schema drift within a
+            # version): same contract as a torn write — recompute it.
+            return None
+
+    def load_record(
+        self, spec_hash: str, seed: int
+    ) -> Optional[Dict[str, Any]]:
+        """The raw record mapping (metrics only — no re-hydration)."""
+        path = self.record_path(spec_hash, seed)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("version") != RECORD_VERSION
+            or "result" not in record
+        ):
+            return None
+        return record
+
+    def iter_records(
+        self, spec_hash: str
+    ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """All parseable ``(seed, record)`` pairs for one content hash,
+        in ascending seed order (deterministic aggregation order)."""
+        bucket = self._bucket(spec_hash)
+        if not bucket.is_dir():
+            return
+        seeds = sorted(
+            int(p.stem)
+            for p in bucket.glob("*.json")
+            if p.stem.lstrip("-").isdigit()
+        )
+        for seed in seeds:
+            record = self.load_record(spec_hash, seed)
+            if record is not None:
+                yield seed, record
+
+    def count(self, spec_hash: str) -> int:
+        return sum(1 for _ in self.iter_records(spec_hash))
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        spec: ScenarioSpec,
+        spec_hash: str,
+        seed: int,
+        result: ReplicationResult,
+        *,
+        campaign: str = "",
+        cell: str = "",
+    ) -> Path:
+        """Persist one replication result atomically.
+
+        The containing bucket also gets a one-time ``spec.json`` with
+        the scenario that produced it, for human audit of a store.
+        """
+        bucket = self._bucket(spec_hash)
+        bucket.mkdir(parents=True, exist_ok=True)
+        provenance = bucket / "spec.json"
+        if not provenance.exists():
+            self._write_atomic(provenance, spec.to_dict())
+        record = {
+            "version": RECORD_VERSION,
+            "spec_hash": spec_hash,
+            "seed": int(seed),
+            "campaign": campaign,
+            "cell": cell,
+            "result": result.to_dict(),
+        }
+        path = self.record_path(spec_hash, seed)
+        self._write_atomic(path, record)
+        return path
+
+    def _write_atomic(self, path: Path, payload: Dict[str, Any]) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -12,20 +12,30 @@ Usage::
     python -m repro all            # everything, scaled protocols
     python -m repro list-policies  # registered scheduling policies
     python -m repro run-scenario examples/scenarios/smoke.json --workers 4
+    python -m repro run-campaign examples/campaigns/smoke.json --store runs/
+    python -m repro campaign-report examples/campaigns/smoke.json --store runs/
 
-The CLI is a thin wrapper over :mod:`repro.experiments` and
-:mod:`repro.scenarios`; it prints the same text reports the benchmarks
-do.  ``run-scenario`` executes any JSON :class:`ScenarioSpec` — every
-workload the engine can express is reachable without writing a driver.
+The CLI is a thin wrapper over :mod:`repro.experiments`,
+:mod:`repro.scenarios` and :mod:`repro.campaigns`; it prints the same
+text reports the benchmarks do.  ``run-scenario`` executes any JSON
+:class:`ScenarioSpec`; ``run-campaign`` expands and executes a JSON
+:class:`CampaignSpec` grid, skipping any replication already in the
+``--store`` — every sweep the engine can express is reachable without
+writing a driver.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.campaigns.aggregate import aggregate_from_store
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
 from repro.exceptions import DRSError
 from repro.experiments import baselines, fig6, fig7, fig8, fig9, fig10, report, table2
 from repro.scenarios.registry import available_policies
@@ -103,6 +113,38 @@ def _run_scenario(args) -> str:
     if args.json:
         return summary.to_json(indent=2)
     return report.render_scenario(summary)
+
+
+def _load_campaign(path_text: str) -> CampaignSpec:
+    path = Path(path_text)
+    if not path.exists():
+        raise SystemExit(f"campaign spec not found: {path}")
+    return CampaignSpec.from_json(path.read_text())
+
+
+def _run_campaign(args) -> str:
+    campaign = _load_campaign(args.spec)
+    store = ResultStore(args.store) if args.store else None
+    runner = CampaignRunner(store, max_workers=args.workers)
+    if args.dry_run:
+        return report.render_campaign_plan(campaign.name, runner.plan(campaign))
+    result = runner.run(campaign)
+    if args.json:
+        return json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    return report.render_campaign(result)
+
+
+def _campaign_report(args) -> str:
+    campaign = _load_campaign(args.spec)
+    store_dir = Path(args.store)
+    # Read-only verb: a typo'd --store must error, not silently create
+    # an empty store and report every replication missing.
+    if not store_dir.is_dir():
+        raise SystemExit(f"result store not found: {store_dir}")
+    aggregator = aggregate_from_store(campaign, ResultStore(store_dir))
+    if args.json:
+        return json.dumps(aggregator.to_dict(), indent=2, sort_keys=True)
+    return report.render_campaign_aggregate(aggregator)
 
 
 def _list_policies(args) -> str:
@@ -212,6 +254,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the merged summary as JSON"
     )
     ps.set_defaults(handler=_run_scenario)
+
+    pc = sub.add_parser(
+        "run-campaign",
+        help="expand and execute a JSON campaign grid (resumable)",
+    )
+    pc.add_argument("spec", help="path to a CampaignSpec JSON file")
+    pc.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory; completed replications found here"
+        " are reused instead of recomputed",
+    )
+    pc.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel replication workers (default: all cores)",
+    )
+    pc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report how many replications the store already holds",
+    )
+    pc.add_argument(
+        "--json", action="store_true", help="print the campaign result as JSON"
+    )
+    pc.set_defaults(handler=_run_campaign)
+
+    pr = sub.add_parser(
+        "campaign-report",
+        help="aggregate a campaign's stored results (no simulation)",
+    )
+    pr.add_argument("spec", help="path to a CampaignSpec JSON file")
+    pr.add_argument(
+        "--store", required=True, help="result-store directory to read"
+    )
+    pr.add_argument(
+        "--json", action="store_true", help="print the aggregate as JSON"
+    )
+    pr.set_defaults(handler=_campaign_report)
 
     pp = sub.add_parser(
         "list-policies", help="registered scheduling policies"

@@ -6,8 +6,10 @@ practitioner would actually use: uniform split, load-proportional
 split, a reactive threshold scaler, and random placement.  Every
 allocator is a registered scheduling policy; its candidate allocation
 comes from :meth:`SchedulingPolicy.initial_allocation` on the same
-nominal model and budget, and the measurement leg runs each candidate
-as a passive scenario spec.  We report both the model's ``E[T]`` and
+nominal model and budget, and the measurement leg is a campaign whose
+allocator axis runs each candidate as a passive cell.  (Two allocators
+recommending the same allocation share one content address, so the
+campaign simulates it once.)  We report both the model's ``E[T]`` and
 the simulator's measured sojourn.
 """
 
@@ -16,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
 from repro.model.performance import PerformanceModel
 from repro.scenarios.registry import create_policy
-from repro.scenarios.runner import ScenarioRunner
-from repro.scenarios.spec import ScenarioSpec, WORKLOADS
+from repro.scenarios.spec import WORKLOADS
 from repro.scheduler.allocation import Allocation
 
 
@@ -64,6 +67,40 @@ class BaselineComparison:
         raise KeyError(allocator)
 
 
+def campaign(
+    application: str,
+    candidates: Dict[str, Allocation],
+    *,
+    workload_params: Dict[str, object],
+    duration: float,
+    warmup: float,
+    seed: int,
+) -> CampaignSpec:
+    """The measurement leg: one passive cell per candidate allocation."""
+    return CampaignSpec(
+        name=f"baselines-{application}",
+        description="DRS vs baseline allocators, measured sojourn",
+        base={
+            "workload": application,
+            "workload_params": dict(workload_params),
+            "policy": "none",
+            "duration": duration,
+            "warmup": warmup,
+            "seed": seed,
+        },
+        axes=(
+            {
+                "name": "allocator",
+                "field": "initial_allocation",
+                "values": tuple(
+                    {"label": name, "value": allocation.spec()}
+                    for name, allocation in candidates.items()
+                ),
+            },
+        ),
+    )
+
+
 def compare(
     application: str = "vld",
     *,
@@ -72,7 +109,7 @@ def compare(
     warmup: float = 60.0,
     seed: int = 37,
     simulate: bool = True,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> BaselineComparison:
     """Compare allocators on ``application`` ("vld" or "fpd")."""
     if application == "vld":
@@ -92,22 +129,17 @@ def compare(
 
     measured: Dict[str, Optional[float]] = {name: None for name in candidates}
     if simulate:
-        specs = [
-            ScenarioSpec(
-                name=f"baselines-{application}-{name}",
-                workload=application,
-                workload_params=dict(workload_params),
-                policy="none",
-                initial_allocation=allocation.spec(),
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-            )
-            for name, allocation in candidates.items()
-        ]
-        summaries = (runner or ScenarioRunner()).run_many(specs)
-        for name, summary in zip(candidates, summaries):
-            measured[name] = summary.replications[0].mean_sojourn
+        sweep = campaign(
+            application,
+            candidates,
+            workload_params=workload_params,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+        )
+        outcome = (runner or CampaignRunner()).run(sweep)
+        for name, cell_result in zip(candidates, outcome.cells):
+            measured[name] = cell_result.summary.replications[0].mean_sojourn
 
     rows = [
         BaselineRow(

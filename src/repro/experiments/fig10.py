@@ -20,18 +20,20 @@ because after a scale-in the backlog accumulated during the pause
 drains slowly through the smaller configuration — acting on the
 transient would cause add/remove oscillation.
 
-Each experiment is one ``drs.min_resource`` scenario spec with a
-negotiated machine pool (``initial_machines`` + ``cluster``).
+The pair is one campaign: a ``drs.min_resource`` base scenario with a
+negotiated machine pool (``initial_machines`` + ``cluster``) and a
+two-point experiment axis patching ``Tmax``, the starting pool and the
+starting allocation together.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.apps import vld as vld_app
-from repro.scenarios.runner import ScenarioRunner
-from repro.scenarios.spec import ScenarioSpec
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
 
 
 #: The paper's testbed accounting: 5 slots per machine, 3 reserved.
@@ -67,34 +69,51 @@ class ScalingRun:
         )
 
 
-def scaling_spec(
+def experiment_point(
     name: str,
     *,
     tmax: float,
     initial_machines: int,
     initial_spec: str,
+    seed: int,
+) -> Dict[str, Any]:
+    """One experiment-axis value: the fields ExpA/ExpB differ in."""
+    return {
+        "label": name,
+        "set": {
+            "policy_params.tmax": tmax,
+            "initial_machines": initial_machines,
+            "initial_allocation": initial_spec,
+            "seed": seed,
+        },
+    }
+
+
+def campaign(
+    experiments: Tuple[Dict[str, Any], ...],
+    *,
     enable_at: float,
     duration: float,
     bucket: float,
-    seed: int,
     hop_latency: float,
-) -> ScenarioSpec:
-    """One MIN_RESOURCE scenario over the negotiated machine pool."""
-    return ScenarioSpec(
-        name=f"fig10-{name}",
-        workload="vld",
-        policy="drs.min_resource",
-        policy_params={"tmax": tmax, "rebalance_threshold": 0.12},
-        cluster=dict(CLUSTER),
-        initial_machines=initial_machines,
-        initial_allocation=initial_spec,
-        duration=duration,
-        enable_at=enable_at,
-        min_action_gap=150.0,
-        seed=seed,
-        hop_latency=hop_latency,
-        timeline_bucket=bucket,
-        measurement={"alpha": 0.85},
+) -> CampaignSpec:
+    """MIN_RESOURCE scaling over the negotiated machine pool."""
+    return CampaignSpec(
+        name="fig10",
+        description="Tmax-driven machine scaling (ExpA/ExpB)",
+        base={
+            "workload": "vld",
+            "policy": "drs.min_resource",
+            "policy_params": {"rebalance_threshold": 0.12},
+            "cluster": dict(CLUSTER),
+            "duration": duration,
+            "enable_at": enable_at,
+            "min_action_gap": 150.0,
+            "hop_latency": hop_latency,
+            "timeline_bucket": bucket,
+            "measurement": {"alpha": 0.85},
+        },
+        axes=({"name": "experiment", "values": tuple(experiments)},),
     )
 
 
@@ -106,7 +125,7 @@ def run_exp_a(
     bucket: float = 30.0,
     seed: int = 29,
     hop_latency: float = 0.002,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> ScalingRun:
     """ExpA: under-provisioned start (4 machines, 8:8:1), scale out."""
     return _run(
@@ -131,7 +150,7 @@ def run_exp_b(
     bucket: float = 30.0,
     seed: int = 31,
     hop_latency: float = 0.002,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> ScalingRun:
     """ExpB: over-provisioned start (5 machines, 10:11:1), scale in."""
     return _run(
@@ -159,21 +178,25 @@ def _run(
     bucket: float,
     seed: int,
     hop_latency: float,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> ScalingRun:
-    spec = scaling_spec(
-        name,
-        tmax=tmax,
-        initial_machines=initial_machines,
-        initial_spec=initial_spec,
+    sweep = campaign(
+        (
+            experiment_point(
+                name,
+                tmax=tmax,
+                initial_machines=initial_machines,
+                initial_spec=initial_spec,
+                seed=seed,
+            ),
+        ),
         enable_at=enable_at,
         duration=duration,
         bucket=bucket,
-        seed=seed,
         hop_latency=hop_latency,
     )
-    summary = (runner or ScenarioRunner()).run(spec)
-    result = summary.replications[0]
+    outcome = (runner or CampaignRunner()).run(sweep)
+    result = outcome.cells[0].summary.replications[0]
     scaled_at = result.actions[0].time if result.actions else None
     buckets = [tuple(b) for b in result.timeline]
     spike = _bucket_mean_at(buckets, scaled_at) if scaled_at is not None else None

@@ -4,9 +4,9 @@ For each application (VLD, FPD) the paper runs six allocations for 10
 minutes each and plots the mean and standard deviation of the total
 sojourn time; the DRS-recommended allocation (VLD ``10:11:1``, FPD
 ``6:13:3``) achieves both the smallest mean *and* the smallest standard
-deviation.  The protocol is expressed as passive scenario specs (one
-per allocation) executed by the scenario engine; this module is the
-spec builder plus the result shaping.
+deviation.  The protocol is one campaign: a passive base scenario swept
+over an allocation axis; this module is the campaign definition plus
+the result shaping.
 """
 
 from __future__ import annotations
@@ -16,8 +16,8 @@ from typing import Any, Dict, List, Optional
 
 from repro.apps import fpd as fpd_app
 from repro.apps import vld as vld_app
-from repro.scenarios.runner import ScenarioRunner
-from repro.scenarios.spec import ScenarioSpec
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,7 @@ class Fig6Result:
         return self.best_spec() == self.drs_recommendation
 
 
-def panel_specs(
+def campaign(
     application: str,
     allocation_specs: List[str],
     recommended_spec: str,
@@ -59,25 +59,30 @@ def panel_specs(
     hop_latency: Optional[float],
     kmax: int,
     workload_params: Optional[Dict[str, Any]] = None,
-) -> List[ScenarioSpec]:
-    """One passive scenario per allocation; the recommended run also
-    records DRS's passive recommendation (for parity with the paper's
-    starred configuration)."""
-    return [
-        ScenarioSpec(
-            name=f"fig6-{application}-{spec}",
-            workload=application,
-            workload_params=dict(workload_params or {}),
-            policy="none",
-            initial_allocation=spec,
-            duration=duration,
-            warmup=warmup,
-            seed=seed,
-            hop_latency=hop_latency,
-            recommend_kmax=kmax if spec == recommended_spec else None,
-        )
-        for spec in allocation_specs
-    ]
+) -> CampaignSpec:
+    """The Fig. 6 panel as a declarative sweep: one passive cell per
+    allocation; the recommended cell also records DRS's passive
+    recommendation (for parity with the paper's starred configuration)."""
+    points = []
+    for spec in allocation_specs:
+        patch: Dict[str, Any] = {"initial_allocation": spec}
+        if spec == recommended_spec:
+            patch["recommend_kmax"] = kmax
+        points.append({"label": spec, "set": patch})
+    return CampaignSpec(
+        name=f"fig6-{application}",
+        description="sojourn mean/std per allocation, re-balancing disabled",
+        base={
+            "workload": application,
+            "workload_params": dict(workload_params or {}),
+            "policy": "none",
+            "duration": duration,
+            "warmup": warmup,
+            "seed": seed,
+            "hop_latency": hop_latency,
+        },
+        axes=({"name": "allocation", "values": tuple(points)},),
+    )
 
 
 def run_vld(
@@ -86,7 +91,7 @@ def run_vld(
     warmup: float = 60.0,
     seed: int = 11,
     hop_latency: float = 0.002,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig6Result:
     """VLD panel: six allocations, 10 simulated minutes each by default."""
     return _run_panel(
@@ -109,7 +114,7 @@ def run_fpd(
     seed: int = 13,
     scale: float = 1.0,
     hop_latency: Optional[float] = None,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig6Result:
     """FPD panel.  ``scale < 1`` shrinks all rates (fewer events) while
     preserving offered loads and therefore the ranking."""
@@ -138,9 +143,9 @@ def _run_panel(
     hop_latency: Optional[float],
     kmax: int,
     workload_params: Optional[Dict[str, Any]] = None,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig6Result:
-    specs = panel_specs(
+    sweep = campaign(
         application,
         allocation_specs,
         recommended_spec,
@@ -151,11 +156,12 @@ def _run_panel(
         kmax=kmax,
         workload_params=workload_params,
     )
-    summaries = (runner or ScenarioRunner()).run_many(specs)
+    outcome = (runner or CampaignRunner()).run(sweep)
     rows: List[AllocationMeasurement] = []
     recommendation: Optional[str] = None
-    for spec, summary in zip(specs, summaries):
-        result = summary.replications[0]
+    for cell_result in outcome.cells:
+        spec = cell_result.cell.spec
+        result = cell_result.summary.replications[0]
         if result.mean_sojourn is None:
             raise RuntimeError(
                 f"{application} {spec.initial_allocation}: no completed"

@@ -8,9 +8,9 @@ estimates for the computation-intensive VLD (slight underestimation);
 correlated, so "a polynomial regression can be used straightforwardly
 to make accurate predictions".
 
-The measurement side runs as passive scenario specs; this module adds
-the model estimates, the Spearman rank correlation and the suggested
-regression fit.
+The measurement side is one campaign (a passive allocation sweep); this
+module adds the model estimates, the Spearman rank correlation and the
+suggested regression fit.
 """
 
 from __future__ import annotations
@@ -21,10 +21,10 @@ from typing import Any, Dict, List, Optional
 from repro.analysis.correlation import spearman
 from repro.apps import fpd as fpd_app
 from repro.apps import vld as vld_app
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
 from repro.model.calibration import PolynomialCalibrator
 from repro.model.performance import PerformanceModel
-from repro.scenarios.runner import ScenarioRunner
-from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -58,7 +58,7 @@ class Fig7Result:
         )
 
 
-def panel_specs(
+def campaign(
     application: str,
     allocation_specs: List[str],
     *,
@@ -67,22 +67,28 @@ def panel_specs(
     seed: int,
     hop_latency: Optional[float],
     workload_params: Optional[Dict[str, Any]] = None,
-) -> List[ScenarioSpec]:
-    """One passive scenario per allocation."""
-    return [
-        ScenarioSpec(
-            name=f"fig7-{application}-{spec}",
-            workload=application,
-            workload_params=dict(workload_params or {}),
-            policy="none",
-            initial_allocation=spec,
-            duration=duration,
-            warmup=warmup,
-            seed=seed,
-            hop_latency=hop_latency,
-        )
-        for spec in allocation_specs
-    ]
+) -> CampaignSpec:
+    """One passive cell per allocation."""
+    return CampaignSpec(
+        name=f"fig7-{application}",
+        description="estimated vs measured sojourn per allocation",
+        base={
+            "workload": application,
+            "workload_params": dict(workload_params or {}),
+            "policy": "none",
+            "duration": duration,
+            "warmup": warmup,
+            "seed": seed,
+            "hop_latency": hop_latency,
+        },
+        axes=(
+            {
+                "name": "allocation",
+                "field": "initial_allocation",
+                "values": tuple(allocation_specs),
+            },
+        ),
+    )
 
 
 def run_vld(
@@ -91,7 +97,7 @@ def run_vld(
     warmup: float = 60.0,
     seed: int = 11,
     hop_latency: float = 0.002,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig7Result:
     """VLD panel of Fig. 7."""
     return _run_panel(
@@ -112,7 +118,7 @@ def run_fpd(
     seed: int = 13,
     scale: float = 1.0,
     hop_latency: Optional[float] = None,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig7Result:
     """FPD panel of Fig. 7 (data-intensive: expect underestimation)."""
     return _run_panel(
@@ -136,9 +142,9 @@ def _run_panel(
     seed: int,
     hop_latency: Optional[float],
     workload_params: Optional[Dict[str, Any]] = None,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig7Result:
-    specs = panel_specs(
+    sweep = campaign(
         application,
         allocation_specs,
         duration=duration,
@@ -147,11 +153,14 @@ def _run_panel(
         hop_latency=hop_latency,
         workload_params=workload_params,
     )
-    model = PerformanceModel.from_topology(specs[0].build_workload().build())
-    summaries = (runner or ScenarioRunner()).run_many(specs)
+    outcome = (runner or CampaignRunner()).run(sweep)
+    model = PerformanceModel.from_topology(
+        outcome.cells[0].cell.spec.build_workload().build()
+    )
     points: List[EstimatePoint] = []
-    for spec, summary in zip(specs, summaries):
-        result = summary.replications[0]
+    for cell_result in outcome.cells:
+        spec = cell_result.cell.spec
+        result = cell_result.summary.replications[0]
         if result.mean_sojourn is None:
             raise RuntimeError(
                 f"{application} {spec.initial_allocation}: no completed tuples"

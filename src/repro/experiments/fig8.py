@@ -7,8 +7,8 @@ fixed per-hop framework/network overhead (which the model ignores)
 dominates and the ratio is large; as CPU grows the ratio approaches 1
 — "a clear decreasing trend of the degree of underestimation".
 
-Each CPU workload is one passive scenario spec over the ``synthetic``
-chain topology.
+The sweep is one campaign: a passive ``synthetic``-chain base scenario
+with the total-CPU workload as its only axis.
 """
 
 from __future__ import annotations
@@ -17,9 +17,9 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.apps.synthetic import FIG8_TOTAL_CPU, SyntheticChainWorkload
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
 from repro.model.performance import PerformanceModel
-from repro.scenarios.runner import ScenarioRunner
-from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -51,7 +51,7 @@ class Fig8Result:
         return all(a > b for a, b in zip(ratios, ratios[1:]))
 
 
-def sweep_specs(
+def campaign(
     workloads: Sequence[float],
     *,
     duration: float,
@@ -59,28 +59,37 @@ def sweep_specs(
     seed: int,
     hop_latency: float,
     arrival_rate: float,
-) -> List[ScenarioSpec]:
-    """One passive synthetic-chain scenario per total-CPU workload."""
+) -> CampaignSpec:
+    """One passive synthetic-chain cell per total-CPU workload."""
     executors = SyntheticChainWorkload().executors_per_bolt
     allocation = ":".join([str(executors)] * 3)
-    return [
-        ScenarioSpec(
-            name=f"fig8-cpu{total_cpu}",
-            workload="synthetic",
-            workload_params={
-                "total_cpu": total_cpu,
+    return CampaignSpec(
+        name="fig8",
+        description="model underestimation vs total bolt CPU time",
+        base={
+            "workload": "synthetic",
+            "workload_params": {
                 "arrival_rate": arrival_rate,
                 "hop_latency": hop_latency,
             },
-            policy="none",
-            initial_allocation=allocation,
-            duration=duration,
-            warmup=warmup,
-            seed=seed,
-            hop_latency=hop_latency,
-        )
-        for total_cpu in workloads
-    ]
+            "policy": "none",
+            "initial_allocation": allocation,
+            "duration": duration,
+            "warmup": warmup,
+            "seed": seed,
+            "hop_latency": hop_latency,
+        },
+        axes=(
+            {
+                "name": "total_cpu",
+                "field": "workload_params.total_cpu",
+                "values": tuple(
+                    {"label": f"cpu{total_cpu}", "value": total_cpu}
+                    for total_cpu in workloads
+                ),
+            },
+        ),
+    )
 
 
 def run(
@@ -91,10 +100,10 @@ def run(
     seed: int = 17,
     hop_latency: float = 0.004,
     arrival_rate: float = 20.0,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig8Result:
     """Sweep the total-CPU workloads and collect measured/estimated ratios."""
-    specs = sweep_specs(
+    sweep = campaign(
         workloads,
         duration=duration,
         warmup=warmup,
@@ -102,13 +111,13 @@ def run(
         hop_latency=hop_latency,
         arrival_rate=arrival_rate,
     )
-    summaries = (runner or ScenarioRunner()).run_many(specs)
+    outcome = (runner or CampaignRunner()).run(sweep)
     points: List[UnderestimationPoint] = []
-    for total_cpu, spec, summary in zip(workloads, specs, summaries):
-        result = summary.replications[0]
+    for total_cpu, cell_result in zip(workloads, outcome.cells):
+        result = cell_result.summary.replications[0]
         if result.mean_sojourn is None:
             raise RuntimeError(f"total_cpu={total_cpu}: no completed tuples")
-        workload = spec.build_workload()
+        workload = cell_result.cell.spec.build_workload()
         model = PerformanceModel.from_topology(workload.build())
         estimated = model.expected_sojourn(list(workload.allocation().vector))
         points.append(

@@ -19,9 +19,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.apps import fpd as fpd_app
 from repro.apps import vld as vld_app
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
 from repro.model.performance import PerformanceModel
-from repro.scenarios.runner import ScenarioRunner
-from repro.scenarios.spec import ScenarioSpec
 from repro.scheduler.assign import assign_processors
 
 
@@ -61,7 +61,7 @@ class Fig9Result:
         )
 
 
-def panel_specs(
+def campaign(
     application: str,
     initial_specs: List[str],
     *,
@@ -72,32 +72,38 @@ def panel_specs(
     hop_latency: Optional[float],
     workload_params: Optional[Dict[str, Any]] = None,
     kmax: int = 22,
-) -> List[ScenarioSpec]:
-    """One live-DRS scenario per initial allocation.
+) -> CampaignSpec:
+    """One live-DRS cell per initial allocation.
 
     Heavy smoothing (alpha = 0.85 over 10 s pulls gives a ~1-minute
     memory) plus a 12% hysteresis keep measurement noise from flapping
     the optimum between near-equivalent allocations — the role the
     paper assigns to the measurer's smoothing options.
     """
-    return [
-        ScenarioSpec(
-            name=f"fig9-{application}-{initial}",
-            workload=application,
-            workload_params=dict(workload_params or {}),
-            policy="drs.min_sojourn",
-            policy_params={"kmax": kmax, "rebalance_threshold": 0.12},
-            initial_allocation=initial,
-            duration=duration,
-            enable_at=enable_at,
-            min_action_gap=60.0,
-            seed=seed,
-            hop_latency=hop_latency,
-            timeline_bucket=bucket,
-            measurement={"alpha": 0.85},
-        )
-        for initial in initial_specs
-    ]
+    return CampaignSpec(
+        name=f"fig9-{application}",
+        description="re-balancing convergence timelines",
+        base={
+            "workload": application,
+            "workload_params": dict(workload_params or {}),
+            "policy": "drs.min_sojourn",
+            "policy_params": {"kmax": kmax, "rebalance_threshold": 0.12},
+            "duration": duration,
+            "enable_at": enable_at,
+            "min_action_gap": 60.0,
+            "seed": seed,
+            "hop_latency": hop_latency,
+            "timeline_bucket": bucket,
+            "measurement": {"alpha": 0.85},
+        },
+        axes=(
+            {
+                "name": "initial",
+                "field": "initial_allocation",
+                "values": tuple(initial_specs),
+            },
+        ),
+    )
 
 
 def run_vld(
@@ -107,7 +113,7 @@ def run_vld(
     bucket: float = 30.0,
     seed: int = 19,
     hop_latency: float = 0.002,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig9Result:
     """VLD panel.  Defaults scale the paper's 13/27-minute protocol by
     half (6.5 min disabled, 13.5 min total) with 30 s buckets."""
@@ -132,7 +138,7 @@ def run_fpd(
     seed: int = 23,
     scale: float = 0.5,
     hop_latency: Optional[float] = None,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig9Result:
     """FPD panel (rates scaled by default to bound event counts)."""
     return _run_panel(
@@ -160,9 +166,9 @@ def _run_panel(
     seed: int,
     hop_latency: Optional[float],
     workload_params: Optional[Dict[str, Any]] = None,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Fig9Result:
-    specs = panel_specs(
+    sweep = campaign(
         application,
         initial_specs,
         enable_at=enable_at,
@@ -172,14 +178,14 @@ def _run_panel(
         hop_latency=hop_latency,
         workload_params=workload_params,
     )
-    topology = specs[0].build_workload().build()
-    summaries = (runner or ScenarioRunner()).run_many(specs)
+    outcome = (runner or CampaignRunner()).run(sweep)
+    topology = outcome.cells[0].cell.spec.build_workload().build()
     curves: List[TimelineCurve] = []
-    for spec, summary in zip(specs, summaries):
-        result = summary.replications[0]
+    for cell_result in outcome.cells:
+        result = cell_result.summary.replications[0]
         curves.append(
             TimelineCurve(
-                initial_spec=spec.initial_allocation,
+                initial_spec=cell_result.cell.spec.initial_allocation,
                 final_spec=result.final_allocation,
                 buckets=[tuple(b) for b in result.timeline],
                 rebalanced_at=(

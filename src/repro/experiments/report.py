@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.campaigns.aggregate import CampaignAggregator
+from repro.campaigns.runner import CampaignPlan, CampaignResult
 from repro.experiments.baselines import BaselineComparison
 from repro.experiments.fig6 import Fig6Result
 from repro.experiments.fig7 import Fig7Result
@@ -172,6 +174,73 @@ def render_scenario(summary) -> str:
         f"  completed={summary.total_completed}"
         f"  rebalances={summary.total_rebalances}"
     )
+    return "\n".join(lines)
+
+
+def render_campaign(result: CampaignResult) -> str:
+    """A campaign run: per-cell summary rows plus cache accounting."""
+    lines = [
+        f"Campaign {result.campaign.name}: cells={len(result.cells)}"
+        f" computed={result.computed} reused={result.reused}"
+    ]
+    for cell_result in result.cells:
+        summary = cell_result.summary
+        if summary.extra and "overhead_rows" in summary.extra:
+            lines.append(f"  {cell_result.cell.label}: overhead cell")
+            for row in summary.extra["overhead_rows"]:
+                lines.append(
+                    f"    Kmax={row['kmax']:>5}"
+                    f"  scheduling={row['scheduling_ms']:.3f} ms"
+                    f"  measurement={row['measurement_ms']:.3f} ms"
+                )
+            continue
+        mean = (
+            _ms(summary.mean_sojourn)
+            if summary.mean_sojourn is not None
+            else "-"
+        )
+        spread = (
+            _ms(summary.std_between)
+            if summary.std_between is not None
+            else "-"
+        )
+        lines.append(
+            f"  {cell_result.cell.label}: mean={mean:>12}  std={spread:>12}"
+            f"  reps={len(summary.replications)}"
+            f"  (computed={cell_result.computed}"
+            f" reused={cell_result.reused})"
+        )
+    return "\n".join(lines)
+
+
+def render_campaign_plan(name: str, plan: CampaignPlan) -> str:
+    """A dry-run: how much of the campaign the store already holds."""
+    return (
+        f"Campaign {name}: {plan.total} replications total,"
+        f" {plan.cached} cached, {plan.to_compute} to compute"
+    )
+
+
+def render_campaign_aggregate(aggregator: CampaignAggregator) -> str:
+    """Store-side aggregation: mean/CI/p95 per grid cell."""
+    lines = [f"Campaign {aggregator.campaign.name}: aggregated from store"]
+    for row in aggregator.rows():
+        mean = _ms(row["mean_sojourn"]) if row["mean_sojourn"] is not None else "-"
+        ci = (
+            f"+-{_ms(row['ci95_half_width'])}"
+            if row["ci95_half_width"] is not None
+            else "+-  -"
+        )
+        p95 = (
+            _ms(row["mean_p95_sojourn"])
+            if row["mean_p95_sojourn"] is not None
+            else "-"
+        )
+        missing = f"  MISSING {row['missing']}" if row["missing"] else ""
+        lines.append(
+            f"  {row['label']}: mean={mean:>12} {ci:>14}  p95={p95:>12}"
+            f"  reps={row['replications']}{missing}"
+        )
     return "\n".join(lines)
 
 

@@ -8,67 +8,31 @@ processes and service distributions that progressively violate the
 M/M/k assumptions, and for each combination we record the
 measured/estimated ratio *and* whether the model still ranks two
 candidate allocations correctly (the property DRS actually relies on).
+
+The grid is a campaign over the ``robustness`` workload
+(:mod:`repro.apps.robustness`): arrival variant x service variant x
+executor configuration (``GOOD_K`` with the base seed, ``TIGHT_K`` with
+the base seed + 1 — the study's historical seeding).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List, Optional
 
+from repro.apps.robustness import (  # noqa: F401  (re-exported API)
+    arrival_variants,
+    service_variants,
+)
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
 from repro.model.performance import PerformanceModel
-from repro.randomness.arrival import (
-    ArrivalProcess,
-    DeterministicProcess,
-    MMPP2,
-    PoissonProcess,
-    UniformRateProcess,
-)
-from repro.randomness.distributions import (
-    Deterministic,
-    Distribution,
-    Erlang,
-    Exponential,
-    HyperExponential,
-    LogNormal,
-)
-from repro.scheduler.allocation import Allocation
-from repro.sim.engine import Simulator
-from repro.sim.runtime import RuntimeOptions, TopologyRuntime
-from repro.topology.graph import Operator, Spout, Edge, Topology
 
 
 RATE = 8.0
 MU = 1.0
 GOOD_K = 11
 TIGHT_K = 9
-
-
-def arrival_variants(rate: float) -> Dict[str, ArrivalProcess]:
-    """Arrival processes from assumption-conforming to strongly violating."""
-    return {
-        "poisson": PoissonProcess(rate),
-        "deterministic": DeterministicProcess(rate),
-        "uniform_rate": UniformRateProcess(rate * 0.2, rate * 1.8),
-        "bursty_mmpp": MMPP2(
-            rate_low=rate * 0.4,
-            rate_high=rate * 2.2,
-            switch_to_high=0.05,
-            switch_to_low=0.1,
-        ),
-    }
-
-
-def service_variants(mu: float) -> Dict[str, Distribution]:
-    """Service distributions spanning SCV 0 to 4."""
-    return {
-        "exponential": Exponential(rate=mu),
-        "deterministic": Deterministic(1.0 / mu),
-        "erlang4": Erlang(k=4, rate=4.0 * mu),
-        "lognormal_scv2": LogNormal(mean=1.0 / mu, scv=2.0),
-        "hyperexp_scv4": HyperExponential.balanced_from_mean_scv(
-            mean=1.0 / mu, scv=4.0
-        ),
-    }
 
 
 @dataclass(frozen=True)
@@ -104,35 +68,64 @@ class RobustnessResult:
         return max(max(p.ratio, 1.0 / p.ratio) for p in self.points)
 
 
-def _build(arrival: ArrivalProcess, service: Distribution) -> Topology:
-    return Topology(
-        "robustness",
-        spouts=[Spout(name="src", arrivals=arrival)],
-        operators=[Operator(name="op", service_time=service)],
-        edges=[Edge(source="src", target="op")],
-    )
+def campaign(*, duration: float = 1500.0, seed: int = 41) -> CampaignSpec:
+    """The assumption-violation grid as a declarative sweep.
 
-
-def _measure(topology: Topology, k: int, duration: float, seed: int) -> float:
-    simulator = Simulator()
-    runtime = TopologyRuntime(
-        simulator,
-        topology,
-        Allocation(["op"], [k]),
-        RuntimeOptions(queue_discipline="shared", seed=seed),
+    Axis order matters for the result shaping: the ``config`` axis is
+    last, so each (arrival, service) pair expands to two consecutive
+    cells — ``good`` (``GOOD_K`` executors) then ``tight``.
+    """
+    return CampaignSpec(
+        name="robustness",
+        description="measured/estimated ratio under assumption violations",
+        base={
+            "workload": "robustness",
+            "workload_params": {"rate": RATE, "mu": MU},
+            "policy": "none",
+            "queue_discipline": "shared",
+            "duration": duration,
+            "warmup": duration * 0.1,
+            "seed": seed,
+        },
+        axes=(
+            {
+                "name": "arrival",
+                "field": "workload_params.arrival",
+                "values": tuple(arrival_variants(RATE)),
+            },
+            {
+                "name": "service",
+                "field": "workload_params.service",
+                "values": tuple(service_variants(MU)),
+            },
+            {
+                "name": "config",
+                "values": (
+                    {
+                        "label": "good",
+                        "set": {
+                            "initial_allocation": str(GOOD_K),
+                            "seed": seed,
+                        },
+                    },
+                    {
+                        "label": "tight",
+                        "set": {
+                            "initial_allocation": str(TIGHT_K),
+                            "seed": seed + 1,
+                        },
+                    },
+                ),
+            },
+        ),
     )
-    runtime.start()
-    simulator.run_until(duration)
-    stats = runtime.stats(warmup=duration * 0.1)
-    if stats.mean_sojourn is None:
-        raise RuntimeError("no completed tuples; duration too short")
-    return stats.mean_sojourn
 
 
 def run(
     *,
     duration: float = 1500.0,
     seed: int = 41,
+    runner: Optional[CampaignRunner] = None,
 ) -> RobustnessResult:
     """Sweep the assumption-violation grid.
 
@@ -146,29 +139,35 @@ def run(
     )
     est_good = model.expected_sojourn([GOOD_K])
     est_tight = model.expected_sojourn([TIGHT_K])
+    outcome = (runner or CampaignRunner()).run(
+        campaign(duration=duration, seed=seed)
+    )
     points: List[RobustnessPoint] = []
-    for arrival_name, arrival_factory in arrival_variants(RATE).items():
-        for service_name, service in service_variants(MU).items():
-            topology = _build(arrival_factory, service)
-            measured_good = _measure(topology, GOOD_K, duration, seed)
-            measured_tight = _measure(topology, TIGHT_K, duration, seed + 1)
-            # A measured near-tie (< 3%) means either choice is fine; the
-            # model is only "wrong" when it inverts a real difference
-            # (D/D/k with k > a has zero queueing at both sizes, e.g.).
-            gap = abs(measured_tight - measured_good)
-            tie = gap <= 0.03 * max(measured_tight, measured_good)
-            ranking = tie or (
-                (measured_tight > measured_good) == (est_tight > est_good)
+    for good_cell, tight_cell in zip(
+        outcome.cells[0::2], outcome.cells[1::2]
+    ):
+        coords = good_cell.cell.coordinates
+        measured_good = good_cell.summary.replications[0].mean_sojourn
+        measured_tight = tight_cell.summary.replications[0].mean_sojourn
+        if measured_good is None or measured_tight is None:
+            raise RuntimeError("no completed tuples; duration too short")
+        # A measured near-tie (< 3%) means either choice is fine; the
+        # model is only "wrong" when it inverts a real difference
+        # (D/D/k with k > a has zero queueing at both sizes, e.g.).
+        gap = abs(measured_tight - measured_good)
+        tie = gap <= 0.03 * max(measured_tight, measured_good)
+        ranking = tie or (
+            (measured_tight > measured_good) == (est_tight > est_good)
+        )
+        points.append(
+            RobustnessPoint(
+                arrival=coords["arrival"],
+                service=coords["service"],
+                estimated=est_good,
+                measured=measured_good,
+                ranking_preserved=ranking,
             )
-            points.append(
-                RobustnessPoint(
-                    arrival=arrival_name,
-                    service=service_name,
-                    estimated=est_good,
-                    measured=measured_good,
-                    ranking_preserved=ranking,
-                )
-            )
+        )
     return RobustnessResult(points=points)
 
 

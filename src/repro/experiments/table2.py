@@ -23,10 +23,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.apps.vld import VLDWorkload
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
 from repro.config import MeasurementConfig
 from repro.measurement.measurer import Measurer
 from repro.model.performance import PerformanceModel
-from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import ScenarioSpec
 from repro.scheduler.assign import assign_processors
 
@@ -119,11 +120,36 @@ def spec(
     )
 
 
+def campaign(
+    *,
+    kmax_values: Sequence[int] = tuple(KMAX_VALUES),
+    repetitions: int = 2000,
+) -> CampaignSpec:
+    """Table II as a single-cell (axis-free) campaign.
+
+    Overhead cells time the host's wall clock, so campaign runs never
+    cache them in a result store — every run re-measures.
+    """
+    return CampaignSpec(
+        name="table2",
+        description="DRS-layer computation overheads",
+        base={
+            "workload": "vld",
+            "policy": "none",
+            "kind": "overhead",
+            "policy_params": {
+                "kmax_values": [int(k) for k in kmax_values],
+                "repetitions": int(repetitions),
+            },
+        },
+    )
+
+
 def run(
     *,
     kmax_values: Sequence[int] = tuple(KMAX_VALUES),
     repetitions: int = 2000,
-    runner: Optional[ScenarioRunner] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Table2Result:
     """Time scheduling and measurement processing for each ``Kmax``.
 
@@ -131,9 +157,10 @@ def run(
     2k keeps the benchmark under a second per row while staying well
     above timer resolution).
     """
-    summary = (runner or ScenarioRunner(max_workers=1)).run(
-        spec(kmax_values=kmax_values, repetitions=repetitions)
+    outcome = (runner or CampaignRunner(max_workers=1)).run(
+        campaign(kmax_values=kmax_values, repetitions=repetitions)
     )
+    summary = outcome.cells[0].summary
     rows = [
         OverheadRow(
             kmax=row["kmax"],

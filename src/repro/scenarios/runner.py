@@ -76,6 +76,15 @@ class AppliedAction:
             "machines": self.machines,
         }
 
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "AppliedAction":
+        return cls(
+            time=float(raw["time"]),
+            action=str(raw["action"]),
+            allocation=str(raw["allocation"]),
+            machines=raw.get("machines"),
+        )
+
 
 @dataclass(frozen=True)
 class ReplicationResult:
@@ -117,6 +126,31 @@ class ReplicationResult:
             "timeline": [list(b) for b in self.timeline],
             "recommendation": self.recommendation,
         }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "ReplicationResult":
+        """Inverse of :meth:`to_dict` — rehydrates stored records so a
+        resumed campaign merges cached and fresh replications alike."""
+        return cls(
+            index=int(raw["index"]),
+            seed=int(raw["seed"]),
+            duration=float(raw["duration"]),
+            external_tuples=int(raw["external_tuples"]),
+            completed_trees=int(raw["completed_trees"]),
+            dropped_tuples=int(raw["dropped_tuples"]),
+            dropped_trees=int(raw["dropped_trees"]),
+            rebalances=int(raw["rebalances"]),
+            mean_sojourn=raw.get("mean_sojourn"),
+            std_sojourn=raw.get("std_sojourn"),
+            p95_sojourn=raw.get("p95_sojourn"),
+            final_allocation=str(raw["final_allocation"]),
+            final_machines=raw.get("final_machines"),
+            actions=tuple(
+                AppliedAction.from_dict(a) for a in raw.get("actions", ())
+            ),
+            timeline=tuple(tuple(b) for b in raw.get("timeline", ())),
+            recommendation=raw.get("recommendation"),
+        )
 
 
 @dataclass(frozen=True)
@@ -309,6 +343,37 @@ def _run_job(job: Tuple[ScenarioSpec, int]) -> ReplicationResult:
     return run_replication(spec, index)
 
 
+def summarize_replications(
+    spec: ScenarioSpec, results: Sequence[ReplicationResult]
+) -> ScenarioSummary:
+    """Merge replications into a :class:`ScenarioSummary`.
+
+    Module-level (not runner-bound) because campaign runs merge a mix
+    of freshly computed and store-cached replications.
+    """
+    means = [r.mean_sojourn for r in results if r.mean_sojourn is not None]
+    mean = sum(means) / len(means) if means else None
+    if len(means) > 1:
+        centered = [(m - mean) ** 2 for m in means]
+        std_between = math.sqrt(sum(centered) / (len(means) - 1))
+    elif means:
+        std_between = 0.0
+    else:
+        std_between = None
+    return ScenarioSummary(
+        name=spec.name,
+        policy=spec.policy,
+        replications=tuple(results),
+        mean_sojourn=mean,
+        std_between=std_between,
+        min_sojourn=min(means) if means else None,
+        max_sojourn=max(means) if means else None,
+        total_external=sum(r.external_tuples for r in results),
+        total_completed=sum(r.completed_trees for r in results),
+        total_rebalances=sum(r.rebalances for r in results),
+    )
+
+
 # ----------------------------------------------------------------------
 # the runner
 # ----------------------------------------------------------------------
@@ -375,27 +440,7 @@ class ScenarioRunner:
     def _summarize(
         spec: ScenarioSpec, results: Sequence[ReplicationResult]
     ) -> ScenarioSummary:
-        means = [r.mean_sojourn for r in results if r.mean_sojourn is not None]
-        mean = sum(means) / len(means) if means else None
-        if len(means) > 1:
-            centered = [(m - mean) ** 2 for m in means]
-            std_between = math.sqrt(sum(centered) / (len(means) - 1))
-        elif means:
-            std_between = 0.0
-        else:
-            std_between = None
-        return ScenarioSummary(
-            name=spec.name,
-            policy=spec.policy,
-            replications=tuple(results),
-            mean_sojourn=mean,
-            std_between=std_between,
-            min_sojourn=min(means) if means else None,
-            max_sojourn=max(means) if means else None,
-            total_external=sum(r.external_tuples for r in results),
-            total_completed=sum(r.completed_trees for r in results),
-            total_rebalances=sum(r.rebalances for r in results),
-        )
+        return summarize_replications(spec, results)
 
     def _run_overhead(self, spec: ScenarioSpec) -> ScenarioSummary:
         # Timing primitives live with the Table-II experiment; imported

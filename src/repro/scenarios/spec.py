@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.apps.fpd import FPDWorkload
+from repro.apps.robustness import RobustnessWorkload
 from repro.apps.synthetic import SyntheticChainWorkload
 from repro.apps.vld import VLDWorkload
 from repro.exceptions import ConfigurationError
@@ -37,6 +38,7 @@ WORKLOADS = {
     "vld": VLDWorkload,
     "fpd": FPDWorkload,
     "synthetic": SyntheticChainWorkload,
+    "robustness": RobustnessWorkload,
 }
 
 #: Hop latency used when the workload object does not define one (VLD's

@@ -15,7 +15,7 @@ from repro.analysis import (
     summarise,
 )
 from repro.exceptions import ModelError
-from repro.model import CalibratedModel, PerformanceModel, PolynomialCalibrator
+from repro.model import CalibratedModel, PolynomialCalibrator
 
 
 class TestSummarise:

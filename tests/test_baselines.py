@@ -9,7 +9,6 @@ from repro.baselines import (
     UniformAllocator,
 )
 from repro.exceptions import InfeasibleAllocationError, SchedulingError
-from repro.model import PerformanceModel
 from repro.scheduler import Allocation, assign_processors
 
 

@@ -119,3 +119,102 @@ class TestExecution:
     def test_run_scenario_missing_file(self):
         with pytest.raises(SystemExit):
             main(["run-scenario", "/does/not/exist.json"])
+
+
+class TestCampaignCommands:
+    def campaign_file(self, tmp_path):
+        import json
+
+        spec = {
+            "name": "cli-campaign",
+            "base": {
+                "workload": "synthetic",
+                "workload_params": {
+                    "total_cpu": 0.03,
+                    "arrival_rate": 20.0,
+                    "hop_latency": 0.004,
+                },
+                "policy": "none",
+                "duration": 40.0,
+                "warmup": 5.0,
+                "replications": 2,
+                "seed": 17,
+            },
+            "axes": [
+                {
+                    "name": "allocation",
+                    "field": "initial_allocation",
+                    "values": ["8:8:8", "10:10:10"],
+                }
+            ],
+        }
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_run_campaign_and_resume(self, capsys, tmp_path):
+        path = self.campaign_file(tmp_path)
+        store = tmp_path / "store"
+        code = main(
+            ["run-campaign", str(path), "--store", str(store), "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "computed=4 reused=0" in out
+        code = main(
+            ["run-campaign", str(path), "--store", str(store), "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "computed=0 reused=4" in out
+
+    def test_run_campaign_dry_run(self, capsys, tmp_path):
+        path = self.campaign_file(tmp_path)
+        store = tmp_path / "store"
+        code = main(["run-campaign", str(path), "--store", str(store), "--dry-run"])
+        assert code == 0
+        assert "4 replications total, 0 cached" in capsys.readouterr().out
+
+    def test_run_campaign_json_output(self, capsys, tmp_path):
+        import json
+
+        path = self.campaign_file(tmp_path)
+        code = main(["run-campaign", str(path), "--json", "--workers", "1"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"] == "cli-campaign"
+        assert payload["computed"] == 4
+        assert len(payload["cells"]) == 2
+
+    def test_campaign_report_from_store(self, capsys, tmp_path):
+        path = self.campaign_file(tmp_path)
+        store = tmp_path / "store"
+        assert main(["run-campaign", str(path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        code = main(["campaign-report", str(path), "--store", str(store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregated from store" in out
+        assert "8:8:8" in out and "10:10:10" in out
+
+    def test_campaign_report_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["campaign-report", "whatever.json"])
+
+    def test_campaign_report_missing_store_errors(self, tmp_path):
+        path = self.campaign_file(tmp_path)
+        missing = tmp_path / "no-such-store"
+        with pytest.raises(SystemExit, match="result store not found"):
+            main(["campaign-report", str(path), "--store", str(missing)])
+        assert not missing.exists()
+
+    def test_run_campaign_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["run-campaign", "/does/not/exist.json"])
+
+    def test_run_campaign_bad_spec_errors(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "base": {"workload": "nope"}}')
+        code = main(["run-campaign", str(path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Tests for repro.randomness.distributions (incl. moment validation)."""
 
-import math
 import random
 
 import pytest

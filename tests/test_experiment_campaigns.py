@@ -1,0 +1,222 @@
+"""The experiments-as-campaigns refactor is pinned to goldens.
+
+``tests/golden/campaign_expansion.json`` holds the exact ScenarioSpec
+lists the pre-campaign figure drivers built at their default protocols;
+``tests/golden/campaign_exec_small.json`` holds small fixed-seed
+execution results captured from those drivers.  Together they pin the
+acceptance criterion: campaign definitions reproduce the pre-refactor
+driver outputs bit-identically for fixed seeds.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps import fpd as fpd_app
+from repro.apps import vld as vld_app
+from repro.experiments import (
+    baselines,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    robustness,
+    table2,
+)
+from repro.model.performance import PerformanceModel
+from repro.scenarios.registry import create_policy
+from repro.scenarios.spec import WORKLOADS
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def expansion_golden():
+    return json.loads((GOLDEN / "campaign_expansion.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def exec_golden():
+    return json.loads((GOLDEN / "campaign_exec_small.json").read_text())
+
+
+def baselines_campaign(application, workload_params):
+    workload = WORKLOADS[application](**workload_params)
+    topology = workload.build()
+    model = PerformanceModel.from_topology(topology)
+    candidates = {}
+    for name, (policy_name, params) in baselines.candidate_policies(22).items():
+        policy = create_policy(policy_name, topology, params)
+        candidates[name] = policy.initial_allocation(model)
+    return baselines.campaign(
+        application,
+        candidates,
+        workload_params=workload_params,
+        duration=300.0,
+        warmup=60.0,
+        seed=37,
+    )
+
+
+def default_campaigns():
+    """Every campaign definition at the protocol the goldens captured."""
+    return {
+        "fig6-vld": fig6.campaign(
+            "vld", vld_app.FIG6_CONFIGS, vld_app.RECOMMENDED,
+            duration=600.0, warmup=60.0, seed=11, hop_latency=0.002, kmax=22,
+        ),
+        "fig6-fpd": fig6.campaign(
+            "fpd", fpd_app.FIG6_CONFIGS, fpd_app.RECOMMENDED,
+            duration=600.0, warmup=60.0, seed=13, hop_latency=None, kmax=22,
+            workload_params={"scale": 1.0},
+        ),
+        "fig7-vld": fig7.campaign(
+            "vld", vld_app.FIG6_CONFIGS,
+            duration=600.0, warmup=60.0, seed=11, hop_latency=0.002,
+        ),
+        "fig7-fpd": fig7.campaign(
+            "fpd", fpd_app.FIG6_CONFIGS,
+            duration=600.0, warmup=60.0, seed=13, hop_latency=None,
+            workload_params={"scale": 1.0},
+        ),
+        "fig8": fig8.campaign(
+            list(fig8.FIG8_TOTAL_CPU),
+            duration=300.0, warmup=30.0, seed=17, hop_latency=0.004,
+            arrival_rate=20.0,
+        ),
+        "fig9-vld": fig9.campaign(
+            "vld", list(vld_app.FIG9_INITIAL),
+            enable_at=390.0, duration=810.0, bucket=30.0, seed=19,
+            hop_latency=0.002,
+        ),
+        "fig9-fpd": fig9.campaign(
+            "fpd", list(fpd_app.FIG9_INITIAL),
+            enable_at=390.0, duration=810.0, bucket=30.0, seed=23,
+            hop_latency=None, workload_params={"scale": 0.5},
+        ),
+        "fig10": fig10.campaign(
+            (
+                fig10.experiment_point(
+                    "ExpA", tmax=1.8, initial_machines=4,
+                    initial_spec=vld_app.RECOMMENDED_K17, seed=29,
+                ),
+                fig10.experiment_point(
+                    "ExpB", tmax=6.0, initial_machines=5,
+                    initial_spec=vld_app.RECOMMENDED, seed=31,
+                ),
+            ),
+            enable_at=390.0, duration=810.0, bucket=30.0, hop_latency=0.002,
+        ),
+        "table2": table2.campaign(),
+        "baselines-vld": baselines_campaign("vld", {}),
+        "baselines-fpd": baselines_campaign("fpd", {"scale": 0.5}),
+    }
+
+
+class TestExpansionGoldens:
+    """Campaign expansion == the spec lists the old drivers hand-built."""
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "fig6-vld", "fig6-fpd", "fig7-vld", "fig7-fpd", "fig8",
+            "fig9-vld", "fig9-fpd", "fig10", "table2",
+            "baselines-vld", "baselines-fpd",
+        ],
+    )
+    def test_expansion_matches_pre_refactor_specs(self, key, expansion_golden):
+        campaign = default_campaigns()[key]
+        got = [cell.spec.to_dict() for cell in campaign.expand()]
+        assert got == expansion_golden[key]
+
+    def test_campaigns_round_trip_through_json(self):
+        for key, campaign in default_campaigns().items():
+            rebuilt = type(campaign).from_json(campaign.to_json())
+            assert [c.spec.to_dict() for c in rebuilt.expand()] == [
+                c.spec.to_dict() for c in campaign.expand()
+            ], key
+
+
+class TestExecutionGoldens:
+    """Small fixed-seed runs == the pre-refactor drivers' outputs."""
+
+    def test_fig8(self, exec_golden):
+        result = fig8.run(duration=60.0, warmup=10.0)
+        got = [
+            {
+                "total_cpu": p.total_cpu,
+                "estimated": p.estimated,
+                "measured": p.measured,
+            }
+            for p in result.points
+        ]
+        assert got == exec_golden["fig8-small"]
+
+    def test_baselines_vld(self, exec_golden):
+        result = baselines.compare("vld", duration=60.0, warmup=10.0)
+        got = [
+            {
+                "allocator": row.allocator,
+                "spec": row.spec,
+                "model_sojourn": row.model_sojourn,
+                "measured_sojourn": row.measured_sojourn,
+            }
+            for row in result.rows
+        ]
+        assert got == exec_golden["baselines-vld-small"]
+
+    def test_robustness(self, exec_golden):
+        result = robustness.run(duration=150.0, seed=41)
+        got = [
+            {
+                "arrival": p.arrival,
+                "service": p.service,
+                "estimated": p.estimated,
+                "measured": p.measured,
+                "ranking_preserved": p.ranking_preserved,
+            }
+            for p in result.points
+        ]
+        assert got == exec_golden["robustness-small"]
+
+    def test_fig6_vld(self, exec_golden):
+        result = fig6.run_vld(duration=60.0, warmup=10.0)
+        got = {
+            "rows": [
+                {
+                    "spec": row.spec,
+                    "mean_sojourn": row.mean_sojourn,
+                    "std_sojourn": row.std_sojourn,
+                    "completed_trees": row.completed_trees,
+                    "is_recommended": row.is_recommended,
+                }
+                for row in result.rows
+            ],
+            "drs_recommendation": result.drs_recommendation,
+        }
+        assert got == exec_golden["fig6-vld-small"]
+
+    def test_fig9_vld(self, exec_golden):
+        result = fig9.run_vld(enable_at=60.0, duration=150.0, bucket=30.0)
+        got = [
+            {
+                "initial_spec": c.initial_spec,
+                "final_spec": c.final_spec,
+                "buckets": [list(b) for b in c.buckets],
+                "rebalanced_at": c.rebalanced_at,
+            }
+            for c in result.curves
+        ]
+        assert got == exec_golden["fig9-vld-small"]
+
+    def test_fig10_exp_a(self, exec_golden):
+        result = fig10.run_exp_a(enable_at=60.0, duration=180.0, bucket=30.0)
+        got = {
+            "final_machines": result.final_machines,
+            "final_spec": result.final_spec,
+            "buckets": [list(b) for b in result.buckets],
+            "scaled_at": result.scaled_at,
+        }
+        assert got == exec_golden["fig10-expa-small"]

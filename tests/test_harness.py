@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.apps.vld import VLDWorkload
 from repro.config import MeasurementConfig
 from repro.experiments.harness import (
     DRSBinding,
@@ -13,7 +12,6 @@ from repro.experiments.harness import (
     run_passive,
 )
 from repro.measurement.measurer import MeasurementReport
-from repro.model import PerformanceModel
 from repro.scheduler import Allocation
 from repro.sim import RuntimeOptions, Simulator, TopologyRuntime
 

@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro.apps.sift import (
-    aggregate_matches,
     extract_features,
     generate_frame,
     make_logo_library,

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ModelError
-from repro.model import PerformanceModel
 from repro.queueing import JacksonNetwork, OperatorLoad, expected_sojourn_time
 
 

@@ -1,7 +1,5 @@
 """Tests for smoothing, metric accumulators, and the measurer."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -12,8 +12,6 @@ that must hold for *every* valid application:
 
 from __future__ import annotations
 
-import math
-
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,12 +1,9 @@
 """Tests for the topology runtime — simulator vs theory, rebalancing,
 conservation laws, queue limits, disciplines."""
 
-import math
-
 import pytest
 
 from repro.exceptions import SchedulingError, SimulationError
-from repro.model import PerformanceModel
 from repro.queueing import expected_sojourn_time
 from repro.randomness.distributions import Deterministic
 from repro.scheduler import Allocation
