@@ -1,0 +1,174 @@
+"""Parametric micro-topologies for the model-vs-simulation fidelity audit.
+
+The :mod:`repro.fidelity` subsystem measures how well the analytic
+queueing model (Eq. (1)/(3), the Allen-Cunneen refinement and the
+percentile bound) predicts the discrete-event simulator.  Its unit of
+work is one :class:`FidelityWorkload`: a small topology whose analytic
+solution is known in closed form, parameterised along exactly the axes
+the model's accuracy depends on —
+
+- ``topology``: the composition shape.  ``single`` (one M/G/k), a
+  ``linear`` chain, a ``fanout`` (the spout feeds every branch, so the
+  tuple tree completes at the *max* of the branches — the one shape
+  where Eq. (3)'s additive composition is knowingly wrong), and a
+  ``loop`` (two operators with a feedback edge of gain < 1, geometric
+  visit counts);
+- ``rho``: the target utilisation of the busiest operator;
+- ``servers``: processors per operator (``k``);
+- ``scv``: the service-time squared coefficient of variation — 0 is
+  deterministic, 1 exponential (the paper's assumption), < 1 gamma,
+  > 1 balanced hyperexponential;
+- ``branches`` / ``feedback``: shape-specific knobs.
+
+The external arrival rate is *derived* from ``rho`` via the traffic
+equations, so every grid cell hits its utilisation target exactly and
+the analytic predictions in :mod:`repro.fidelity.analytic` line up by
+construction.  ``hop_latency`` defaults to 0: the audit isolates
+queueing-model error from transport overhead (the Fig. 8 study covers
+the latter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.randomness.distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    HyperExponential,
+)
+from repro.topology.builder import TopologyBuilder
+from repro.topology.graph import Topology
+from repro.utils.validation import check_positive
+
+#: Composition shapes the audit sweeps.
+TOPOLOGIES = ("single", "linear", "fanout", "loop")
+
+#: Utilisation ceiling: above this a finite-horizon simulation's mean
+#: sojourn is dominated by initial-transient noise, not model error.
+MAX_RHO = 0.97
+
+
+def service_distribution(mu: float, scv: float) -> Distribution:
+    """A service-time distribution with mean ``1/mu`` and the given SCV.
+
+    0 -> :class:`Deterministic`; 1 -> :class:`Exponential`; (0, 1) ->
+    :class:`Gamma` with shape ``1/scv`` (exact SCV for any value);
+    > 1 -> balanced :class:`HyperExponential`.
+    """
+    check_positive("mu", mu)
+    if scv < 0:
+        raise ValueError(f"scv must be >= 0, got {scv}")
+    if scv == 0.0:
+        return Deterministic(1.0 / mu)
+    if scv == 1.0:
+        return Exponential(rate=mu)
+    if scv < 1.0:
+        shape = 1.0 / scv
+        return Gamma(shape=shape, scale=1.0 / (mu * shape))
+    return HyperExponential.balanced_from_mean_scv(mean=1.0 / mu, scv=scv)
+
+
+@dataclass(frozen=True)
+class FidelityWorkload:
+    """One fidelity cell's topology (see module docstring for the axes)."""
+
+    topology: str = "single"
+    rho: float = 0.7
+    servers: int = 4
+    mu: float = 1.0
+    scv: float = 1.0
+    #: Chain length for ``linear``; branch count for ``fanout``.
+    branches: int = 3
+    #: Return-edge gain for ``loop`` (mean visits = 1 / (1 - feedback)).
+    feedback: float = 0.3
+
+    #: No per-hop transport delay: the audit isolates queueing error.
+    hop_latency: float = 0.0
+
+    def __post_init__(self):
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; available:"
+                f" {sorted(TOPOLOGIES)}"
+            )
+        check_positive("rho", self.rho)
+        if self.rho > MAX_RHO:
+            raise ValueError(
+                f"rho must be <= {MAX_RHO} for a stable, measurable cell,"
+                f" got {self.rho}"
+            )
+        if self.servers < 1:
+            raise ValueError(f"servers must be >= 1, got {self.servers}")
+        check_positive("mu", self.mu)
+        if self.scv < 0:
+            raise ValueError(f"scv must be >= 0, got {self.scv}")
+        if self.branches < 1:
+            raise ValueError(f"branches must be >= 1, got {self.branches}")
+        if not 0.0 <= self.feedback < 1.0:
+            raise ValueError(
+                f"feedback must be in [0, 1), got {self.feedback}"
+            )
+
+    # ------------------------------------------------------------------
+    # derived rates
+    # ------------------------------------------------------------------
+    @property
+    def operator_names(self) -> List[str]:
+        if self.topology == "single":
+            return ["op"]
+        if self.topology == "linear":
+            return [f"stage{i}" for i in range(1, self.branches + 1)]
+        if self.topology == "fanout":
+            return [f"branch{i}" for i in range(1, self.branches + 1)]
+        return ["front", "back"]
+
+    @property
+    def max_visits(self) -> float:
+        """Visit ratio of the busiest operator (``lambda_i / lambda_0``)."""
+        if self.topology == "loop":
+            return 1.0 / (1.0 - self.feedback)
+        return 1.0
+
+    @property
+    def external_rate(self) -> float:
+        """``lambda_0`` hitting the target ``rho`` on the busiest operator.
+
+        Every operator runs ``servers`` executors at rate ``mu``, so the
+        busiest one (visit ratio ``max_visits``) pins the external rate:
+        ``rho = max_visits * lambda_0 / (servers * mu)``.
+        """
+        return self.rho * self.servers * self.mu / self.max_visits
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self) -> Topology:
+        builder = TopologyBuilder(f"fidelity_{self.topology}")
+        builder.add_spout("src", rate=self.external_rate)
+        names = self.operator_names
+        for name in names:
+            builder.add_operator(
+                name, service_time=service_distribution(self.mu, self.scv)
+            )
+        if self.topology == "single":
+            builder.connect("src", "op")
+        elif self.topology == "linear":
+            builder.connect("src", names[0])
+            for upstream, downstream in zip(names, names[1:]):
+                builder.connect(upstream, downstream)
+        elif self.topology == "fanout":
+            for name in names:
+                builder.connect("src", name)
+        else:  # loop
+            builder.connect("src", "front")
+            builder.connect("front", "back")
+            builder.connect("back", "front", gain=self.feedback)
+        return builder.build()
+
+    def allocation_spec(self) -> str:
+        """``initial_allocation`` string: ``servers`` per operator."""
+        return ":".join([str(self.servers)] * len(self.operator_names))

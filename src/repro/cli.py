@@ -14,6 +14,7 @@ Usage::
     python -m repro run-scenario examples/scenarios/smoke.json --workers 4
     python -m repro run-campaign examples/campaigns/smoke.json --store runs/
     python -m repro campaign-report examples/campaigns/smoke.json --store runs/
+    python -m repro fidelity --grid small --json   # model-vs-sim audit
 
 The CLI is a thin wrapper over :mod:`repro.experiments`,
 :mod:`repro.scenarios` and :mod:`repro.campaigns`; it prints the same
@@ -38,9 +39,16 @@ from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import ResultStore
 from repro.exceptions import DRSError
 from repro.experiments import baselines, fig6, fig7, fig8, fig9, fig10, report, table2
+from repro.fidelity import GRIDS, ToleranceManifest, generate_manifest, run_audit
+from repro.fidelity.report import render_audit
 from repro.scenarios.registry import available_policies
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import ScenarioSpec
+
+#: Default tolerance manifest (the committed error envelope); resolved
+#: relative to the working directory — present in a repo checkout, and
+#: overridable with ``--manifest`` everywhere else.
+DEFAULT_FIDELITY_MANIFEST = Path("tests/golden/fidelity_tolerances.json")
 
 
 def _fig6(args) -> str:
@@ -145,6 +153,51 @@ def _campaign_report(args) -> str:
     if args.json:
         return json.dumps(aggregator.to_dict(), indent=2, sort_keys=True)
     return report.render_campaign_aggregate(aggregator)
+
+
+def _fidelity(args):
+    """Run the model-vs-simulation fidelity audit.
+
+    Returns ``(text, exit_code)``: exit 0 when every cell is within the
+    tolerance manifest (or no manifest is in play), exit 1 on any
+    violation — the contract the CI ``fidelity-smoke`` job enforces.
+    """
+    store = ResultStore(args.store) if args.store else None
+    audit = run_audit(args.grid, store=store, max_workers=args.workers)
+
+    manifest = None
+    manifest_path = Path(args.manifest) if args.manifest else None
+    if manifest_path is not None and manifest_path.exists():
+        manifest = ToleranceManifest.load(manifest_path)
+    elif args.manifest and args.manifest != str(DEFAULT_FIDELITY_MANIFEST):
+        # An explicitly named manifest must exist; only the default may
+        # be silently absent (e.g. running outside a repo checkout).
+        raise SystemExit(f"tolerance manifest not found: {manifest_path}")
+
+    if args.write_manifest:
+        generated = generate_manifest(
+            audit.rows,
+            description=(
+                f"Generated by `repro fidelity --grid {args.grid}"
+                " --write-manifest`: observed max relative model/sim"
+                " disagreement per regime, with headroom for platform"
+                " floating-point drift and replication noise."
+            ),
+        )
+        generated.save(Path(args.write_manifest))
+
+    violations = audit.violations(manifest) if manifest is not None else None
+    if args.json:
+        payload = audit.to_dict()
+        if violations is not None:
+            payload["violations"] = [v.to_dict() for v in violations]
+            payload["manifest"] = str(manifest_path)
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        text = render_audit(audit, violations)
+        if manifest is None:
+            text += "\n\n(no tolerance manifest checked)"
+    return text, (1 if violations else 0)
 
 
 def _list_policies(args) -> str:
@@ -295,6 +348,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pr.set_defaults(handler=_campaign_report)
 
+    pf = sub.add_parser(
+        "fidelity",
+        help="model-vs-simulation fidelity audit with tolerance gating",
+    )
+    pf.add_argument(
+        "--grid",
+        choices=sorted(GRIDS),
+        default="small",
+        help="which fidelity grid to run (default: small)",
+    )
+    pf.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory; completed cells are reused, so"
+        " re-checking against a new manifest costs no simulation",
+    )
+    pf.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel replication workers (default: all cores)",
+    )
+    pf.add_argument(
+        "--manifest",
+        default=str(DEFAULT_FIDELITY_MANIFEST),
+        help="tolerance manifest to enforce (exit 1 on violation);"
+        " the default is only checked when the file exists",
+    )
+    pf.add_argument(
+        "--write-manifest",
+        default=None,
+        metavar="PATH",
+        help="regenerate a tolerance manifest from this run's observed"
+        " errors and write it to PATH",
+    )
+    pf.add_argument(
+        "--json", action="store_true", help="print the audit as JSON"
+    )
+    pf.set_defaults(handler=_fidelity)
+
     pp = sub.add_parser(
         "list-policies", help="registered scheduling policies"
     )
@@ -307,11 +400,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        print(args.handler(args))
+        result = args.handler(args)
     except DRSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return 0
+    # Handlers either return plain text (exit 0) or (text, exit_code)
+    # for verbs with threshold semantics (``fidelity``).
+    code = 0
+    if isinstance(result, tuple):
+        result, code = result
+    print(result)
+    return code
 
 
 if __name__ == "__main__":

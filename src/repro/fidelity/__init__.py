@@ -1,0 +1,29 @@
+"""Model-vs-simulation fidelity audit (see :mod:`repro.fidelity.audit`).
+
+DRS's premise is that the queueing model predicts the runtime well
+enough to drive allocation decisions.  This package measures that
+premise: it runs matched pairs of (analytic prediction, discrete-event
+simulation) over a declarative grid of micro-topologies, reports
+per-metric relative error with confidence half-widths, and enforces a
+committed tolerance manifest so any change that silently degrades
+model/simulator agreement fails CI.
+"""
+
+from repro.fidelity.analytic import AnalyticPrediction, predict
+from repro.fidelity.audit import FidelityAudit, FidelityRow, run_audit
+from repro.fidelity.cases import GRIDS, FidelityCase, fidelity_campaign, grid_cases
+from repro.fidelity.manifest import ToleranceManifest, generate_manifest
+
+__all__ = [
+    "AnalyticPrediction",
+    "FidelityAudit",
+    "FidelityCase",
+    "FidelityRow",
+    "GRIDS",
+    "ToleranceManifest",
+    "fidelity_campaign",
+    "generate_manifest",
+    "grid_cases",
+    "predict",
+    "run_audit",
+]

@@ -1,0 +1,323 @@
+"""Run matched (analytic, simulated) pairs and score the disagreement.
+
+:func:`run_audit` expands a fidelity grid into a campaign, executes it
+(optionally against a resumable :class:`ResultStore`), and produces one
+:class:`FidelityRow` per cell.  Each row compares three metrics —
+
+- ``mean_sojourn``: simulated warmup-windowed mean total sojourn vs the
+  SCV-corrected Eq. (3);
+- ``waiting_time``: visit-weighted per-operator mean waiting time vs
+  the Allen-Cunneen prediction (isolates per-queue accuracy from the
+  composition error that dominates fan-outs);
+- ``p95_sojourn``: simulated p95 vs the normal-approximation quantile
+  bound of :mod:`repro.scheduler.percentile`;
+
+and reports, per metric, the relative error together with a Student-t
+95% confidence half-width across replications, so a "disagreement" can
+be read against the run's own statistical noise (``within_noise``).
+:meth:`FidelityAudit.violations` checks rows against a
+:class:`ToleranceManifest`; the CLI turns a non-empty violation list
+into a non-zero exit code, which is what CI enforces.
+
+Error convention: ``rel_error = |simulated - model| / scale``.  The
+scale is the model mean sojourn for the mean and waiting metrics, and
+the bound itself for p95.  Normalising the waiting-time error by the
+sojourn (not by the waiting time itself) keeps low-utilisation cells
+meaningful — a 2x error on a microscopic wait is noise, not model
+failure — and keeps the ratio finite for zero-wait deterministic cells.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.fidelity.analytic import AnalyticPrediction, predict
+from repro.fidelity.cases import case_from_spec, fidelity_campaign
+from repro.fidelity.manifest import ToleranceManifest
+from repro.model.performance import PerformanceModel
+
+#: Two-sided 95% Student-t quantiles by replication count (df = n - 1);
+#: falls back to the normal quantile beyond the table.  Small fidelity
+#: cells run 3-5 replications, where the normal interval would
+#: understate the noise by 2x and more.
+_T95 = {
+    2: 12.706,
+    3: 4.303,
+    4: 3.182,
+    5: 2.776,
+    6: 2.571,
+    8: 2.365,
+    10: 2.262,
+    16: 2.131,
+    32: 2.040,
+}
+_Z95 = 1.959963984540054
+
+
+def _t95(n: int) -> float:
+    if n in _T95:
+        return _T95[n]
+    # Between table entries, use the largest count <= n: its t is the
+    # *larger* (fewer-samples) quantile, so the interval stays
+    # conservative instead of understating the noise.
+    best = _Z95
+    for count, value in sorted(_T95.items()):
+        if count > n:
+            break
+        best = value
+    return best
+
+
+def _mean_ci(samples: Sequence[float]) -> Tuple[Optional[float], Optional[float]]:
+    """(mean, 95% CI half-width) of i.i.d. replication-level samples."""
+    values = [s for s in samples if s is not None]
+    if not values:
+        return None, None
+    mean = sum(values) / len(values)
+    if len(values) < 2:
+        return mean, None
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    half = _t95(len(values)) * math.sqrt(variance / len(values))
+    return mean, half
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's model-vs-simulation comparison for one cell."""
+
+    model: float
+    simulated: Optional[float]
+    ci_half_width: Optional[float]
+    #: ``|simulated - model| / scale`` (scale = model mean sojourn).
+    rel_error: Optional[float]
+    #: CI half-width on the same scale (the noise yardstick).
+    ci_rel: Optional[float]
+    #: True when the disagreement is inside the replication CI.
+    within_noise: Optional[bool]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "simulated": self.simulated,
+            "ci_half_width": self.ci_half_width,
+            "rel_error": self.rel_error,
+            "ci_rel": self.ci_rel,
+            "within_noise": self.within_noise,
+        }
+
+
+def _compare(
+    model: float, samples: Sequence[Optional[float]], scale: float
+) -> MetricComparison:
+    simulated, half = _mean_ci([s for s in samples if s is not None])
+    if simulated is None or not math.isfinite(model) or scale <= 0.0:
+        return MetricComparison(model, simulated, half, None, None, None)
+    error = abs(simulated - model) / scale
+    ci_rel = half / scale if half is not None else None
+    within = None if half is None else abs(simulated - model) <= half
+    return MetricComparison(model, simulated, half, error, ci_rel, within)
+
+
+@dataclass(frozen=True)
+class FidelityRow:
+    """One grid cell's audit outcome."""
+
+    label: str
+    topology: str
+    rho: float
+    servers: int
+    scv: float
+    discipline: str
+    replications: int
+    prediction: AnalyticPrediction
+    metrics: Dict[str, MetricComparison] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "topology": self.topology,
+            "rho": self.rho,
+            "servers": self.servers,
+            "scv": self.scv,
+            "discipline": self.discipline,
+            "replications": self.replications,
+            "prediction": self.prediction.to_dict(),
+            "metrics": {
+                name: comparison.to_dict()
+                for name, comparison in self.metrics.items()
+            },
+        }
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One metric exceeding its manifest tolerance on one cell."""
+
+    label: str
+    metric: str
+    rel_error: float
+    tolerance: float
+    within_noise: Optional[bool]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "metric": self.metric,
+            "rel_error": self.rel_error,
+            "tolerance": self.tolerance,
+            "within_noise": self.within_noise,
+        }
+
+
+@dataclass(frozen=True)
+class FidelityAudit:
+    """All rows of one audit run plus campaign-level accounting."""
+
+    grid: str
+    rows: Tuple[FidelityRow, ...]
+    computed: int
+    reused: int
+
+    def violations(self, manifest: ToleranceManifest) -> List[Violation]:
+        found: List[Violation] = []
+        for row in self.rows:
+            for metric, comparison in row.metrics.items():
+                error = comparison.rel_error
+                tolerance = manifest.tolerance_for(
+                    metric,
+                    topology=row.topology,
+                    discipline=row.discipline,
+                    scv=row.scv,
+                    rho=row.rho,
+                )
+                if math.isinf(tolerance):
+                    continue  # metric not enforced by this manifest
+                if error is None:
+                    # An enforced metric that *cannot* be compared — the
+                    # model returned a non-finite prediction, or the
+                    # simulation produced no samples — is itself a
+                    # violation: "unverifiable" must never read as
+                    # "agrees", or a regression to inf/nan (or a runtime
+                    # change that stops reporting a metric) would sail
+                    # through the very gate built to catch it.
+                    found.append(
+                        Violation(
+                            label=row.label,
+                            metric=metric,
+                            rel_error=math.inf,
+                            tolerance=tolerance,
+                            within_noise=None,
+                        )
+                    )
+                    continue
+                if error > tolerance:
+                    found.append(
+                        Violation(
+                            label=row.label,
+                            metric=metric,
+                            rel_error=error,
+                            tolerance=tolerance,
+                            within_noise=comparison.within_noise,
+                        )
+                    )
+        return found
+
+    def worst_errors(self) -> Dict[str, Dict[str, float]]:
+        """``{metric: {topology: max rel_error}}`` — the README table."""
+        table: Dict[str, Dict[str, float]] = {}
+        for row in self.rows:
+            for metric, comparison in row.metrics.items():
+                if comparison.rel_error is None:
+                    continue
+                bucket = table.setdefault(metric, {})
+                bucket[row.topology] = max(
+                    bucket.get(row.topology, 0.0), comparison.rel_error
+                )
+        return table
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "grid": self.grid,
+            "computed": self.computed,
+            "reused": self.reused,
+            "rows": [row.to_dict() for row in self.rows],
+            "worst_errors": self.worst_errors(),
+        }
+
+
+def _audit_cell(cell_result) -> FidelityRow:
+    spec = cell_result.cell.spec
+    workload = case_from_spec(spec)
+    prediction = predict(workload)
+    scale = prediction.mean_sojourn
+
+    replications = cell_result.summary.replications
+    mean_samples = [r.mean_sojourn for r in replications]
+    p95_samples = [r.p95_sojourn for r in replications]
+
+    # Visit-weighted per-operator waiting time, per replication.  Visit
+    # ratios come from the analytic traffic equations — identical for
+    # every replication of the cell by construction.
+    model = PerformanceModel.from_topology(workload.build())
+    visits = dict(zip(model.operator_names, model.network.visit_ratios()))
+    wait_samples: List[Optional[float]] = []
+    for replication in replications:
+        waits = replication.operator_waits
+        if waits is None or any(waits.get(n) is None for n in visits):
+            wait_samples.append(None)  # pre-audit store record
+            continue
+        wait_samples.append(
+            sum(ratio * waits[name] for name, ratio in visits.items())
+        )
+
+    metrics = {
+        "mean_sojourn": _compare(prediction.mean_sojourn, mean_samples, scale),
+        "waiting_time": _compare(prediction.waiting_time, wait_samples, scale),
+        # The p95 bound is scaled by itself (always >= the mean > 0), so
+        # its error reads as "fraction of the bound", like the others.
+        "p95_sojourn": _compare(
+            prediction.p95_sojourn, p95_samples, prediction.p95_sojourn
+        ),
+    }
+    return FidelityRow(
+        label=cell_result.cell.label,
+        topology=workload.topology,
+        rho=workload.rho,
+        servers=workload.servers,
+        scv=workload.scv,
+        discipline=spec.queue_discipline,
+        replications=len(replications),
+        prediction=prediction,
+        metrics=metrics,
+    )
+
+
+def run_audit(
+    grid: str = "small",
+    *,
+    campaign: Optional[CampaignSpec] = None,
+    store: Optional[ResultStore] = None,
+    max_workers: Optional[int] = None,
+) -> FidelityAudit:
+    """Execute a fidelity grid and score every cell.
+
+    ``campaign`` overrides the named grid (used by tests to audit
+    hand-built case lists through the identical pipeline).  With a
+    ``store``, completed replications are reused — re-checking a grid
+    against a new manifest costs no simulation at all.
+    """
+    campaign = campaign if campaign is not None else fidelity_campaign(grid)
+    runner = CampaignRunner(store, max_workers=max_workers)
+    result = runner.run(campaign)
+    rows = tuple(_audit_cell(cell_result) for cell_result in result.cells)
+    return FidelityAudit(
+        grid=grid,
+        rows=rows,
+        computed=result.computed,
+        reused=result.reused,
+    )

@@ -1,0 +1,203 @@
+"""Declarative fidelity grids, expanded through the campaign machinery.
+
+A fidelity *case* is one matched (analytic prediction, simulation) pair:
+a :class:`~repro.apps.fidelity.FidelityWorkload` plus the queue
+discipline and the simulation protocol (duration, warmup, replications).
+A *grid* is a named list of cases; :func:`fidelity_campaign` turns a
+grid into a :class:`~repro.campaigns.spec.CampaignSpec` with one axis
+whose points are multi-field patches — so fidelity runs ride the same
+expansion, content-addressed result store and resume semantics as every
+other campaign, and a re-run against a warm store recomputes nothing.
+
+Protocol derivation: each cell simulates until ``target_tuples``
+external tuples have arrived (``span = target / lambda_0``), after a
+warmup long enough for the queue to forget its empty start — several
+relaxation times, ``warmup ~ 8 * E[T] / (1 - rho)`` — so the measured
+window is near-stationary at every utilisation in the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.fidelity import FidelityWorkload
+from repro.campaigns.spec import CampaignSpec
+from repro.fidelity.analytic import predict
+from repro.scenarios.spec import ScenarioSpec
+
+#: Base seed shared by every grid: fidelity runs are deterministic, so
+#: observed errors (and hence the committed tolerances) are pinned.
+GRID_SEED = 20260727
+
+
+@dataclass(frozen=True)
+class FidelityCase:
+    """One cell: workload, discipline and its simulation protocol."""
+
+    label: str
+    workload: FidelityWorkload
+    discipline: str
+    duration: float
+    warmup: float
+    replications: int
+
+    def scenario_patch(self) -> Dict[str, object]:
+        """The campaign-axis ``set`` patch expanding to this cell."""
+        workload = self.workload
+        return {
+            "workload_params": {
+                "topology": workload.topology,
+                "rho": workload.rho,
+                "servers": workload.servers,
+                "mu": workload.mu,
+                "scv": workload.scv,
+                "branches": workload.branches,
+                "feedback": workload.feedback,
+            },
+            "initial_allocation": workload.allocation_spec(),
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "queue_discipline": self.discipline,
+            # One timeline bucket per run: the audit never plots
+            # timelines, and slim records keep the store light.
+            "timeline_bucket": self.duration,
+            "replications": self.replications,
+        }
+
+
+def build_case(
+    topology: str,
+    rho: float,
+    servers: int,
+    scv: float,
+    discipline: str,
+    *,
+    replications: int,
+    target_tuples: int,
+) -> FidelityCase:
+    """Derive one case's protocol from its parameters (see module doc)."""
+    workload = FidelityWorkload(
+        topology=topology, rho=rho, servers=servers, scv=scv
+    )
+    prediction = predict(workload)
+    # High-utilisation queues mix slowly (autocorrelation time grows
+    # like 1/(1-rho)), so scale the sample size up near saturation —
+    # otherwise rho = 0.95 cells report transient noise as model error.
+    effective_target = int(target_tuples * max(1.0, 0.2 / (1.0 - rho)))
+    span = effective_target / workload.external_rate
+    relaxation = 8.0 * prediction.mean_sojourn / (1.0 - rho)
+    warmup = max(10.0 / workload.mu, relaxation)
+    label = f"{topology}-r{rho:g}-k{servers}-scv{scv:g}-{discipline}"
+    return FidelityCase(
+        label=label,
+        workload=workload,
+        discipline=discipline,
+        duration=round(warmup + span, 3),
+        warmup=round(warmup, 3),
+        replications=replications,
+    )
+
+
+#: (topology, rho, servers, scv, discipline) tuples per named grid.
+_CaseParams = Tuple[str, float, int, float, str]
+
+
+def _smoke_params() -> List[_CaseParams]:
+    """The tier-1 smoke cells: M/M/k at rho = 0.7, k in {1, 4, 16}."""
+    return [("single", 0.7, k, 1.0, "shared") for k in (1, 4, 16)]
+
+
+def _small_params() -> List[_CaseParams]:
+    cases: List[_CaseParams] = []
+    for topology in ("single", "linear", "fanout", "loop"):
+        for rho, servers in ((0.3, 2), (0.7, 2), (0.7, 8), (0.9, 4)):
+            cases.append((topology, rho, servers, 1.0, "shared"))
+    for rho, servers in ((0.7, 1), (0.7, 16), (0.95, 8)):
+        cases.append(("single", rho, servers, 1.0, "shared"))
+    for scv in (0.0, 0.25, 4.0):
+        cases.append(("single", 0.7, 4, scv, "shared"))
+    cases.append(("single", 0.7, 8, 1.0, "jsq"))
+    cases.append(("linear", 0.7, 8, 1.0, "jsq"))
+    return cases
+
+
+def _full_params() -> List[_CaseParams]:
+    cases: List[_CaseParams] = []
+    for topology in ("single", "linear", "fanout", "loop"):
+        for rho in (0.3, 0.5, 0.7, 0.85, 0.95):
+            for servers in (1, 4, 16, 64):
+                for discipline in ("shared", "jsq"):
+                    cases.append((topology, rho, servers, 1.0, discipline))
+    for scv in (0.0, 0.25, 2.0, 4.0):
+        for rho in (0.3, 0.7, 0.9):
+            for servers in (1, 4, 16):
+                cases.append(("single", rho, servers, scv, "shared"))
+    return cases
+
+
+#: Named grids: (case parameter list factory, replications, target tuples).
+GRIDS: Dict[str, Tuple] = {
+    "smoke": (_smoke_params, 4, 8000),
+    "small": (_small_params, 4, 6000),
+    "full": (_full_params, 5, 10000),
+}
+
+
+def grid_cases(grid: str) -> List[FidelityCase]:
+    """Expand a named grid into its case list."""
+    try:
+        params_factory, replications, target_tuples = GRIDS[grid]
+    except KeyError:
+        raise ValueError(
+            f"unknown fidelity grid {grid!r}; available: {sorted(GRIDS)}"
+        ) from None
+    return [
+        build_case(
+            *params, replications=replications, target_tuples=target_tuples
+        )
+        for params in params_factory()
+    ]
+
+
+def fidelity_campaign(
+    grid: str, *, cases: Sequence[FidelityCase] = (), seed: int = GRID_SEED
+) -> CampaignSpec:
+    """A :class:`CampaignSpec` running ``grid`` (or an explicit case list).
+
+    One axis named ``case``; each point is a multi-field patch carrying
+    the cell's workload parameters and protocol, so the content-address
+    of every cell captures exactly what it simulates.
+    """
+    case_list = list(cases) if cases else grid_cases(grid)
+    return CampaignSpec(
+        name=f"fidelity-{grid}",
+        description=(
+            "Matched analytic-vs-simulated pairs for the model fidelity"
+            " audit (repro fidelity)"
+        ),
+        base={
+            "workload": "fidelity",
+            "policy": "none",
+            "seed": seed,
+        },
+        axes=(
+            {
+                "name": "case",
+                "values": [
+                    {"label": case.label, "set": case.scenario_patch()}
+                    for case in case_list
+                ],
+            },
+        ),
+    )
+
+
+def case_from_spec(spec: ScenarioSpec) -> FidelityWorkload:
+    """Rebuild the workload of an expanded fidelity cell's scenario."""
+    if spec.workload != "fidelity":
+        raise ValueError(
+            f"scenario {spec.name!r} is not a fidelity cell"
+            f" (workload {spec.workload!r})"
+        )
+    return FidelityWorkload(**spec.workload_params)

@@ -1,0 +1,261 @@
+"""Tolerance manifest: the committed error envelope the audit enforces.
+
+The manifest (``tests/golden/fidelity_tolerances.json``) records, per
+metric, how large a relative model/simulator disagreement is *expected
+and accepted* — the measured approximation error of the analytic model
+plus headroom for cross-platform floating-point drift.  Tier-1 tests
+and the CI ``fidelity-smoke`` job check audits against it, so a model
+or engine change that silently degrades agreement fails loudly, while
+a deliberate change ships with an updated manifest in the same diff.
+
+Lookup is by metric with optional override groups::
+
+    {
+      "version": 1,
+      "metrics": {
+        "mean_sojourn": {
+          "default": 0.08,
+          "topology": {"fanout": 0.5},
+          "discipline": {"jsq": 0.12},
+          "scv": {"4": 0.2},
+          "rho": {"0.9": 0.25}
+        }
+      }
+    }
+
+A cell's tolerance is the **max** of the default and every override
+that applies to it (its topology, its discipline, its service SCV and
+its utilisation — near-saturated queues mix slowly, so their sample
+noise needs a looser envelope).  The max rule keeps the semantics
+monotone — an override only ever *loosens* the envelope for the harder
+regime it names — and makes tightening any single entry strictly
+stricter, which is what the deliberate-tightening regression test
+exercises.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+
+MANIFEST_VERSION = 1
+
+#: Override group names, in the order reports list them.
+_GROUPS = ("topology", "discipline", "scv", "rho")
+
+
+def _format_scv(scv: float) -> str:
+    """Canonical manifest key for an SCV value (``1.0`` -> ``"1"``)."""
+    return f"{scv:g}"
+
+
+@dataclass(frozen=True)
+class ToleranceManifest:
+    """Per-metric relative-error tolerances with override groups."""
+
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self):
+        for metric, entry in self.metrics.items():
+            if "default" not in entry:
+                raise ConfigurationError(
+                    f"manifest metric {metric!r} has no 'default' tolerance"
+                )
+            for key in entry:
+                if key != "default" and key not in _GROUPS:
+                    raise ConfigurationError(
+                        f"manifest metric {metric!r}: unknown key {key!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def tolerance_for(
+        self,
+        metric: str,
+        *,
+        topology: str,
+        discipline: str,
+        scv: float,
+        rho: float,
+    ) -> float:
+        """The cell's tolerance: max of default + applicable overrides."""
+        entry = self.metrics.get(metric)
+        if entry is None:
+            return math.inf  # unlisted metrics are reported, not enforced
+        tolerance = float(entry["default"])
+        for group, value in (
+            ("topology", topology),
+            ("discipline", discipline),
+            ("scv", _format_scv(scv)),
+            ("rho", _format_scv(rho)),
+        ):
+            override = entry.get(group, {}).get(value)
+            if override is not None:
+                tolerance = max(tolerance, float(override))
+        return tolerance
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "version": MANIFEST_VERSION,
+            "metrics": {
+                metric: dict(entry)
+                for metric, entry in sorted(self.metrics.items())
+            },
+        }
+        if self.description:
+            payload["description"] = self.description
+        return payload
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "ToleranceManifest":
+        if raw.get("version") != MANIFEST_VERSION:
+            raise ConfigurationError(
+                f"unsupported manifest version {raw.get('version')!r}"
+                f" (expected {MANIFEST_VERSION})"
+            )
+        metrics = raw.get("metrics")
+        if not isinstance(metrics, Mapping):
+            raise ConfigurationError("manifest 'metrics' must be a mapping")
+        return cls(
+            metrics={m: dict(e) for m, e in metrics.items()},
+            description=str(raw.get("description", "")),
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "ToleranceManifest":
+        try:
+            raw = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read tolerance manifest {path}: {exc}"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"invalid tolerance manifest {path}: {exc}"
+            ) from None
+        return cls.from_dict(raw)
+
+    def save(self, path: Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def generate_manifest(
+    rows: Iterable,  # Iterable[FidelityRow]; untyped to avoid the cycle
+    *,
+    headroom: float = 1.6,
+    floor: float = 0.02,
+    description: str = "",
+) -> ToleranceManifest:
+    """Derive a manifest from observed audit rows.
+
+    The *default* of each metric is the max relative error over the
+    baseline regime (single-operator, exponential service, ``shared``
+    discipline, utilisation below 0.85) times ``headroom``.  Override
+    entries are conditioned: a topology override only folds in cells
+    that are otherwise baseline (SCV 1, shared, low rho), and likewise
+    for the other groups — so a fan-out cell's composition error can
+    never loosen the envelope of unrelated shared-discipline cells.
+    ``floor`` keeps tolerances from collapsing below replication noise
+    on near-perfect cells.
+    """
+    if headroom < 1.0:
+        raise ConfigurationError("headroom must be >= 1.0")
+    rows = list(rows)
+    observed: Dict[str, Dict[str, Dict[str, float]]] = {}
+    baseline: Dict[str, float] = {}
+    for row in rows:
+        is_baseline = {
+            "topology": row.topology == "single",
+            "discipline": row.discipline == "shared",
+            "scv": row.scv == 1.0,
+            # Slow-mixing near-saturated cells get their own envelope.
+            "rho": row.rho < 0.85,
+        }
+        keys = {
+            "topology": row.topology,
+            "discipline": row.discipline,
+            "scv": _format_scv(row.scv),
+            "rho": _format_scv(row.rho),
+        }
+        for metric, comparison in row.metrics.items():
+            error = comparison.rel_error
+            if error is None or math.isinf(error) or math.isnan(error):
+                continue
+            groups = observed.setdefault(metric, {g: {} for g in _GROUPS})
+            for group, key in keys.items():
+                # Only attribute the error to this group when every
+                # *other* dimension is baseline (see docstring).
+                if all(v for g, v in is_baseline.items() if g != group):
+                    bucket = groups[group]
+                    bucket[key] = max(bucket.get(key, 0.0), error)
+            if all(is_baseline.values()):
+                baseline[metric] = max(baseline.get(metric, 0.0), error)
+
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for metric, groups in observed.items():
+        default = max(floor, baseline.get(metric, 0.0) * headroom)
+        entry: Dict[str, Any] = {"default": round(default, 4)}
+        for group in _GROUPS:
+            _add_overrides(entry, group, groups[group], default, headroom, floor)
+        metrics[metric] = entry
+
+    manifest = ToleranceManifest(metrics=metrics, description=description)
+    # Coverage pass: cells non-baseline in two or more dimensions (a
+    # fanout at rho 0.95, say) contribute to no conditioned override
+    # above, so the composed max might not reach their error.  The
+    # generated manifest must cover the run that produced it — the
+    # regenerate-and-ship contract — so lift the cell's topology
+    # override (its dominant structural dimension) until it does.
+    for row in rows:
+        for metric, comparison in row.metrics.items():
+            error = comparison.rel_error
+            if error is None or math.isinf(error) or math.isnan(error):
+                continue
+            tolerance = manifest.tolerance_for(
+                metric,
+                topology=row.topology,
+                discipline=row.discipline,
+                scv=row.scv,
+                rho=row.rho,
+            )
+            if error > tolerance:
+                overrides = metrics[metric].setdefault("topology", {})
+                overrides[row.topology] = round(
+                    max(
+                        overrides.get(row.topology, 0.0),
+                        max(floor, error * headroom),
+                    ),
+                    4,
+                )
+    return ToleranceManifest(metrics=metrics, description=description)
+
+
+def _add_overrides(
+    entry: Dict[str, Any],
+    group: str,
+    bucket: Dict[str, float],
+    default: float,
+    headroom: float,
+    floor: float,
+) -> None:
+    """Attach ``group`` overrides for regimes whose observed error (with
+    headroom) exceeds the metric's default."""
+    overrides = {
+        key: round(max(floor, value * headroom), 4)
+        for key, value in sorted(bucket.items())
+        if value * headroom > default
+    }
+    if overrides:
+        entry[group] = overrides

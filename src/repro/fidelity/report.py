@@ -1,0 +1,93 @@
+"""Text rendering for fidelity audits (the CLI's default output)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.fidelity.audit import FidelityAudit, Violation
+
+#: Column order of the per-cell table.
+_METRICS = ("mean_sojourn", "waiting_time", "p95_sojourn")
+
+
+def _fmt(value: Optional[float], width: int = 7) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return f"{value:.3f}".rjust(width)
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    if value is None:
+        return "     -"
+    return f"{100.0 * value:5.1f}%"
+
+
+def render_audit(
+    audit: FidelityAudit, violations: Optional[Sequence[Violation]] = None
+) -> str:
+    """Human-readable audit table plus the worst-error summary."""
+    lines: List[str] = []
+    lines.append(
+        f"Model fidelity audit — grid '{audit.grid}'"
+        f" ({len(audit.rows)} cells, computed={audit.computed}"
+        f" reused={audit.reused})"
+    )
+    lines.append(
+        "Per metric: model value | simulated mean | relative error"
+        " (±95% CI, Student-t across replications)"
+    )
+    header = (
+        f"{'cell':<32} {'metric':<13} {'model':>7} {'sim':>7}"
+        f" {'err':>6} {'ci':>6}  noise"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in audit.rows:
+        for index, metric in enumerate(_METRICS):
+            comparison = row.metrics.get(metric)
+            if comparison is None:
+                continue
+            label = row.label if index == 0 else ""
+            noise = (
+                "within"
+                if comparison.within_noise
+                else ("beyond" if comparison.within_noise is not None else "-")
+            )
+            lines.append(
+                f"{label:<32} {metric:<13}"
+                f" {_fmt(comparison.model)} {_fmt(comparison.simulated)}"
+                f" {_fmt_pct(comparison.rel_error)}"
+                f" {_fmt_pct(comparison.ci_rel)}  {noise}"
+            )
+    lines.append("")
+    lines.append("Worst observed relative error (metric x topology):")
+    worst = audit.worst_errors()
+    topologies = sorted(
+        {topology for table in worst.values() for topology in table}
+    )
+    head = f"{'metric':<13}" + "".join(f" {t:>8}" for t in topologies)
+    lines.append(head)
+    for metric in _METRICS:
+        table = worst.get(metric, {})
+        lines.append(
+            f"{metric:<13}"
+            + "".join(f" {_fmt_pct(table.get(t)):>8}" for t in topologies)
+        )
+    if violations is not None:
+        lines.append("")
+        if violations:
+            lines.append(f"TOLERANCE VIOLATIONS ({len(violations)}):")
+            for violation in violations:
+                noise = (
+                    " (within replication noise)"
+                    if violation.within_noise
+                    else ""
+                )
+                lines.append(
+                    f"  {violation.label} {violation.metric}:"
+                    f" error {100 * violation.rel_error:.1f}% >"
+                    f" tolerance {100 * violation.tolerance:.1f}%{noise}"
+                )
+        else:
+            lines.append("All cells within the tolerance manifest.")
+    return "\n".join(lines)

@@ -94,8 +94,16 @@ def expected_waiting_time(lam: float, mu: float, k: int) -> float:
     a = lam / mu
     if k <= a:
         return math.inf
+    capacity_gap = k * mu - lam
+    if capacity_gap <= 0.0:
+        # The two stability tests can disagree in floating point: ``a =
+        # lam/mu`` may round just below ``k`` while ``k*mu - lam`` rounds
+        # to exactly 0 (e.g. lam = 29*mu computed in binary).  Such a
+        # queue is critically loaded, so the saturated branch applies —
+        # without this guard the division below raises ZeroDivisionError.
+        return math.inf
     wait_prob = erlang_c(k, a)
-    return wait_prob / (k * mu - lam)
+    return wait_prob / capacity_gap
 
 
 def expected_sojourn_time(lam: float, mu: float, k: int) -> float:
@@ -133,6 +141,12 @@ def min_servers(lam: float, mu: float) -> int:
     a = lam / mu
     k = math.ceil(a)
     if k <= a:  # a was an exact integer
+        k += 1
+    if k * mu <= lam:
+        # ``a < k`` can hold in floating point while ``k*mu <= lam`` —
+        # the queue would still be critically loaded (see the matching
+        # guard in :func:`expected_waiting_time`), so one more server is
+        # needed; ``(k+1)*mu - lam >= mu > 0`` always clears it.
         k += 1
     return max(1, k)
 
@@ -195,8 +209,11 @@ class ErlangMarginalEvaluator:
         a = self._a
         if k <= a:
             return math.inf
+        capacity_gap = k * mu - lam
+        if capacity_gap <= 0.0:  # fp-degenerate critical load (see Eq. 1 fn)
+            return math.inf
         wait_prob = k * blocking / (k - a * (1.0 - blocking))
-        waiting = wait_prob / (k * mu - lam)
+        waiting = wait_prob / capacity_gap
         return waiting + 1.0 / mu
 
     def _refresh(self, k, blocking, cur):
@@ -213,7 +230,7 @@ class ErlangMarginalEvaluator:
             b_next = a * blocking / (k1 + a * blocking)
         if lam == 0.0:
             nxt = 0.0 + 1.0 / mu
-        elif k1 <= a:
+        elif k1 <= a or k1 * mu - lam <= 0.0:
             nxt = math.inf
         else:
             wait_prob = k1 * b_next / (k1 - a * (1.0 - b_next))
@@ -275,7 +292,7 @@ class ErlangMarginalEvaluator:
         self._b_next = b_next
         if lam == 0.0:
             nxt = 0.0 + 1.0 / mu
-        elif k2 <= a:
+        elif k2 <= a or k2 * mu - lam <= 0.0:
             nxt = math.inf
         else:
             wait_prob = k2 * b_next / (k2 - a * (1.0 - b_next))

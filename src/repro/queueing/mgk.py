@@ -34,12 +34,34 @@ def expected_waiting_time_gg(
 
     ``ca2`` / ``cs2`` are the squared coefficients of variation of the
     inter-arrival and service times (1.0 recovers M/M/k exactly).
+
+    Edge cases (pinned by the fidelity audit's analytic sweeps):
+
+    - ``ca2 = cs2 = 0`` with a stable base queue is the deterministic
+      D/D/k, whose waiting time is exactly 0 — returned as an exact
+      ``0.0``, never a rounded product;
+    - an unstable base queue (``expected_waiting_time`` -> inf)
+      propagates ``inf`` for *any* SCVs, including the zero-SCV corner
+      where a naive ``inf * 0`` would poison the result with ``nan``.
+
+    Measured accuracy (``repro fidelity``): for Poisson arrivals the
+    correction tracks the simulator's mean waiting time to within a few
+    percent at SCV 0 and SCV 1 across k in 1..16 and rho in 0.3..0.9;
+    heavy-tailed service (SCV 4) is noisier — see the committed
+    tolerance manifest (``tests/golden/fidelity_tolerances.json``) for
+    the enforced per-shape bounds.
     """
     check_non_negative("ca2", ca2)
     check_non_negative("cs2", cs2)
     base = erlang.expected_waiting_time(lam, mu, k)
     if math.isinf(base):
+        # Saturation dominates the SCV correction: inf must propagate
+        # even when ca2 + cs2 == 0 (inf * 0 would be nan).
         return math.inf
+    if ca2 == 0.0 and cs2 == 0.0:
+        # Stable D/D/k: arrivals are evenly spaced, service is constant,
+        # nothing ever queues.  Exact zero, stated explicitly.
+        return 0.0
     return base * (ca2 + cs2) / 2.0
 
 
@@ -65,7 +87,10 @@ def marginal_benefit_gg(
     """
     base = erlang.marginal_benefit(lam, mu, k)
     if math.isinf(base):
+        # Same saturation-dominates rule as expected_waiting_time_gg:
+        # never let a zero SCV sum turn an infinite delta into nan.
         return math.inf
     # The service term 1/mu cancels in the difference, so the scaling
-    # applies to the full delta.
+    # applies to the full delta.  (ca2 = cs2 = 0 correctly yields 0: a
+    # D/D/k below saturation gains nothing from one more processor.)
     return base * (ca2 + cs2) / 2.0

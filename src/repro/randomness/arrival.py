@@ -236,13 +236,26 @@ class PhasedArrivalProcess(ArrivalProcess):
     with strictly increasing start times; the multiplier in force at
     ``now`` divides the base process's gap (doubling the multiplier
     doubles the instantaneous rate).  Before the first phase the base
-    rate applies unchanged.  A gap that straddles a phase boundary keeps
-    the multiplier sampled at its start — exact for the minute-scale
-    phase schedules scenarios use, where gaps are far shorter than
-    phases.  ``mean_rate`` reports the base rate under the multiplier
-    in force at ``t = 0`` (the nominal starting load the performance
-    model plans for — the base rate itself when the first phase starts
-    later); controllers see later phases through measurements.
+    rate applies unchanged.
+
+    A gap that straddles one or more phase boundaries is consumed
+    *piecewise*: the base draw is spent at each phase's own speed, so an
+    arrival that would land past the current phase's end is re-timed
+    under the next phase's rate instead of carrying the stale rate
+    across the boundary.  (The earlier behaviour — freezing the
+    multiplier sampled at the gap's start — biased the post-boundary
+    arrival rate by one mean gap per step change; the fidelity audit's
+    step-rate cases exposed it.)  For a Poisson base this piecewise
+    time-rescaling is *exact*: it is the textbook construction of a
+    non-homogeneous Poisson process with rate ``multiplier(t) * rate``,
+    and it consumes exactly one base draw per arrival, so RNG draw
+    order is unchanged.  For non-Poisson bases it is the natural
+    operational-time rescaling (gaps within a single phase are
+    untouched).  ``mean_rate`` reports the base rate under the
+    multiplier in force at ``t = 0`` (the nominal starting load the
+    performance model plans for — the base rate itself when the first
+    phase starts later); controllers see later phases through
+    measurements.
     """
 
     def __init__(
@@ -276,8 +289,33 @@ class PhasedArrivalProcess(ArrivalProcess):
             multiplier = value
         return multiplier
 
+    def _next_boundary(self, t: float) -> Optional[float]:
+        """First phase start strictly after ``t`` (None when past all)."""
+        for start, _ in self._phases:
+            if start > t:
+                return start
+        return None
+
     def next_gap(self, now: float, rng: random.Random) -> float:
-        return self._base.next_gap(now, rng) / self._multiplier(now)
+        # Spend the base draw piecewise across phase boundaries: within
+        # a phase with multiplier m, dt of wall time consumes m*dt of
+        # the base gap.  A gap contained in one phase reduces to the
+        # single division the old implementation used (bit-identical).
+        remaining = self._base.next_gap(now, rng)
+        t = now
+        elapsed = 0.0
+        while True:
+            multiplier = self._multiplier(t)
+            boundary = self._next_boundary(t)
+            if boundary is None:
+                return elapsed + remaining / multiplier
+            span = boundary - t
+            consumed = span * multiplier
+            if remaining <= consumed:
+                return elapsed + remaining / multiplier
+            remaining -= consumed
+            elapsed += span
+            t = boundary
 
     @property
     def mean_rate(self) -> float:

@@ -106,6 +106,12 @@ class ReplicationResult:
     actions: Tuple[AppliedAction, ...]
     timeline: Tuple[Tuple[float, Optional[float], int], ...]
     recommendation: Optional[str]
+    #: Per-operator mean waiting / service time over the whole run (the
+    #: runtime's cumulative accumulators; ``None`` for operators that
+    #: processed nothing).  Added for the fidelity audit — absent in
+    #: records stored before it existed, hence the ``None`` defaults.
+    operator_waits: Optional[Dict[str, Optional[float]]] = None
+    operator_services: Optional[Dict[str, Optional[float]]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -125,6 +131,16 @@ class ReplicationResult:
             "actions": [a.to_dict() for a in self.actions],
             "timeline": [list(b) for b in self.timeline],
             "recommendation": self.recommendation,
+            "operator_waits": (
+                dict(self.operator_waits)
+                if self.operator_waits is not None
+                else None
+            ),
+            "operator_services": (
+                dict(self.operator_services)
+                if self.operator_services is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -150,6 +166,8 @@ class ReplicationResult:
             ),
             timeline=tuple(tuple(b) for b in raw.get("timeline", ())),
             recommendation=raw.get("recommendation"),
+            operator_waits=raw.get("operator_waits"),
+            operator_services=raw.get("operator_services"),
         )
 
 
@@ -335,6 +353,8 @@ def run_replication(spec: ScenarioSpec, index: int) -> ReplicationResult:
         actions=actions,
         timeline=tuple(runtime.timeline()),
         recommendation=recommendation,
+        operator_waits=dict(stats.per_operator_wait),
+        operator_services=dict(stats.per_operator_service),
     )
 
 

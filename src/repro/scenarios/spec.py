@@ -26,6 +26,7 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.apps.fidelity import FidelityWorkload
 from repro.apps.fpd import FPDWorkload
 from repro.apps.robustness import RobustnessWorkload
 from repro.apps.synthetic import SyntheticChainWorkload
@@ -39,6 +40,7 @@ WORKLOADS = {
     "fpd": FPDWorkload,
     "synthetic": SyntheticChainWorkload,
     "robustness": RobustnessWorkload,
+    "fidelity": FidelityWorkload,
 }
 
 #: Hop latency used when the workload object does not define one (VLD's

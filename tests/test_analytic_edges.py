@@ -1,0 +1,169 @@
+"""Property-based tests for the analytic edge cases the fidelity audit
+pinned down: fp-degenerate critical loads, zero/extreme SCVs, and the
+percentile bound's clamped domain."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import erlang, mgk
+from repro.scheduler.percentile import (
+    _z_for,
+    operator_sojourn_moments,
+    sojourn_quantile_bound,
+)
+
+rates = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+servers = st.integers(min_value=1, max_value=256)
+scvs = st.floats(
+    min_value=0.0, max_value=64.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestErlangDegenerate:
+    def test_regression_exact_fp_critical_load(self):
+        """lam chosen so a = lam/mu < k in fp while k*mu - lam == 0.0:
+        previously a ZeroDivisionError, now the saturated branch."""
+        mu = 1.0 / 7.0
+        k = 29
+        lam = k * mu  # 4.142857142857142; lam/mu rounds to 28.999...96
+        assert lam / mu < k  # the fp disagreement this regression pins
+        assert k * mu - lam == 0.0
+        assert math.isinf(erlang.expected_waiting_time(lam, mu, k))
+        assert math.isinf(erlang.expected_sojourn_time(lam, mu, k))
+        assert math.isinf(erlang.expected_queue_length(lam, mu, k))
+        mean, variance = operator_sojourn_moments(lam, mu, k)
+        assert math.isinf(mean) and math.isinf(variance)
+        evaluator = erlang.ErlangMarginalEvaluator(lam, mu, k)
+        assert math.isinf(evaluator.sojourn)
+        assert math.isinf(evaluator.delta())
+        # One more server clears criticality; advance() must survive the
+        # degenerate start and produce the finite k+1 value.
+        assert math.isfinite(evaluator.advance())
+
+    def test_min_servers_consistent_with_sojourn(self):
+        mu = 1.0 / 7.0
+        lam = 29 * mu
+        k = erlang.min_servers(lam, mu)
+        assert math.isfinite(erlang.expected_sojourn_time(lam, mu, k))
+
+    @given(mu=rates, k=servers)
+    @settings(max_examples=200, deadline=None)
+    def test_critical_products_never_raise(self, mu, k):
+        """For lam = k*mu computed in fp, every Erlang quantity is a
+        well-defined float or inf — never an exception, never nan."""
+        lam = k * mu
+        for fn in (
+            erlang.expected_waiting_time,
+            erlang.expected_sojourn_time,
+            erlang.marginal_benefit,
+        ):
+            value = fn(lam, mu, k)
+            assert not math.isnan(value)
+        k_min = erlang.min_servers(lam, mu)
+        assert math.isfinite(erlang.expected_sojourn_time(lam, mu, k_min))
+
+    @given(lam=rates, mu=rates, k=servers)
+    @settings(max_examples=200, deadline=None)
+    def test_evaluator_matches_module_functions(self, lam, mu, k):
+        evaluator = erlang.ErlangMarginalEvaluator(lam, mu, k)
+        assert evaluator.sojourn == erlang.expected_sojourn_time(lam, mu, k)
+        assert evaluator.delta() == erlang.marginal_benefit(lam, mu, k)
+        assert evaluator.advance() == erlang.marginal_benefit(lam, mu, k + 1)
+
+
+class TestAllenCunneenEdges:
+    @given(lam=rates, mu=rates, k=servers, ca2=scvs, cs2=scvs)
+    @settings(max_examples=300, deadline=None)
+    def test_never_nan(self, lam, mu, k, ca2, cs2):
+        """No (lam, mu, k, SCV) combination may produce nan — the
+        inf * 0 corner included."""
+        wait = mgk.expected_waiting_time_gg(lam, mu, k, ca2=ca2, cs2=cs2)
+        assert not math.isnan(wait)
+        sojourn = mgk.expected_sojourn_time_gg(lam, mu, k, ca2=ca2, cs2=cs2)
+        assert not math.isnan(sojourn)
+        delta = mgk.marginal_benefit_gg(lam, mu, k, ca2=ca2, cs2=cs2)
+        assert not math.isnan(delta)
+
+    @given(mu=rates, k=servers)
+    @settings(max_examples=100, deadline=None)
+    def test_stable_ddk_waits_exactly_zero(self, mu, k):
+        lam = 0.5 * k * mu  # rho = 0.5 < 1
+        assert (
+            mgk.expected_waiting_time_gg(lam, mu, k, ca2=0.0, cs2=0.0) == 0.0
+        )
+        assert mgk.expected_sojourn_time_gg(
+            lam, mu, k, ca2=0.0, cs2=0.0
+        ) == pytest.approx(1.0 / mu)
+
+    @given(mu=rates, k=servers)
+    @settings(max_examples=100, deadline=None)
+    def test_unstable_base_propagates_inf_at_zero_scv(self, mu, k):
+        lam = 2.0 * k * mu  # rho = 2 > 1
+        assert math.isinf(
+            mgk.expected_waiting_time_gg(lam, mu, k, ca2=0.0, cs2=0.0)
+        )
+        assert math.isinf(
+            mgk.marginal_benefit_gg(lam, mu, k, ca2=0.0, cs2=0.0)
+        )
+
+    def test_scv_one_recovers_mmk_exactly(self):
+        assert mgk.expected_waiting_time_gg(
+            8.0, 1.0, 10, ca2=1.0, cs2=1.0
+        ) == erlang.expected_waiting_time(8.0, 1.0, 10)
+
+
+class TestPercentileEdges:
+    @given(q=st.floats(min_value=0.5, max_value=0.9999))
+    @settings(max_examples=200, deadline=None)
+    def test_z_finite_and_nonnegative_on_domain(self, q):
+        z = _z_for(q)
+        assert math.isfinite(z)
+        assert z >= 0.0
+
+    def test_z_monotone_in_q(self):
+        grid = [0.5 + 0.499 * i / 400 for i in range(401)]
+        values = [_z_for(q) for q in grid]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize(
+        "q,expected",
+        [(0.5, 0.0), (0.9, 1.2816), (0.95, 1.6449), (0.99, 2.3263)],
+    )
+    def test_canonical_levels_bit_stable(self, q, expected):
+        assert _z_for(q) == expected
+
+    def test_approximation_accuracy(self):
+        # Known normal quantiles to 4 decimals.
+        for q, exact in [(0.75, 0.6745), (0.975, 1.9600), (0.999, 3.0902)]:
+            assert _z_for(q) == pytest.approx(exact, abs=5e-4)
+
+    @given(q=st.floats(min_value=1e-6, max_value=0.4999))
+    @settings(max_examples=50, deadline=None)
+    def test_below_median_rejected(self, q):
+        with pytest.raises(ValueError):
+            _z_for(q)
+
+    @given(lam=rates, mu=rates, k=servers)
+    @settings(max_examples=300, deadline=None)
+    def test_moments_never_raise_never_negative_variance(self, lam, mu, k):
+        mean, variance = operator_sojourn_moments(lam, mu, k)
+        assert not math.isnan(mean) and not math.isnan(variance)
+        assert variance >= 0.0
+
+    def test_bound_inf_at_q_one(self, chain_model):
+        assert math.isinf(
+            sojourn_quantile_bound(chain_model, [5, 7, 3], q=1.0)
+        )
+
+    def test_bound_at_least_mean_on_domain(self, chain_model):
+        allocation = [5, 7, 3]
+        mean = chain_model.expected_sojourn(allocation)
+        for i in range(50):
+            q = 0.5 + 0.499 * i / 49
+            bound = sojourn_quantile_bound(chain_model, allocation, q=q)
+            assert bound >= mean - 1e-12

@@ -189,6 +189,51 @@ class TestPhasedArrivalProcess:
         )
         assert empirical_rate(p, horizon=2000.0) == pytest.approx(7.5, rel=0.1)
 
+    def test_straddling_gap_is_retimed_under_next_phase(self, rng):
+        """A draw reaching past the phase boundary finishes at the next
+        phase's rate instead of carrying the old rate across (the
+        fidelity audit's step-rate bias)."""
+        # Base gap 1.0s; rate x10 from t=0.5.  The first 0.5s consumes
+        # half the draw at multiplier 1; the remaining half runs at x10.
+        p = PhasedArrivalProcess(DeterministicProcess(1.0), [(0.5, 10.0)])
+        assert p.next_gap(0.0, rng) == pytest.approx(0.5 + 0.05)
+
+    def test_gap_spanning_multiple_boundaries(self, rng):
+        p = PhasedArrivalProcess(
+            DeterministicProcess(1.0), [(0.2, 2.0), (0.4, 4.0)]
+        )
+        # 0.2s at x1 consumes 0.2; 0.2s at x2 consumes 0.4; the last 0.4
+        # of the base draw takes 0.1s at x4.
+        assert p.next_gap(0.0, rng) == pytest.approx(0.2 + 0.2 + 0.1)
+
+    def test_gap_ending_exactly_on_boundary(self, rng):
+        p = PhasedArrivalProcess(DeterministicProcess(2.0), [(0.5, 3.0)])
+        # Base gap 0.5 fits exactly in [0, 0.5) at x1 — untouched.
+        assert p.next_gap(0.0, rng) == pytest.approx(0.5)
+
+    def test_gap_within_one_phase_unchanged(self, rng):
+        p = PhasedArrivalProcess(DeterministicProcess(10.0), [(50.0, 2.0)])
+        # Far from any boundary: identical to plain division.
+        assert p.next_gap(10.0, rng) == 0.1
+        assert p.next_gap(60.0, rng) == 0.1 / 2.0
+
+    def test_step_rate_empirical_rate_unbiased(self):
+        """Coarse base gaps + a large step: counting arrivals on each
+        side of the boundary matches the piecewise-exact expectation
+        (the pre-fix carry-across behaviour under-delivered the first
+        post-step arrivals by ~one mean gap)."""
+        p = PhasedArrivalProcess(PoissonProcess(0.5), [(500.0, 20.0)])
+        rng = random.Random(11)
+        now, early, late = 0.0, 0, 0
+        while now < 1000.0:
+            now += p.next_gap(now, rng)
+            if now < 500.0:
+                early += 1
+            elif now < 1000.0:
+                late += 1
+        assert early == pytest.approx(0.5 * 500, rel=0.2)
+        assert late == pytest.approx(10.0 * 500, rel=0.05)
+
     def test_validation(self):
         base = DeterministicProcess(1.0)
         with pytest.raises(ValueError):

@@ -75,9 +75,24 @@ class TestQuantileBound:
             sojourn_quantile_bound(chain_model, [1, 1, 1], q=0.95)
         )
 
-    def test_unsupported_quantile(self, chain_model):
+    def test_arbitrary_upper_tail_quantiles_supported(self, chain_model):
+        """Any q in [0.5, 1) works now; bounds stay monotone in q."""
+        allocation = [5, 7, 3]
+        bounds = [
+            sojourn_quantile_bound(chain_model, allocation, q=q)
+            for q in (0.5, 0.73, 0.9, 0.97, 0.999)
+        ]
+        assert bounds == sorted(bounds)
+        assert all(math.isfinite(b) for b in bounds)
+
+    def test_q_one_returns_inf(self, chain_model):
+        assert math.isinf(
+            sojourn_quantile_bound(chain_model, [5, 7, 3], q=1.0)
+        )
+
+    def test_below_median_quantile_rejected(self, chain_model):
         with pytest.raises(ValueError):
-            sojourn_quantile_bound(chain_model, [5, 7, 3], q=0.73)
+            sojourn_quantile_bound(chain_model, [5, 7, 3], q=0.3)
 
 
 class TestQuantileSolver:
