@@ -38,7 +38,7 @@ from repro.randomness.distributions import (
     Distribution,
     Exponential,
     Gamma,
-    HyperExponential,
+    heavy_tailed,
 )
 from repro.topology.builder import TopologyBuilder
 from repro.topology.graph import Topology
@@ -52,16 +52,33 @@ TOPOLOGIES = ("single", "linear", "fanout", "loop")
 MAX_RHO = 0.97
 
 
-def service_distribution(mu: float, scv: float) -> Distribution:
+#: Tail families ``service_distribution`` accepts for SCV > 1.  ``auto``
+#: is the audit's historical choice (balanced hyperexponential — the
+#: committed tolerance manifest was measured against it); the heavy
+#: tails let the same grid machinery probe model drift when the service
+#: law, not just its variance, departs from the assumption.
+SERVICE_FAMILIES = ("auto", "hyperexponential", "lognormal", "pareto")
+
+
+def service_distribution(
+    mu: float, scv: float, family: str = "auto"
+) -> Distribution:
     """A service-time distribution with mean ``1/mu`` and the given SCV.
 
     0 -> :class:`Deterministic`; 1 -> :class:`Exponential`; (0, 1) ->
     :class:`Gamma` with shape ``1/scv`` (exact SCV for any value);
-    > 1 -> balanced :class:`HyperExponential`.
+    > 1 -> the requested tail ``family`` (``auto`` = balanced
+    hyperexponential, or ``lognormal`` / ``pareto`` via
+    :func:`repro.randomness.distributions.heavy_tailed`).
     """
     check_positive("mu", mu)
     if scv < 0:
         raise ValueError(f"scv must be >= 0, got {scv}")
+    if family not in SERVICE_FAMILIES:
+        raise ValueError(
+            f"unknown service family {family!r}; available:"
+            f" {SERVICE_FAMILIES}"
+        )
     if scv == 0.0:
         return Deterministic(1.0 / mu)
     if scv == 1.0:
@@ -69,7 +86,8 @@ def service_distribution(mu: float, scv: float) -> Distribution:
     if scv < 1.0:
         shape = 1.0 / scv
         return Gamma(shape=shape, scale=1.0 / (mu * shape))
-    return HyperExponential.balanced_from_mean_scv(mean=1.0 / mu, scv=scv)
+    resolved = "hyperexponential" if family == "auto" else family
+    return heavy_tailed(mean=1.0 / mu, scv=scv, family=resolved)
 
 
 @dataclass(frozen=True)
@@ -85,6 +103,8 @@ class FidelityWorkload:
     branches: int = 3
     #: Return-edge gain for ``loop`` (mean visits = 1 / (1 - feedback)).
     feedback: float = 0.3
+    #: Tail family for SCV > 1 (see :data:`SERVICE_FAMILIES`).
+    service_family: str = "auto"
 
     #: No per-hop transport delay: the audit isolates queueing error.
     hop_latency: float = 0.0
@@ -111,6 +131,11 @@ class FidelityWorkload:
         if not 0.0 <= self.feedback < 1.0:
             raise ValueError(
                 f"feedback must be in [0, 1), got {self.feedback}"
+            )
+        if self.service_family not in SERVICE_FAMILIES:
+            raise ValueError(
+                f"unknown service family {self.service_family!r}; available:"
+                f" {SERVICE_FAMILIES}"
             )
 
     # ------------------------------------------------------------------
@@ -152,7 +177,10 @@ class FidelityWorkload:
         names = self.operator_names
         for name in names:
             builder.add_operator(
-                name, service_time=service_distribution(self.mu, self.scv)
+                name,
+                service_time=service_distribution(
+                    self.mu, self.scv, self.service_family
+                ),
             )
         if self.topology == "single":
             builder.connect("src", "op")

@@ -24,7 +24,11 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.randomness.arrival import UniformRateProcess
-from repro.randomness.distributions import LogNormal
+from repro.randomness.distributions import (
+    HEAVY_TAILED_FAMILIES,
+    LogNormal,
+    heavy_tailed,
+)
 from repro.scheduler.allocation import Allocation
 from repro.topology.builder import TopologyBuilder
 from repro.topology.graph import Topology
@@ -67,6 +71,10 @@ class VLDWorkload:
     aggregator_rate: float = 150.0
     service_scv: float = 1.5
     fanout_scv: float = 0.5
+    #: Tail family of the per-stage service law: ``lognormal`` (the
+    #: calibrated default — all goldens pin it) or ``pareto`` for a
+    #: power-law SIFT cost, same mean and SCV.
+    service_family: str = "lognormal"
 
     def __post_init__(self):
         check_positive("scale", self.scale)
@@ -74,6 +82,11 @@ class VLDWorkload:
         if not 0 < self.match_fraction <= 1:
             raise ValueError(
                 f"match_fraction must be in (0, 1], got {self.match_fraction}"
+            )
+        if self.service_family not in HEAVY_TAILED_FAMILIES:
+            raise ValueError(
+                f"unknown service family {self.service_family!r}; available:"
+                f" {HEAVY_TAILED_FAMILIES}"
             )
 
     # ------------------------------------------------------------------
@@ -94,26 +107,20 @@ class VLDWorkload:
         arrivals = UniformRateProcess(
             self.min_frame_rate * s, self.max_frame_rate * s
         )
+        def service(rate: float):
+            return heavy_tailed(
+                mean=1.0 / (rate * s),
+                scv=self.service_scv,
+                family=self.service_family,
+            )
+
         return (
             TopologyBuilder("vld")
             .add_spout("frames", arrivals=arrivals)
+            .add_operator("sift", service_time=service(self.sift_rate))
+            .add_operator("matcher", service_time=service(self.matcher_rate))
             .add_operator(
-                "sift",
-                service_time=LogNormal(
-                    mean=1.0 / (self.sift_rate * s), scv=self.service_scv
-                ),
-            )
-            .add_operator(
-                "matcher",
-                service_time=LogNormal(
-                    mean=1.0 / (self.matcher_rate * s), scv=self.service_scv
-                ),
-            )
-            .add_operator(
-                "aggregator",
-                service_time=LogNormal(
-                    mean=1.0 / (self.aggregator_rate * s), scv=self.service_scv
-                ),
+                "aggregator", service_time=service(self.aggregator_rate)
             )
             .connect("frames", "sift")
             .connect(

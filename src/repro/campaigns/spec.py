@@ -72,6 +72,14 @@ def scenario_hash(spec: ScenarioSpec) -> str:
     reuse every result already in a store.  Numeric fields are
     normalized (:func:`_normalize_numbers`) so equivalent int/float
     spellings address the same results.
+
+    >>> from repro.scenarios.spec import ScenarioSpec
+    >>> a = ScenarioSpec(name="a", workload="synthetic", policy="none",
+    ...                  duration=60.0, replications=2)
+    >>> b = ScenarioSpec(name="b", workload="synthetic", policy="none",
+    ...                  duration=60, replications=5)
+    >>> scenario_hash(a) == scenario_hash(b)    # same simulation inputs
+    True
     """
     payload = spec.to_dict()
     for key in _HASH_EXCLUDED:
@@ -260,7 +268,26 @@ class CampaignCell:
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """A declarative sweep: base scenario fields plus grid axes."""
+    """A declarative sweep: base scenario fields plus grid axes.
+
+    >>> campaign = CampaignSpec.from_json('''
+    ... {"name": "sweep",
+    ...  "base": {"workload": "synthetic", "policy": "none",
+    ...           "initial_allocation": "10:10:10", "duration": 60.0,
+    ...           "arrival_model": {"kind": "mmpp2", "burst_ratio": 2.0,
+    ...                             "mean_burst": 5.0, "mean_gap": 15.0}},
+    ...  "axes": [{"name": "burst", "field": "arrival_model.burst_ratio",
+    ...            "values": [2.0, 8.0]},
+    ...           {"name": "seed", "field": "seed", "range": [7, 9]}]}
+    ... ''')
+    >>> cells = campaign.expand()
+    >>> [cell.label for cell in cells]      # last axis fastest
+    ['2.0-7', '2.0-8', '8.0-7', '8.0-8']
+    >>> cells[2].spec.arrival_model["burst_ratio"]
+    8.0
+    >>> campaign.total_replications()
+    4
+    """
 
     name: str
     base: Dict[str, Any]

@@ -38,7 +38,26 @@ RECORD_VERSION = 1
 
 
 class ResultStore:
-    """Directory-backed store of per-replication results."""
+    """Directory-backed store of per-replication results.
+
+    >>> import tempfile
+    >>> from repro.campaigns.spec import scenario_hash
+    >>> from repro.scenarios.runner import run_replication
+    >>> from repro.scenarios.spec import ScenarioSpec
+    >>> spec = ScenarioSpec(name="demo", workload="synthetic",
+    ...                     policy="none", initial_allocation="10:10:10",
+    ...                     duration=5.0, seed=7)
+    >>> store = ResultStore(tempfile.mkdtemp())
+    >>> digest = scenario_hash(spec)
+    >>> store.has(digest, 7)
+    False
+    >>> result = run_replication(spec, 0)
+    >>> _ = store.put(spec, digest, 7, result)
+    >>> store.load(digest, 7) == result      # survives the round-trip
+    True
+    >>> store.count(digest)
+    1
+    """
 
     def __init__(self, root: os.PathLike):
         self._root = Path(root)

@@ -10,19 +10,23 @@ Usage::
     python -m repro table2
     python -m repro baselines --app vld
     python -m repro all            # everything, scaled protocols
-    python -m repro list-policies  # registered scheduling policies
+    python -m repro list-policies        # registered scheduling policies
+    python -m repro list-arrival-models  # registered arrival models
     python -m repro run-scenario examples/scenarios/smoke.json --workers 4
+    python -m repro run-scenario examples/scenarios/mmpp2_burst.json
     python -m repro run-campaign examples/campaigns/smoke.json --store runs/
     python -m repro campaign-report examples/campaigns/smoke.json --store runs/
     python -m repro fidelity --grid small --json   # model-vs-sim audit
+    python -m repro fidelity --grid burst          # drift under MMPP traffic
 
 The CLI is a thin wrapper over :mod:`repro.experiments`,
-:mod:`repro.scenarios` and :mod:`repro.campaigns`; it prints the same
-text reports the benchmarks do.  ``run-scenario`` executes any JSON
-:class:`ScenarioSpec`; ``run-campaign`` expands and executes a JSON
-:class:`CampaignSpec` grid, skipping any replication already in the
-``--store`` — every sweep the engine can express is reachable without
-writing a driver.
+:mod:`repro.scenarios`, :mod:`repro.campaigns`, :mod:`repro.workloads`
+and :mod:`repro.fidelity`; it prints the same text reports the
+benchmarks do.  ``run-scenario`` executes any JSON
+:class:`ScenarioSpec` (including its ``arrival_model``);
+``run-campaign`` expands and executes a JSON :class:`CampaignSpec`
+grid, skipping any replication already in the ``--store`` — every
+sweep the engine can express is reachable without writing a driver.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ from repro.fidelity.report import render_audit
 from repro.scenarios.registry import available_policies
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import ScenarioSpec
+from repro.workloads import available_arrival_models
 
 #: Default tolerance manifest (the committed error envelope); resolved
 #: relative to the working directory — present in a repo checkout, and
@@ -204,6 +209,10 @@ def _list_policies(args) -> str:
     return report.render_policies(available_policies())
 
 
+def _list_arrival_models(args) -> str:
+    return report.render_arrival_models(available_arrival_models())
+
+
 def _all(args) -> str:
     sections = []
     for app in ("vld", "fpd"):
@@ -234,7 +243,16 @@ def _all(args) -> str:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate the DRS paper's tables and figures.",
+        description=(
+            "Regenerate the DRS paper's tables and figures, and run"
+            " declarative scenario, campaign and fidelity experiments"
+            " beyond them."
+        ),
+        epilog=(
+            "Full documentation (architecture guide, how-tos, API"
+            " reference): docs/ in the repository, built with"
+            " `mkdocs serve`."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -288,7 +306,19 @@ def build_parser() -> argparse.ArgumentParser:
     pa.set_defaults(handler=_all)
 
     ps = sub.add_parser(
-        "run-scenario", help="execute a JSON scenario spec end-to-end"
+        "run-scenario",
+        help="execute a JSON scenario spec end-to-end",
+        description=(
+            "Execute one ScenarioSpec JSON file: workload + policy +"
+            " load schedule + replication plan.  The spec may name an"
+            " arrival_model ({\"kind\": \"mmpp2\", ...}) to drive the"
+            " spouts with bursty, diurnal or trace-replayed traffic;"
+            " see `repro list-arrival-models`."
+        ),
+        epilog=(
+            "example: repro run-scenario"
+            " examples/scenarios/mmpp2_burst.json --workers 4 --json"
+        ),
     )
     ps.add_argument("spec", help="path to a ScenarioSpec JSON file")
     ps.add_argument(
@@ -311,6 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
     pc = sub.add_parser(
         "run-campaign",
         help="expand and execute a JSON campaign grid (resumable)",
+        description=(
+            "Expand a CampaignSpec JSON grid (base scenario + axes of"
+            " patches, including arrival-model parameters as dotted"
+            " paths like arrival_model.burst_ratio) and execute every"
+            " cell.  With --store, completed replications are"
+            " content-addressed and reused, so an interrupted sweep"
+            " resumes losing only in-flight work."
+        ),
+        epilog=(
+            "example: repro run-campaign"
+            " examples/campaigns/burst_sweep.json --store runs/"
+        ),
     )
     pc.add_argument("spec", help="path to a CampaignSpec JSON file")
     pc.add_argument(
@@ -338,6 +380,16 @@ def build_parser() -> argparse.ArgumentParser:
     pr = sub.add_parser(
         "campaign-report",
         help="aggregate a campaign's stored results (no simulation)",
+        description=(
+            "Read-only view over a result store: re-aggregates every"
+            " cell of the campaign from stored replications (mean,"
+            " ~95% CI, p95) without simulating anything.  Cells whose"
+            " replications are not all stored are reported as missing."
+        ),
+        epilog=(
+            "example: repro campaign-report"
+            " examples/campaigns/smoke.json --store runs/ --json"
+        ),
     )
     pr.add_argument("spec", help="path to a CampaignSpec JSON file")
     pr.add_argument(
@@ -351,6 +403,17 @@ def build_parser() -> argparse.ArgumentParser:
     pf = sub.add_parser(
         "fidelity",
         help="model-vs-simulation fidelity audit with tolerance gating",
+        description=(
+            "Run matched (analytic, simulated) pairs over a named grid"
+            " and score the disagreement per metric.  Exit 1 when any"
+            " cell exceeds the committed tolerance manifest.  Grids:"
+            " smoke/small/full probe the Poisson regime the model"
+            " assumes; burst measures how far Eq. (3) drifts under"
+            " mean-rate-preserving MMPP traffic."
+        ),
+        epilog=(
+            "example: repro fidelity --grid burst --store fidelity-runs/"
+        ),
     )
     pf.add_argument(
         "--grid",
@@ -389,9 +452,29 @@ def build_parser() -> argparse.ArgumentParser:
     pf.set_defaults(handler=_fidelity)
 
     pp = sub.add_parser(
-        "list-policies", help="registered scheduling policies"
+        "list-policies",
+        help="registered scheduling policies",
+        description=(
+            "List every scheduling policy the registry knows — DRS"
+            " modes, static baselines, the threshold scaler and any"
+            " third-party registrations — with one-line descriptions."
+            "  A ScenarioSpec's 'policy' field names one of these."
+        ),
     )
     pp.set_defaults(handler=_list_policies)
+
+    pm = sub.add_parser(
+        "list-arrival-models",
+        help="registered arrival models (scenario 'arrival_model' kinds)",
+        description=(
+            "List every arrival model the workload registry knows."
+            "  A ScenarioSpec's optional 'arrival_model' object names"
+            " one via its 'kind' key, e.g."
+            " {\"kind\": \"mmpp2\", \"burst_ratio\": 8.0,"
+            " \"mean_burst\": 5.0, \"mean_gap\": 20.0}."
+        ),
+    )
+    pm.set_defaults(handler=_list_arrival_models)
 
     return parser
 

@@ -253,6 +253,15 @@ def render_policies(policies) -> str:
     return "\n".join(lines)
 
 
+def render_arrival_models(models) -> str:
+    """The arrival-model registry as ``kind - description`` rows."""
+    lines = ["Registered arrival models:"]
+    width = max(len(name) for name in models) if models else 0
+    for name, description in models.items():
+        lines.append(f"  {name:<{width}}  {description}")
+    return "\n".join(lines)
+
+
 def render_baselines(result: BaselineComparison) -> str:
     """DRS vs baseline allocators."""
     lines = [

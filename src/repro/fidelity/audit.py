@@ -136,6 +136,9 @@ class FidelityRow:
     replications: int
     prediction: AnalyticPrediction
     metrics: Dict[str, MetricComparison] = field(default_factory=dict)
+    #: Arrival-model kind driving the cell (``"poisson"`` for the
+    #: workload's own arrivals — the analytic model's assumption).
+    arrival: str = "poisson"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -151,6 +154,7 @@ class FidelityRow:
                 name: comparison.to_dict()
                 for name, comparison in self.metrics.items()
             },
+            "arrival": self.arrival,
         }
 
 
@@ -194,6 +198,7 @@ class FidelityAudit:
                     discipline=row.discipline,
                     scv=row.scv,
                     rho=row.rho,
+                    arrival=row.arrival,
                 )
                 if math.isinf(tolerance):
                     continue  # metric not enforced by this manifest
@@ -284,6 +289,9 @@ def _audit_cell(cell_result) -> FidelityRow:
             prediction.p95_sojourn, p95_samples, prediction.p95_sojourn
         ),
     }
+    arrival = "poisson"
+    if spec.arrival_model is not None:
+        arrival = str(spec.arrival_model.get("kind", "poisson"))
     return FidelityRow(
         label=cell_result.cell.label,
         topology=workload.topology,
@@ -294,6 +302,7 @@ def _audit_cell(cell_result) -> FidelityRow:
         replications=len(replications),
         prediction=prediction,
         metrics=metrics,
+        arrival=arrival,
     )
 
 

@@ -19,7 +19,7 @@ window is near-stationary at every utilisation in the grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.fidelity import FidelityWorkload
 from repro.campaigns.spec import CampaignSpec
@@ -33,7 +33,14 @@ GRID_SEED = 20260727
 
 @dataclass(frozen=True)
 class FidelityCase:
-    """One cell: workload, discipline and its simulation protocol."""
+    """One cell: workload, discipline and its simulation protocol.
+
+    ``arrival_model`` (a plain :mod:`repro.workloads` spec dict, or
+    ``None`` for the workload's own Poisson arrivals) is what the
+    ``burst`` grid varies: the analytic prediction stays Poisson-based,
+    so the measured disagreement *is* the model's arrival-assumption
+    drift.
+    """
 
     label: str
     workload: FidelityWorkload
@@ -41,11 +48,12 @@ class FidelityCase:
     duration: float
     warmup: float
     replications: int
+    arrival_model: Optional[Dict[str, object]] = None
 
     def scenario_patch(self) -> Dict[str, object]:
         """The campaign-axis ``set`` patch expanding to this cell."""
         workload = self.workload
-        return {
+        patch: Dict[str, object] = {
             "workload_params": {
                 "topology": workload.topology,
                 "rho": workload.rho,
@@ -64,6 +72,9 @@ class FidelityCase:
             "timeline_bucket": self.duration,
             "replications": self.replications,
         }
+        if self.arrival_model is not None:
+            patch["arrival_model"] = dict(self.arrival_model)
+        return patch
 
 
 def build_case(
@@ -72,6 +83,7 @@ def build_case(
     servers: int,
     scv: float,
     discipline: str,
+    arrival_model: Optional[Dict[str, object]] = None,
     *,
     replications: int,
     target_tuples: int,
@@ -89,6 +101,15 @@ def build_case(
     relaxation = 8.0 * prediction.mean_sojourn / (1.0 - rho)
     warmup = max(10.0 / workload.mu, relaxation)
     label = f"{topology}-r{rho:g}-k{servers}-scv{scv:g}-{discipline}"
+    if arrival_model is not None:
+        label += f"-{_arrival_label(arrival_model)}"
+        # Modulated arrivals decorrelate over regime cycles, not queue
+        # relaxation times: the window must average over many bursts.
+        cycle = float(arrival_model.get("mean_burst", 0.0)) + float(
+            arrival_model.get("mean_gap", 0.0)
+        )
+        warmup = max(warmup, 2.0 * cycle)
+        span = max(span, 50.0 * cycle)
     return FidelityCase(
         label=label,
         workload=workload,
@@ -96,11 +117,27 @@ def build_case(
         duration=round(warmup + span, 3),
         warmup=round(warmup, 3),
         replications=replications,
+        arrival_model=arrival_model,
     )
 
 
-#: (topology, rho, servers, scv, discipline) tuples per named grid.
-_CaseParams = Tuple[str, float, int, float, str]
+def _arrival_label(arrival_model: Dict[str, object]) -> str:
+    """Compact label suffix for a non-Poisson arrival model."""
+    kind = str(arrival_model.get("kind", "?"))
+    if kind == "mmpp2":
+        return (
+            f"mmpp{arrival_model['burst_ratio']:g}"
+            f"x{arrival_model['mean_burst']:g}"
+        )
+    if kind == "diurnal":
+        return f"diurnal{arrival_model['amplitude']:g}"
+    return kind
+
+
+#: ``(topology, rho, servers, scv, discipline[, arrival_model])``
+#: tuples per named grid — the optional sixth entry is a plain
+#: :mod:`repro.workloads` model spec.
+_CaseParams = Tuple
 
 
 def _smoke_params() -> List[_CaseParams]:
@@ -119,6 +156,39 @@ def _small_params() -> List[_CaseParams]:
         cases.append(("single", 0.7, 4, scv, "shared"))
     cases.append(("single", 0.7, 8, 1.0, "jsq"))
     cases.append(("linear", 0.7, 8, 1.0, "jsq"))
+    return cases
+
+
+def _burst_params() -> List[_CaseParams]:
+    """The burst grid: how far Allen-Cunneen drifts under MMPP traffic.
+
+    Mean offered load is held at the Poisson cell's value (the MMPP2
+    model is mean-rate preserving), so each cell's extra error over its
+    ``burst_ratio = 1`` sibling — the first row — is attributable to
+    arrival correlation alone.  Sweeps burst intensity at fixed cycle
+    length, then burst duration at fixed intensity, then checks one
+    multi-operator shape and one higher-utilisation point.
+    """
+
+    def mmpp(ratio: float, burst: float, gap: float) -> Dict[str, object]:
+        return {
+            "kind": "mmpp2",
+            "burst_ratio": ratio,
+            "mean_burst": burst,
+            "mean_gap": gap,
+        }
+
+    cases: List[_CaseParams] = [("single", 0.7, 4, 1.0, "shared")]
+    for ratio in (2.0, 5.0, 10.0):
+        cases.append(
+            ("single", 0.7, 4, 1.0, "shared", mmpp(ratio, 5.0, 15.0))
+        )
+    for burst, gap in ((1.0, 3.0), (20.0, 60.0)):
+        cases.append(
+            ("single", 0.7, 4, 1.0, "shared", mmpp(5.0, burst, gap))
+        )
+    cases.append(("linear", 0.7, 4, 1.0, "shared", mmpp(5.0, 5.0, 15.0)))
+    cases.append(("single", 0.9, 4, 1.0, "shared", mmpp(5.0, 5.0, 15.0)))
     return cases
 
 
@@ -141,6 +211,7 @@ GRIDS: Dict[str, Tuple] = {
     "smoke": (_smoke_params, 4, 8000),
     "small": (_small_params, 4, 6000),
     "full": (_full_params, 5, 10000),
+    "burst": (_burst_params, 4, 8000),
 }
 
 

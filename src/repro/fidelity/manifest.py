@@ -45,8 +45,11 @@ from repro.exceptions import ConfigurationError
 
 MANIFEST_VERSION = 1
 
-#: Override group names, in the order reports list them.
-_GROUPS = ("topology", "discipline", "scv", "rho")
+#: Override group names, in the order reports list them.  ``arrival``
+#: (keyed by arrival-model kind, baseline ``"poisson"``) lets the burst
+#: grid's deliberately-larger drift carry its own envelope without
+#: loosening the Poisson cells'.
+_GROUPS = ("topology", "discipline", "scv", "rho", "arrival")
 
 
 def _format_scv(scv: float) -> str:
@@ -84,6 +87,7 @@ class ToleranceManifest:
         discipline: str,
         scv: float,
         rho: float,
+        arrival: str = "poisson",
     ) -> float:
         """The cell's tolerance: max of default + applicable overrides."""
         entry = self.metrics.get(metric)
@@ -95,6 +99,7 @@ class ToleranceManifest:
             ("discipline", discipline),
             ("scv", _format_scv(scv)),
             ("rho", _format_scv(rho)),
+            ("arrival", arrival),
         ):
             override = entry.get(group, {}).get(value)
             if override is not None:
@@ -176,18 +181,21 @@ def generate_manifest(
     observed: Dict[str, Dict[str, Dict[str, float]]] = {}
     baseline: Dict[str, float] = {}
     for row in rows:
+        arrival = getattr(row, "arrival", "poisson")
         is_baseline = {
             "topology": row.topology == "single",
             "discipline": row.discipline == "shared",
             "scv": row.scv == 1.0,
             # Slow-mixing near-saturated cells get their own envelope.
             "rho": row.rho < 0.85,
+            "arrival": arrival == "poisson",
         }
         keys = {
             "topology": row.topology,
             "discipline": row.discipline,
             "scv": _format_scv(row.scv),
             "rho": _format_scv(row.rho),
+            "arrival": arrival,
         }
         for metric, comparison in row.metrics.items():
             error = comparison.rel_error
@@ -213,12 +221,15 @@ def generate_manifest(
 
     manifest = ToleranceManifest(metrics=metrics, description=description)
     # Coverage pass: cells non-baseline in two or more dimensions (a
-    # fanout at rho 0.95, say) contribute to no conditioned override
-    # above, so the composed max might not reach their error.  The
-    # generated manifest must cover the run that produced it — the
-    # regenerate-and-ship contract — so lift the cell's topology
-    # override (its dominant structural dimension) until it does.
+    # fanout at rho 0.95, or an MMPP cell at rho 0.9, say) contribute
+    # to no conditioned override above, so the composed max might not
+    # reach their error.  The generated manifest must cover the run
+    # that produced it — the regenerate-and-ship contract — so lift
+    # the cell's dominant override until it does: its arrival kind for
+    # non-Poisson traffic (so burst drift never loosens Poisson cells),
+    # its topology (the dominant structural dimension) otherwise.
     for row in rows:
+        arrival = getattr(row, "arrival", "poisson")
         for metric, comparison in row.metrics.items():
             error = comparison.rel_error
             if error is None or math.isinf(error) or math.isnan(error):
@@ -229,12 +240,17 @@ def generate_manifest(
                 discipline=row.discipline,
                 scv=row.scv,
                 rho=row.rho,
+                arrival=arrival,
             )
             if error > tolerance:
-                overrides = metrics[metric].setdefault("topology", {})
-                overrides[row.topology] = round(
+                if arrival != "poisson":
+                    group, key = "arrival", arrival
+                else:
+                    group, key = "topology", row.topology
+                overrides = metrics[metric].setdefault(group, {})
+                overrides[key] = round(
                     max(
-                        overrides.get(row.topology, 0.0),
+                        overrides.get(key, 0.0),
                         max(floor, error * headroom),
                     ),
                     4,

@@ -229,6 +229,61 @@ class ModulatedRateProcess(ArrivalProcess):
         return f"ModulatedRateProcess(nominal={self._nominal})"
 
 
+class SinusoidalRateProcess(ArrivalProcess):
+    """Non-homogeneous Poisson process with a sinusoidal (diurnal) rate.
+
+    ``rate(t) = base_rate * (1 + amplitude * sin(2*pi*(t - phase)/period))``
+
+    Sampled *exactly* by thinning (Lewis & Shedler): candidate arrivals
+    are drawn from a homogeneous Poisson process at the majorant rate
+    ``base_rate * (1 + amplitude)`` and accepted with probability
+    ``rate(t)/majorant``.  ``amplitude`` must stay below 1 so the rate
+    is always positive; ``mean_rate`` is ``base_rate`` (the sinusoid
+    averages out over a full period).
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        amplitude: float,
+        period: float,
+        phase: float = 0.0,
+    ):
+        self._base = check_positive("base_rate", base_rate)
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {amplitude}"
+            )
+        self._amplitude = float(amplitude)
+        self._period = check_positive("period", period)
+        self._phase = float(phase)
+        self._majorant = base_rate * (1.0 + amplitude)
+        self._omega = 2.0 * math.pi / self._period
+
+    def _rate(self, t: float) -> float:
+        return self._base * (
+            1.0 + self._amplitude * math.sin(self._omega * (t - self._phase))
+        )
+
+    def next_gap(self, now: float, rng: random.Random) -> float:
+        t = now
+        while True:
+            t += rng.expovariate(self._majorant)
+            if rng.random() * self._majorant <= self._rate(t):
+                return max(1e-12, t - now)
+
+    @property
+    def mean_rate(self) -> float:
+        return self._base
+
+    def __repr__(self) -> str:
+        return (
+            f"SinusoidalRateProcess(base={self._base},"
+            f" amplitude={self._amplitude}, period={self._period},"
+            f" phase={self._phase})"
+        )
+
+
 class PhasedArrivalProcess(ArrivalProcess):
     """Scale a base process's rate by a piecewise-constant schedule.
 
@@ -343,6 +398,29 @@ class TraceReplayProcess(ArrivalProcess):
         self._index = 0
         span = ordered[-1] - ordered[0]
         self._empirical_rate = (len(ordered) - 1) / span
+
+    @classmethod
+    def from_gaps(cls, gaps: Sequence[float]) -> "TraceReplayProcess":
+        """Build directly from inter-arrival gaps (``>= 0`` each).
+
+        Zero gaps — simultaneous events in a recorded trace — are
+        replayed as a tiny epsilon so the event loop always advances;
+        the timestamp constructor cannot express them, which is why the
+        trace layer (which tolerates duplicate timestamps) uses this.
+        """
+        gap_list = [float(g) for g in gaps]
+        if not gap_list:
+            raise ValueError("trace needs at least one gap")
+        if any(g < 0 for g in gap_list):
+            raise ValueError("gaps must be >= 0")
+        span = sum(gap_list)
+        if span <= 0:
+            raise ValueError("trace must span a positive duration")
+        process = cls.__new__(cls)
+        process._gaps = [g if g > 0 else 1e-12 for g in gap_list]
+        process._index = 0
+        process._empirical_rate = len(gap_list) / span
+        return process
 
     def next_gap(self, now: float, rng: random.Random) -> float:
         if self._index < len(self._gaps):

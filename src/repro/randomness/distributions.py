@@ -293,6 +293,25 @@ class Pareto(Distribution):
         self._alpha = alpha
         self._minimum = check_positive("minimum", minimum)
 
+    @classmethod
+    def from_mean_scv(cls, mean: float, scv: float) -> "Pareto":
+        """Fit a Pareto to a target mean and SCV.
+
+        For a Pareto with tail index ``alpha`` the SCV is
+        ``1 / (alpha * (alpha - 2))``, so ``alpha = 1 + sqrt(1 + 1/scv)``
+        (always > 2, hence both moments finite) and the minimum follows
+        from the mean.  Any ``scv > 0`` is reachable.
+
+        >>> d = Pareto.from_mean_scv(mean=2.0, scv=4.0)
+        >>> round(d.mean, 12), round(d.scv, 12)
+        (2.0, 4.0)
+        """
+        mean = check_positive("mean", mean)
+        scv = check_positive("scv", scv)
+        alpha = 1.0 + math.sqrt(1.0 + 1.0 / scv)
+        minimum = mean * (alpha - 1.0) / alpha
+        return cls(alpha=alpha, minimum=minimum)
+
     def sample(self, rng: random.Random) -> float:
         # Inverse-CDF sampling; guard against u == 0.
         u = rng.random()
@@ -448,6 +467,40 @@ class Scaled(Distribution):
         return f"Scaled({self._base!r}, factor={self._factor})"
 
 
+#: Families :func:`heavy_tailed` can fit to a (mean, SCV) target.
+HEAVY_TAILED_FAMILIES = ("lognormal", "pareto", "hyperexponential")
+
+
+def heavy_tailed(
+    mean: float, scv: float, family: str = "lognormal"
+) -> Distribution:
+    """A heavy-tailed service-time distribution with the given moments.
+
+    The workload layer threads this through service-time construction so
+    scenarios can ask for "SCV 4, Pareto tail" without naming raw
+    distribution parameters.  ``lognormal`` and ``pareto`` accept any
+    ``scv > 0``; ``hyperexponential`` (the balanced-means H2 the
+    fidelity audit uses) requires ``scv > 1``.
+
+    >>> heavy_tailed(0.5, 4.0, "pareto")
+    Pareto(alpha=2.118033988749895, minimum=0.2639320225002103)
+    >>> round(heavy_tailed(0.5, 4.0, "lognormal").scv, 9)
+    4.0
+    """
+    check_positive("mean", mean)
+    check_positive("scv", scv)
+    if family == "lognormal":
+        return LogNormal(mean=mean, scv=scv)
+    if family == "pareto":
+        return Pareto.from_mean_scv(mean=mean, scv=scv)
+    if family == "hyperexponential":
+        return HyperExponential.balanced_from_mean_scv(mean=mean, scv=scv)
+    raise ValueError(
+        f"unknown heavy-tailed family {family!r}; available:"
+        f" {HEAVY_TAILED_FAMILIES}"
+    )
+
+
 _SPEC_BUILDERS = {
     "deterministic": lambda s: Deterministic(s["value"]),
     "exponential": lambda s: (
@@ -460,7 +513,11 @@ _SPEC_BUILDERS = {
     "hyperexponential": lambda s: HyperExponential.balanced_from_mean_scv(
         s["mean"], s["scv"]
     ),
-    "pareto": lambda s: Pareto(s["alpha"], s["minimum"]),
+    "pareto": lambda s: (
+        Pareto(s["alpha"], s["minimum"])
+        if "alpha" in s
+        else Pareto.from_mean_scv(s["mean"], s["scv"])
+    ),
 }
 
 

@@ -91,7 +91,12 @@ def policy_uses_cluster(name: str) -> bool:
 
 
 def available_policies() -> Dict[str, str]:
-    """Registered policy names mapped to their one-line descriptions."""
+    """Registered policy names mapped to their one-line descriptions.
+
+    >>> sorted(available_policies())
+    ['drs.min_resource', 'drs.min_sojourn', 'none', 'static.proportional', \
+'static.random', 'static.uniform', 'threshold']
+    """
     return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
 
 

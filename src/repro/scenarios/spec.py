@@ -32,6 +32,7 @@ from repro.apps.robustness import RobustnessWorkload
 from repro.apps.synthetic import SyntheticChainWorkload
 from repro.apps.vld import VLDWorkload
 from repro.exceptions import ConfigurationError
+from repro.workloads.models import create_arrival_model
 
 #: Topology families a spec may name.  Values are dataclass factories
 #: whose keyword arguments become the spec's ``workload_params``.
@@ -91,7 +92,32 @@ class RatePhase:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One complete, serializable experiment description."""
+    """One complete, serializable experiment description.
+
+    Everything one run needs — workload, policy, load schedule,
+    protocol and statistical plan — in one JSON-round-trippable value
+    object.  Validation happens at construction, so a spec that exists
+    is runnable (up to runtime resources such as trace files).
+
+    >>> spec = ScenarioSpec.from_json('''
+    ... {"name": "demo", "workload": "synthetic", "policy": "none",
+    ...  "initial_allocation": "10:10:10", "duration": 60.0,
+    ...  "arrival_model": {"kind": "mmpp2", "burst_ratio": 4.0,
+    ...                    "mean_burst": 5.0, "mean_gap": 15.0}}
+    ... ''')
+    >>> spec.policy, spec.replications
+    ('none', 1)
+    >>> spec.arrival_model["kind"]
+    'mmpp2'
+    >>> ScenarioSpec.from_dict(spec.to_dict()) == spec   # round-trip
+    True
+    >>> ScenarioSpec.from_dict({"name": "x", "workload": "nope",
+    ...                         "policy": "none", "duration": 1.0})
+    Traceback (most recent call last):
+    ...
+    repro.exceptions.ConfigurationError: unknown workload 'nope'; \
+available: ['fidelity', 'fpd', 'robustness', 'synthetic', 'vld']
+    """
 
     name: str
     workload: str
@@ -110,6 +136,12 @@ class ScenarioSpec:
     replications: int = 1
     seed: int = 7
     rate_phases: Tuple[RatePhase, ...] = ()
+    #: Arrival-model spec (``{"kind": "mmpp2", ...}``) replacing every
+    #: spout's own process; ``None`` keeps the workload's arrivals (the
+    #: pre-workloads behaviour, so old specs run unchanged).  Validated
+    #: against the :mod:`repro.workloads` registry at construction.
+    #: Composes with ``rate_phases`` (phases wrap the model's output).
+    arrival_model: Optional[Dict[str, Any]] = None
     #: ``None`` uses the workload's own hop latency (or the VLD default).
     hop_latency: Optional[float] = None
     queue_discipline: str = "jsq"
@@ -160,6 +192,13 @@ class ScenarioSpec:
         object.__setattr__(self, "rate_phases", phases)
         object.__setattr__(self, "workload_params", dict(self.workload_params))
         object.__setattr__(self, "policy_params", dict(self.policy_params))
+        if self.arrival_model is not None:
+            # Validate the model spec now so a typo'd kind or parameter
+            # fails at spec load, not mid-replication in a worker.  A
+            # file-backed trace is *not* read here: the file must exist
+            # where the simulation runs, which may be a different host.
+            model = create_arrival_model(self.arrival_model)
+            object.__setattr__(self, "arrival_model", model.to_dict())
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -180,7 +219,24 @@ class ScenarioSpec:
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain JSON-ready mapping (round-trips via :meth:`from_dict`)."""
+        """Plain JSON-ready mapping (round-trips via :meth:`from_dict`).
+
+        ``arrival_model`` is *omitted* (not emitted as ``null``) when
+        unset: the campaign layer content-addresses this mapping, and
+        omission keeps every pre-workloads scenario's hash — and hence
+        every existing result store — valid.
+
+        >>> spec = ScenarioSpec(name="s", workload="synthetic",
+        ...                     policy="none", duration=10.0)
+        >>> "arrival_model" in spec.to_dict()
+        False
+        """
+        payload = self._base_dict()
+        if self.arrival_model is not None:
+            payload["arrival_model"] = dict(self.arrival_model)
+        return payload
+
+    def _base_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
             "workload": self.workload,

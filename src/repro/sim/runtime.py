@@ -60,7 +60,10 @@ from bisect import bisect_left
 from math import log as _log
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # runtime import stays lazy: workloads sits above sim
+    from repro.workloads.models import ArrivalModel
 
 from repro.config import MeasurementConfig
 from repro.exceptions import SchedulingError, SimulationError
@@ -113,6 +116,14 @@ class RuntimeOptions:
     #: ``((start_time, rate_multiplier), ...)``.  ``None`` leaves the
     #: workload's own arrival processes untouched.
     arrival_rate_phases: Optional[Tuple[Tuple[float, float], ...]] = None
+    #: Arrival model *replacing* each spout's own process — any object
+    #: with ``build(base_process) -> ArrivalProcess`` (in practice a
+    #: :class:`~repro.workloads.models.ArrivalModel`; the dependency is
+    #: duck-typed because workloads sits above sim in the layering).
+    #: The model receives the spout's nominal process (for its mean
+    #: rate) and builds a fresh process per spout.  Composes with
+    #: ``arrival_rate_phases``: phases wrap the model's output.
+    arrival_model: Optional["ArrivalModel"] = None
 
     def __post_init__(self):
         if self.queue_discipline not in ("jsq", "hashed", "shared"):
@@ -133,6 +144,18 @@ class RuntimeOptions:
                 )
             except ValueError as exc:
                 raise SimulationError(f"bad arrival_rate_phases: {exc}") from None
+        if self.arrival_model is not None and not callable(
+            getattr(self.arrival_model, "build", None)
+        ):
+            # Duck-typed on purpose: repro.workloads sits *above* the
+            # simulator in the layer diagram, so this module must not
+            # import it.  The scenario runner turns plain-dict specs
+            # into ArrivalModel objects before they reach here.
+            raise SimulationError(
+                "arrival_model must provide a build(base_process) method"
+                " (e.g. a repro.workloads ArrivalModel); got"
+                f" {self.arrival_model!r}"
+            )
 
 
 @dataclass
@@ -343,11 +366,16 @@ class TopologyRuntime:
         # Arrival processes can be stateful (rate-modulated, MMPP, trace
         # replay); deep-copy them so several runtimes can share one
         # Topology object without leaking clock state across runs.  An
-        # ``arrival_rate_phases`` schedule wraps each copy so scenario
-        # specs can modulate the external load without a custom workload.
+        # ``arrival_model`` replaces each spout's process (the model
+        # reads the nominal mean rate and builds a fresh process per
+        # spout); an ``arrival_rate_phases`` schedule then wraps the
+        # result, so specs can modulate load without a custom workload.
         self._arrival_processes = {}
         for name, spout in topology.spouts.items():
-            process = copy.deepcopy(spout.arrivals)
+            if self._options.arrival_model is not None:
+                process = self._options.arrival_model.build(spout.arrivals)
+            else:
+                process = copy.deepcopy(spout.arrivals)
             if self._options.arrival_rate_phases is not None:
                 process = PhasedArrivalProcess(
                     process, self._options.arrival_rate_phases

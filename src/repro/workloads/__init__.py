@@ -1,0 +1,47 @@
+"""Workload models: arrival processes and traces as scenario objects.
+
+This package makes *how load arrives* a first-class, declarative part
+of a scenario, the way :mod:`repro.scenarios` made *what runs* and
+*what decides* declarative:
+
+- :mod:`repro.workloads.models` — the :class:`ArrivalModel` protocol
+  and its string-keyed registry (``poisson``, ``phased``, ``mmpp2``,
+  ``diurnal``, ``trace``), mirroring the scheduling-policy registry;
+- :mod:`repro.workloads.trace` — parsing timestamped CSV/NDJSON event
+  files into :class:`Trace` objects with deterministic replay, loop
+  and bootstrap-resampling modes.
+
+A scenario opts in with one JSON field (``"arrival_model": {"kind":
+"mmpp2", ...}``); campaigns sweep model parameters as ordinary axes;
+the ``burst`` fidelity grid measures how far the Poisson-based analytic
+model drifts under the traffic these models generate.
+"""
+
+from repro.workloads.models import (
+    ArrivalModel,
+    DiurnalModel,
+    MMPP2Model,
+    PhasedModel,
+    PoissonModel,
+    TraceModel,
+    available_arrival_models,
+    create_arrival_model,
+    register_arrival_model,
+)
+from repro.workloads.trace import TRACE_MODES, Trace, parse_csv, parse_ndjson
+
+__all__ = [
+    "ArrivalModel",
+    "DiurnalModel",
+    "MMPP2Model",
+    "PhasedModel",
+    "PoissonModel",
+    "TRACE_MODES",
+    "Trace",
+    "TraceModel",
+    "available_arrival_models",
+    "create_arrival_model",
+    "parse_csv",
+    "parse_ndjson",
+    "register_arrival_model",
+]

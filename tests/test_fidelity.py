@@ -136,7 +136,7 @@ class TestAnalytic:
 # ----------------------------------------------------------------------
 class TestGrids:
     def test_known_grids(self):
-        assert set(GRIDS) == {"smoke", "small", "full"}
+        assert set(GRIDS) == {"smoke", "small", "full", "burst"}
 
     @pytest.mark.parametrize("grid", ["smoke", "small"])
     def test_cases_expand_to_valid_campaign(self, grid):

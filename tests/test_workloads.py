@@ -1,0 +1,536 @@
+"""Tests for the repro.workloads subsystem: arrival models, the trace
+layer, and their end-to-end integration with scenarios, campaigns and
+the fidelity audit."""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.randomness.arrival import PoissonProcess, SinusoidalRateProcess
+from repro.randomness.distributions import Pareto, heavy_tailed
+from repro.scenarios.runner import run_replication, summarize_replications
+from repro.scenarios.spec import ScenarioSpec
+from repro.workloads import (
+    MMPP2Model,
+    Trace,
+    TraceModel,
+    available_arrival_models,
+    create_arrival_model,
+    parse_csv,
+    parse_ndjson,
+    register_arrival_model,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "workloads_scenarios.json"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_registered(self):
+        models = available_arrival_models()
+        for kind in ("poisson", "phased", "mmpp2", "diurnal", "trace"):
+            assert kind in models
+            assert models[kind]  # non-empty description
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown arrival model"):
+            create_arrival_model({"kind": "fractal"})
+
+    def test_missing_kind(self):
+        with pytest.raises(ConfigurationError, match="'kind'"):
+            create_arrival_model({"burst_ratio": 2.0})
+
+    def test_leftover_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown parameters"):
+            create_arrival_model({"kind": "poisson", "burstiness": 3})
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_arrival_model("poisson", "dup")(lambda params: None)
+
+    def test_round_trip_canonicalises(self):
+        spec = {"kind": "mmpp2", "burst_ratio": 4, "mean_burst": 5,
+                "mean_gap": 15}
+        model = create_arrival_model(spec)
+        again = create_arrival_model(model.to_dict())
+        assert again.to_dict() == model.to_dict()
+        assert model.to_dict()["rate_multiplier"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# built-in models
+# ----------------------------------------------------------------------
+class TestModels:
+    def test_poisson_multiplier(self):
+        model = create_arrival_model({"kind": "poisson", "rate_multiplier": 2.5})
+        process = model.build(PoissonProcess(4.0))
+        assert process.mean_rate == pytest.approx(10.0)
+
+    def test_mmpp2_preserves_mean_rate(self):
+        model = MMPP2Model(burst_ratio=8.0, mean_burst=5.0, mean_gap=20.0)
+        low, high = model.rates_for(10.0)
+        p = model.burst_fraction
+        assert high == pytest.approx(8.0 * low)
+        assert p * high + (1 - p) * low == pytest.approx(10.0)
+        assert model.build(PoissonProcess(10.0)).mean_rate == pytest.approx(10.0)
+
+    def test_mmpp2_ratio_must_exceed_one(self):
+        with pytest.raises(ConfigurationError, match="burst_ratio"):
+            MMPP2Model(burst_ratio=1.0, mean_burst=5.0, mean_gap=20.0)
+
+    def test_mmpp2_requires_all_parameters(self):
+        with pytest.raises(ConfigurationError, match="mean_gap"):
+            create_arrival_model(
+                {"kind": "mmpp2", "burst_ratio": 4.0, "mean_burst": 5.0}
+            )
+
+    def test_diurnal_amplitude_bounds(self):
+        with pytest.raises(ConfigurationError, match="amplitude"):
+            create_arrival_model(
+                {"kind": "diurnal", "amplitude": 1.0, "period": 60.0}
+            )
+
+    def test_diurnal_empirical_rate_matches_nominal(self):
+        model = create_arrival_model(
+            {"kind": "diurnal", "amplitude": 0.8, "period": 10.0}
+        )
+        process = model.build(PoissonProcess(50.0))
+        rng = random.Random(7)
+        now, count = 0.0, 0
+        while now < 200.0:  # 20 full periods: the sinusoid averages out
+            now += process.next_gap(now, rng)
+            count += 1
+        assert count / 200.0 == pytest.approx(50.0, rel=0.05)
+
+    def test_sinusoidal_rate_validation(self):
+        with pytest.raises(ValueError):
+            SinusoidalRateProcess(base_rate=1.0, amplitude=1.2, period=10.0)
+
+    def test_phased_model_matches_rate_phases_schedule(self):
+        model = create_arrival_model(
+            {"kind": "phased",
+             "phases": [{"start": 10.0, "rate_multiplier": 3.0}]}
+        )
+        process = model.build(PoissonProcess(5.0))
+        assert process.mean_rate == pytest.approx(5.0)  # multiplier at t=0
+
+    def test_phased_rejects_bad_schedule(self):
+        with pytest.raises(ConfigurationError):
+            create_arrival_model(
+                {"kind": "phased",
+                 "phases": [{"start": 10.0, "rate_multiplier": 1.0},
+                            {"start": 5.0, "rate_multiplier": 2.0}]}
+            )
+
+    def test_trace_model_exclusive_source(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            TraceModel(path="x.csv", timestamps=(0.0, 1.0))
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            TraceModel()
+
+    def test_trace_model_bad_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            TraceModel(timestamps=(0.0, 1.0), mode="reverse")
+
+    def test_trace_model_inline_validated_eagerly(self):
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            create_arrival_model({"kind": "trace", "timestamps": [1.0]})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), "fast", None])
+    def test_non_finite_and_non_numeric_parameters_fail_at_load(self, bad):
+        """JSON accepts NaN and strings; both must die as spec-level
+        ConfigurationErrors, never as a bare ValueError traceback or —
+        worse — a NaN that passes comparison guards and hangs the
+        thinning loop mid-replication in a worker."""
+        specs = [
+            {"kind": "mmpp2", "burst_ratio": bad, "mean_burst": 5.0,
+             "mean_gap": 20.0},
+            {"kind": "mmpp2", "burst_ratio": 4.0, "mean_burst": bad,
+             "mean_gap": 20.0},
+            {"kind": "diurnal", "amplitude": 0.5, "period": 60.0,
+             "phase": bad},
+            {"kind": "diurnal", "amplitude": bad, "period": 60.0},
+            {"kind": "phased", "phases": [{"start": bad,
+                                           "rate_multiplier": 2.0}]},
+            {"kind": "phased", "phases": [{"start": 0.0,
+                                           "rate_multiplier": bad}]},
+            {"kind": "poisson", "rate_multiplier": bad},
+            {"kind": "trace", "timestamps": [0.0, bad, 2.0]},
+        ]
+        for spec in specs:
+            with pytest.raises(ConfigurationError):
+                create_arrival_model(spec)
+
+    def test_trace_model_parses_file_once(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("timestamp\n0.0\n1.0\n2.5\n")
+        model = create_arrival_model({"kind": "trace", "path": str(path)})
+        first = model.load_trace()
+        path.unlink()  # a re-read would now fail loudly
+        assert model.load_trace() is first
+        rng = random.Random(0)
+        process = model.build(PoissonProcess(1.0))
+        assert process.next_gap(0.0, rng) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# trace parsing edge cases
+# ----------------------------------------------------------------------
+class TestTraceParsing:
+    def test_empty_csv(self):
+        with pytest.raises(ConfigurationError, match="no events"):
+            parse_csv("")
+
+    def test_header_only_csv(self):
+        with pytest.raises(ConfigurationError, match="no events"):
+            parse_csv("timestamp\n")
+
+    def test_single_event_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            parse_csv("0.5\n")
+
+    def test_all_duplicate_timestamps_rejected(self):
+        with pytest.raises(ConfigurationError, match="spans no time"):
+            parse_csv("1.0\n1.0\n1.0\n")
+
+    def test_unsorted_timestamps_are_sorted(self):
+        trace = parse_csv("3.0\n1.0\n2.0\n")
+        assert trace.timestamps == (1.0, 2.0, 3.0)
+
+    def test_duplicate_timestamps_kept(self):
+        trace = parse_csv("0.0\n1.0\n1.0\n2.0\n")
+        assert trace.gaps() == [1.0, 0.0, 1.0]
+        # Replay nudges the zero gap so the event loop always advances.
+        process = trace.build_process("replay")
+        rng = random.Random(0)
+        gaps = [process.next_gap(0.0, rng) for _ in range(3)]
+        assert all(g > 0 for g in gaps)
+
+    def test_malformed_line_reports_number(self):
+        with pytest.raises(ConfigurationError, match="line 3"):
+            parse_csv("0.0\n1.0\nbanana\n")
+
+    def test_named_column(self):
+        trace = parse_csv("size,timestamp\n9,0.5\n3,1.5\n")
+        assert trace.timestamps == (0.5, 1.5)
+
+    def test_missing_column_reports_line(self):
+        with pytest.raises(ConfigurationError, match="line 3"):
+            parse_csv("size,timestamp\n9,0.5\n3\n")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite and >= 0"):
+            parse_csv("-1.0\n2.0\n")
+
+    def test_ndjson_objects_and_numbers(self):
+        trace = parse_ndjson('{"time": 1.0}\n2.5\n{"t": 0.25}\n')
+        assert trace.timestamps == (0.25, 1.0, 2.5)
+
+    def test_ndjson_malformed_json(self):
+        with pytest.raises(ConfigurationError, match="line 2"):
+            parse_ndjson('{"t": 1.0}\n{oops\n')
+
+    def test_ndjson_missing_time_key(self):
+        with pytest.raises(ConfigurationError, match="no timestamp field"):
+            parse_ndjson('{"t": 1.0}\n{"user": 3}\n')
+
+    def test_ndjson_non_numeric_time(self):
+        with pytest.raises(ConfigurationError, match="non-numeric"):
+            parse_ndjson('{"t": 1.0}\n{"t": "noon"}\n')
+
+    def test_load_dispatches_on_extension(self, tmp_path):
+        csv_file = tmp_path / "a.csv"
+        csv_file.write_text("timestamp\n0.0\n1.0\n")
+        assert Trace.load(csv_file).timestamps == (0.0, 1.0)
+        nd = tmp_path / "a.jsonl"
+        nd.write_text('{"t": 0.0}\n{"t": 4.0}\n')
+        assert Trace.load(nd).empirical_rate == pytest.approx(0.25)
+        with pytest.raises(ConfigurationError, match="unknown trace format"):
+            Trace.load(tmp_path / "a.parquet")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            Trace.load(tmp_path / "nope.csv")
+
+    def test_time_scaling(self):
+        trace = parse_csv("0.0\n1.0\n2.0\n").scaled(2.0)
+        assert trace.empirical_rate == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            trace.scaled(0.0)
+
+    def test_loop_mode_cycles(self):
+        trace = parse_csv("0.0\n1.0\n3.0\n")
+        process = trace.build_process("loop")
+        rng = random.Random(0)
+        gaps = [process.next_gap(0.0, rng) for _ in range(5)]
+        assert gaps == [1.0, 2.0, 1.0, 2.0, 1.0]
+        assert process.mean_rate == pytest.approx(trace.empirical_rate)
+
+    def test_bootstrap_mode_resamples_from_gap_distribution(self):
+        trace = parse_csv("0.0\n1.0\n3.0\n")
+        process = trace.build_process("bootstrap")
+        rng = random.Random(1)
+        draws = {process.next_gap(0.0, rng) for _ in range(50)}
+        assert draws <= {1.0, 2.0}
+        assert len(draws) == 2
+
+
+# ----------------------------------------------------------------------
+# heavy-tailed service distributions
+# ----------------------------------------------------------------------
+class TestHeavyTails:
+    def test_pareto_from_mean_scv_fit(self):
+        for mean, scv in ((0.5, 1.5), (2.0, 4.0), (1.0, 0.5)):
+            fitted = Pareto.from_mean_scv(mean, scv)
+            assert fitted.mean == pytest.approx(mean)
+            assert fitted.scv == pytest.approx(scv)
+
+    def test_family_dispatch(self):
+        assert heavy_tailed(1.0, 2.0, "pareto").scv == pytest.approx(2.0)
+        assert heavy_tailed(1.0, 2.0, "lognormal").mean == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="unknown heavy-tailed family"):
+            heavy_tailed(1.0, 2.0, "cauchy")
+
+    def test_vld_pareto_family_builds(self):
+        from repro.apps.vld import VLDWorkload
+
+        topology = VLDWorkload(service_family="pareto").build()
+        sift = topology.operator("sift").service_time
+        assert isinstance(sift, Pareto)
+        base = VLDWorkload().build().operator("sift").service_time
+        assert sift.mean == pytest.approx(base.mean)
+        with pytest.raises(ValueError, match="service family"):
+            VLDWorkload(service_family="weibull")
+
+    def test_fidelity_workload_family(self):
+        from repro.apps.fidelity import FidelityWorkload, service_distribution
+
+        dist = service_distribution(2.0, 4.0, "pareto")
+        assert isinstance(dist, Pareto)
+        assert dist.mean == pytest.approx(0.5)
+        workload = FidelityWorkload(scv=4.0, service_family="pareto")
+        operator = workload.build().operator("op")
+        assert isinstance(operator.service_time, Pareto)
+        with pytest.raises(ValueError, match="service family"):
+            FidelityWorkload(service_family="weibull")
+
+
+# ----------------------------------------------------------------------
+# scenario integration
+# ----------------------------------------------------------------------
+def _mmpp_spec(**overrides):
+    raw = {
+        "name": "wl-mmpp",
+        "workload": "synthetic",
+        "workload_params": {
+            "total_cpu": 1.05, "arrival_rate": 20.0, "hop_latency": 0.004,
+        },
+        "policy": "none",
+        "initial_allocation": "10:10:10",
+        "arrival_model": {
+            "kind": "mmpp2", "burst_ratio": 6.0,
+            "mean_burst": 3.0, "mean_gap": 9.0,
+        },
+        "duration": 40.0,
+        "warmup": 5.0,
+        "replications": 2,
+        "seed": 23,
+    }
+    raw.update(overrides)
+    return ScenarioSpec.from_dict(raw)
+
+
+def _trace_spec():
+    return _mmpp_spec(
+        name="wl-trace",
+        arrival_model={
+            "kind": "trace",
+            "timestamps": [0.0, 0.2, 0.21, 0.4, 1.0, 1.05, 1.3,
+                           2.0, 2.4, 2.45, 3.1, 3.9],
+            "mode": "bootstrap",
+            "time_scale": 0.2,
+        },
+    )
+
+
+class TestScenarioIntegration:
+    def test_spec_round_trips_through_json(self):
+        spec = _mmpp_spec()
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.arrival_model["kind"] == "mmpp2"
+
+    def test_to_dict_omits_unset_model(self):
+        spec = ScenarioSpec(
+            name="plain", workload="synthetic", policy="none", duration=10.0
+        )
+        assert "arrival_model" not in spec.to_dict()
+
+    def test_bad_model_fails_at_spec_load(self):
+        with pytest.raises(ConfigurationError, match="unknown arrival model"):
+            _mmpp_spec(arrival_model={"kind": "fractal"})
+        with pytest.raises(ConfigurationError, match="burst_ratio"):
+            _mmpp_spec(arrival_model={"kind": "mmpp2", "burst_ratio": 0.5,
+                                      "mean_burst": 1.0, "mean_gap": 1.0})
+
+    def test_mmpp_deterministic_per_seed(self):
+        """Same spec, same index => bit-identical; other index differs."""
+        first = run_replication(_mmpp_spec(), 0)
+        second = run_replication(_mmpp_spec(), 0)
+        assert first == second
+        other = run_replication(_mmpp_spec(), 1)
+        assert other.seed != first.seed
+        assert other.external_tuples != first.external_tuples
+
+    def test_trace_bootstrap_varies_by_replication_deterministically(self):
+        spec = _trace_spec()
+        reps = [run_replication(spec, index) for index in range(2)]
+        again = [run_replication(spec, index) for index in range(2)]
+        assert reps == again
+        assert reps[0].external_tuples != reps[1].external_tuples
+
+    def test_model_composes_with_rate_phases(self):
+        spec = _mmpp_spec(
+            rate_phases=[{"start": 20.0, "rate_multiplier": 0.25}]
+        )
+        calm = run_replication(spec, 0)
+        plain = run_replication(_mmpp_spec(), 0)
+        assert calm.external_tuples < plain.external_tuples
+
+    def test_golden_pinned_summaries(self):
+        """The acceptance gate: mmpp2 and trace scenarios reproduce the
+        committed per-replication results bit-for-bit."""
+        golden = json.loads(GOLDEN.read_text())
+        for name, spec in (("mmpp2", _mmpp_spec()), ("trace", _trace_spec())):
+            summary = summarize_replications(
+                spec, [run_replication(spec, i) for i in range(spec.replications)]
+            )
+            observed = {
+                "mean_sojourn": summary.mean_sojourn,
+                "replications": [
+                    {
+                        "seed": r.seed,
+                        "external_tuples": r.external_tuples,
+                        "completed_trees": r.completed_trees,
+                        "mean_sojourn": r.mean_sojourn,
+                        "p95_sojourn": r.p95_sojourn,
+                    }
+                    for r in summary.replications
+                ],
+            }
+            assert observed == golden[name], f"{name} drifted from golden"
+
+
+# ----------------------------------------------------------------------
+# campaign + fidelity integration
+# ----------------------------------------------------------------------
+class TestCampaignIntegration:
+    def test_arrival_model_as_campaign_axis(self, tmp_path):
+        from repro.campaigns.runner import CampaignRunner
+        from repro.campaigns.spec import CampaignSpec
+        from repro.campaigns.store import ResultStore
+
+        base = _mmpp_spec(replications=1, duration=20.0).to_dict()
+        base.pop("name")
+        campaign = CampaignSpec(
+            name="burst",
+            base=base,
+            axes=(
+                {"name": "burst", "field": "arrival_model.burst_ratio",
+                 "values": [2.0, 6.0]},
+            ),
+        )
+        cells = campaign.expand()
+        assert [c.spec.arrival_model["burst_ratio"] for c in cells] == [2.0, 6.0]
+        assert cells[0].spec_hash != cells[1].spec_hash
+
+        store = ResultStore(tmp_path / "store")
+        first = CampaignRunner(store, max_workers=1).run(campaign)
+        assert (first.computed, first.reused) == (2, 0)
+        second = CampaignRunner(store, max_workers=1).run(campaign)
+        assert (second.computed, second.reused) == (0, 2)
+        assert [c.summary.mean_sojourn for c in second.cells] == [
+            c.summary.mean_sojourn for c in first.cells
+        ]
+
+    def test_burst_grid_expands_and_labels(self):
+        from repro.fidelity.cases import fidelity_campaign, grid_cases
+
+        cases = grid_cases("burst")
+        assert any(c.arrival_model is None for c in cases)
+        mmpp = [c for c in cases if c.arrival_model is not None]
+        assert mmpp and all(c.arrival_model["kind"] == "mmpp2" for c in mmpp)
+        assert any("mmpp" in c.label for c in mmpp)
+        campaign = fidelity_campaign("burst")
+        specs = [cell.spec for cell in campaign.expand()]
+        assert any(s.arrival_model is not None for s in specs)
+
+    def test_manifest_arrival_override(self):
+        from repro.fidelity.manifest import ToleranceManifest
+
+        manifest = ToleranceManifest(
+            metrics={"mean_sojourn": {"default": 0.05,
+                                      "arrival": {"mmpp2": 20.0}}}
+        )
+        poisson = manifest.tolerance_for(
+            "mean_sojourn", topology="single", discipline="shared",
+            scv=1.0, rho=0.7,
+        )
+        bursty = manifest.tolerance_for(
+            "mean_sojourn", topology="single", discipline="shared",
+            scv=1.0, rho=0.7, arrival="mmpp2",
+        )
+        assert poisson == pytest.approx(0.05)
+        assert bursty == pytest.approx(20.0)
+
+    def test_generate_manifest_routes_burst_drift_to_arrival(self):
+        from repro.fidelity.audit import FidelityRow, MetricComparison
+        from repro.fidelity.analytic import AnalyticPrediction
+        from repro.fidelity.manifest import generate_manifest
+
+        def row(arrival, error, rho=0.7):
+            return FidelityRow(
+                label=f"cell-{arrival}", topology="single", rho=rho,
+                servers=4, scv=1.0, discipline="shared", replications=4,
+                prediction=AnalyticPrediction(
+                    mean_sojourn=1.0, waiting_time=0.5, p95_sojourn=2.0,
+                    mean_sojourn_mmk=1.0, service_time=0.5, utilisation=0.7,
+                ),
+                metrics={"mean_sojourn": MetricComparison(
+                    model=1.0, simulated=1.0 + error, ci_half_width=0.01,
+                    rel_error=error, ci_rel=0.01, within_noise=False,
+                )},
+                arrival=arrival,
+            )
+
+        manifest = generate_manifest(
+            [row("poisson", 0.03), row("mmpp2", 5.0, rho=0.9)]
+        )
+        entry = manifest.metrics["mean_sojourn"]
+        # The huge MMPP drift must land in the arrival override, never
+        # in the Poisson cells' default or topology envelope.
+        assert entry["default"] < 0.1
+        assert entry["arrival"]["mmpp2"] >= 5.0
+        assert "topology" not in entry or "single" not in entry.get(
+            "topology", {}
+        )
+
+    def test_fidelity_audit_tags_arrival(self, tmp_path):
+        from repro.fidelity.audit import run_audit
+        from repro.fidelity.cases import build_case, fidelity_campaign
+
+        cases = [
+            build_case("single", 0.5, 1, 1.0, "shared",
+                       {"kind": "mmpp2", "burst_ratio": 4.0,
+                        "mean_burst": 1.0, "mean_gap": 3.0},
+                       replications=2, target_tuples=200),
+        ]
+        campaign = fidelity_campaign("burst", cases=cases)
+        audit = run_audit("burst", campaign=campaign, max_workers=1)
+        assert audit.rows[0].arrival == "mmpp2"
+        assert audit.rows[0].to_dict()["arrival"] == "mmpp2"
