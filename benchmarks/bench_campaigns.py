@@ -10,6 +10,7 @@ records/second figures.
 import time
 
 from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.segstore import SegmentedResultStore, compact_store
 from repro.campaigns.spec import CampaignSpec, scenario_hash
 from repro.campaigns.store import ResultStore
 from repro.scenarios.runner import ReplicationResult, replication_seed
@@ -127,6 +128,57 @@ def test_store_write_read_and_resume_plan(benchmark, tmp_path):
         f" read {len(cells) / read_s:.0f} rec/s |"
         f" resume plan {plan_s * 1000:.1f} ms"
         f" ({len(cells) / plan_s:.0f} cells/s)"
+    )
+
+
+def test_segmented_store_write_read_and_compact(benchmark, tmp_path):
+    """The segmented backend vs the classic per-file layout.
+
+    Appending NDJSON lines must beat one atomic-rename file per record,
+    and compacting a classic store must be a linear pass — both are
+    metadata operations that may not rival simulation time.
+    """
+    campaign = big_campaign(6)  # 216 cells
+    cells = campaign.expand()
+
+    seg_store = SegmentedResultStore(tmp_path / "seg", segment="bench")
+    started = time.perf_counter()
+    for cell in cells:
+        digest = cell.spec_hash
+        seed = replication_seed(cell.spec.seed, 0)
+        seg_store.put(cell.spec, digest, seed, make_result(seed=seed))
+    write_s = time.perf_counter() - started
+    seg_store.close()
+
+    started = time.perf_counter()
+    reader = SegmentedResultStore(tmp_path / "seg", segment="reader")
+    loaded = sum(
+        1
+        for cell in cells
+        if reader.load(cell.spec_hash, replication_seed(cell.spec.seed, 0))
+        is not None
+    )
+    read_s = time.perf_counter() - started
+    assert loaded == len(cells)
+
+    classic = ResultStore(tmp_path / "classic")
+    for cell in cells:
+        digest = cell.spec_hash
+        seed = replication_seed(cell.spec.seed, 0)
+        classic.put(cell.spec, digest, seed, make_result(seed=seed))
+
+    def compact():
+        return compact_store(tmp_path / "classic")
+
+    stats = benchmark.pedantic(compact, rounds=1, iterations=1)
+    assert stats["migrated"] == len(cells)
+    compact_s = benchmark.stats.stats.mean
+    print()
+    print(
+        f"segmented store: {len(cells)} records |"
+        f" write {len(cells) / write_s:.0f} rec/s |"
+        f" scan+read {len(cells) / read_s:.0f} rec/s |"
+        f" compact {len(cells) / compact_s:.0f} rec/s"
     )
 
 

@@ -14,9 +14,12 @@ into grid-cell summaries without holding full results in memory.
 from repro.campaigns.aggregate import CampaignAggregator, CellAggregate
 from repro.campaigns.runner import (
     CampaignCellResult,
+    CampaignPlan,
     CampaignResult,
     CampaignRunner,
 )
+from repro.campaigns.segstore import SegmentedResultStore, compact_store
+from repro.campaigns.shard import ShardedCampaignRunner
 from repro.campaigns.spec import (
     AxisPoint,
     CampaignAxis,
@@ -32,10 +35,14 @@ __all__ = [
     "CampaignAxis",
     "CampaignCell",
     "CampaignCellResult",
+    "CampaignPlan",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
     "CellAggregate",
     "ResultStore",
+    "SegmentedResultStore",
+    "ShardedCampaignRunner",
+    "compact_store",
     "scenario_hash",
 ]

@@ -45,12 +45,28 @@ def _run_job(job: _Job) -> ReplicationResult:
     return run_replication(spec, index)
 
 
+#: Rough serialized size of one stored replication record.  Observed
+#: classic-layout records run 2–6 KiB depending on topology width and
+#: timeline length; the estimate is for sanity-checking a sweep's disk
+#: cost before launching shards, not for accounting.
+ESTIMATED_RECORD_BYTES = 4096
+
+
 @dataclass(frozen=True)
 class CampaignPlan:
-    """What a run would do: which jobs are cached, which must compute."""
+    """What a run would do: which jobs are cached, which must compute.
+
+    ``axes`` lists ``(axis_name, point_count)`` pairs and ``cells`` the
+    expanded grid size, so a dry run shows the sweep's shape; the store
+    estimate sizes the *uncached* work at
+    :data:`ESTIMATED_RECORD_BYTES` per job.
+    """
 
     total: int
     cached: int
+    axes: Tuple[Tuple[str, int], ...] = ()
+    cells: int = 0
+    estimated_store_bytes: int = 0
 
     @property
     def to_compute(self) -> int:
@@ -162,7 +178,16 @@ class CampaignRunner:
                 if self._store.load_record(spec_hash, seed) is not None:
                     cached += 1
         overhead = len(cells) - len(_simulation_cells(cells))
-        return CampaignPlan(total=len(keys) + overhead, cached=cached)
+        total = len(keys) + overhead
+        return CampaignPlan(
+            total=total,
+            cached=cached,
+            axes=tuple(
+                (axis.name, len(axis.values)) for axis in campaign.axes
+            ),
+            cells=len(cells),
+            estimated_store_bytes=(total - cached) * ESTIMATED_RECORD_BYTES,
+        )
 
     # ------------------------------------------------------------------
     # execution

@@ -135,16 +135,58 @@ def _load_campaign(path_text: str) -> CampaignSpec:
     return CampaignSpec.from_json(path.read_text())
 
 
+def _open_store(path_text: str) -> ResultStore:
+    """Open a result store, sniffing its layout: stores that have been
+    compacted (or written by shard workers) get the segment-aware
+    reader, everything else the classic per-file one."""
+    root = Path(path_text)
+    if (root / "segments").is_dir():
+        from repro.campaigns.segstore import SegmentedResultStore
+
+        return SegmentedResultStore(root)
+    return ResultStore(root)
+
+
 def _run_campaign(args) -> str:
     campaign = _load_campaign(args.spec)
-    store = ResultStore(args.store) if args.store else None
-    runner = CampaignRunner(store, max_workers=args.workers)
-    if args.dry_run:
-        return report.render_campaign_plan(campaign.name, runner.plan(campaign))
-    result = runner.run(campaign)
+    if args.shards is not None:
+        if not args.store:
+            raise SystemExit("--shards requires --store (per-worker segments)")
+        if args.shards < 1:
+            raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+        from repro.campaigns.segstore import SegmentedResultStore
+        from repro.campaigns.shard import ShardedCampaignRunner
+
+        store = SegmentedResultStore(args.store, segment="coordinator")
+        if args.dry_run:
+            plan = CampaignRunner(store).plan(campaign)
+            return report.render_campaign_plan(campaign.name, plan)
+        result = ShardedCampaignRunner(store, shards=args.shards).run(campaign)
+    else:
+        store = _open_store(args.store) if args.store else None
+        runner = CampaignRunner(store, max_workers=args.workers)
+        if args.dry_run:
+            return report.render_campaign_plan(
+                campaign.name, runner.plan(campaign)
+            )
+        result = runner.run(campaign)
     if args.json:
         return json.dumps(result.to_dict(), indent=2, sort_keys=True)
     return report.render_campaign(result)
+
+
+def _store_compact(args) -> str:
+    from repro.campaigns.segstore import compact_store
+
+    store_dir = Path(args.store)
+    if not store_dir.is_dir():
+        raise SystemExit(f"result store not found: {store_dir}")
+    stats = compact_store(store_dir)
+    return (
+        f"Compacted store {store_dir}: {stats['migrated']} records migrated"
+        f" into segments, {stats['skipped']} unreadable skipped,"
+        f" {stats['removed_files']} files removed"
+    )
 
 
 def _campaign_report(args) -> str:
@@ -154,7 +196,7 @@ def _campaign_report(args) -> str:
     # an empty store and report every replication missing.
     if not store_dir.is_dir():
         raise SystemExit(f"result store not found: {store_dir}")
-    aggregator = aggregate_from_store(campaign, ResultStore(store_dir))
+    aggregator = aggregate_from_store(campaign, _open_store(str(store_dir)))
     if args.json:
         return json.dumps(aggregator.to_dict(), indent=2, sort_keys=True)
     return report.render_campaign_aggregate(aggregator)
@@ -373,9 +415,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="report how many replications the store already holds",
     )
     pc.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run through the work-stealing sharded executor with this"
+        " many worker processes (requires --store; results land in"
+        " compacted per-worker segments)",
+    )
+    pc.add_argument(
         "--json", action="store_true", help="print the campaign result as JSON"
     )
     pc.set_defaults(handler=_run_campaign)
+
+    psc = sub.add_parser(
+        "store-compact",
+        help="convert a per-file result store into compacted segments",
+        description=(
+            "Migrate every readable per-replication JSON file of a"
+            " classic result store into append-only NDJSON segments"
+            " (one line per record), then delete the absorbed files."
+            "  Reads understand both layouts, so compacting is safe at"
+            " any point between campaign runs."
+        ),
+        epilog="example: repro store-compact runs/",
+    )
+    psc.add_argument("store", help="result-store directory to compact")
+    psc.set_defaults(handler=_store_compact)
 
     pr = sub.add_parser(
         "campaign-report",

@@ -214,11 +214,22 @@ def render_campaign(result: CampaignResult) -> str:
 
 
 def render_campaign_plan(name: str, plan: CampaignPlan) -> str:
-    """A dry-run: how much of the campaign the store already holds."""
-    return (
+    """A dry-run: the sweep's shape, cache state and store cost."""
+    lines = [
         f"Campaign {name}: {plan.total} replications total,"
         f" {plan.cached} cached, {plan.to_compute} to compute"
-    )
+    ]
+    if plan.axes:
+        shape = " x ".join(f"{n}({name})" for name, n in plan.axes)
+        lines.append(f"  grid: {shape} = {plan.cells} cells")
+    if plan.estimated_store_bytes:
+        size = plan.estimated_store_bytes
+        if size >= 1 << 20:
+            human = f"{size / (1 << 20):.1f} MiB"
+        else:
+            human = f"{size / 1024:.1f} KiB"
+        lines.append(f"  estimated new store size: ~{human}")
+    return "\n".join(lines)
 
 
 def render_campaign_aggregate(aggregator: CampaignAggregator) -> str:

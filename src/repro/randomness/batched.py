@@ -1,0 +1,241 @@
+"""Block-batched random draws that replay the scalar stream exactly.
+
+Two layers with two different contracts:
+
+- :class:`BatchedDraws` — a drop-in for the ``random.Random`` methods
+  the simulator's consumers use (``random``, ``expovariate``,
+  ``uniform``, ``paretovariate``), backed by numpy block generation.
+  Its contract is **bit-exactness**: the sequence of values returned is
+  identical to calling the same methods on the wrapped ``random.Random``
+  directly.  This works because CPython's ``random()`` and numpy's
+  ``RandomState.random_sample`` share the MT19937 core — transplanting
+  the 624-word state vector replays the *uniform* stream exactly — while
+  the distribution transforms are applied per-draw with scalar
+  ``math``-module arithmetic (numpy's SIMD ``log``/``pow`` are *not*
+  bit-identical to libm, so vectorising the transform would break the
+  contract; see :class:`BatchedExponential` for the vectorised face).
+  Any other ``random.Random`` method transparently falls back to the
+  wrapped generator after re-synchronising its state to the current
+  block position, so mixed consumers stay on the exact scalar sequence.
+
+- :class:`BatchedExponential` — a fully vectorised exponential block
+  generator for the array runtime.  Draws are *statistically* identical
+  to ``Exponential.sample`` but not bit-identical (numpy transform);
+  callers that need bit-exactness use :class:`BatchedDraws` instead.
+
+Without numpy, :class:`BatchedDraws` degrades to per-draw scalar calls
+on the wrapped generator (same stream, no batching) and
+:class:`BatchedExponential` raises at construction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Union
+
+try:  # numpy is a runtime dependency, but the scalar path must survive
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: Default uniform-block size.  Large enough to amortise the two state
+#: transplants per refill, small enough that an abandoned consumer
+#: wastes little generation work.
+DEFAULT_BLOCK = 1024
+
+
+def _transplant_state(rng: random.Random):
+    """Build a numpy ``RandomState`` positioned exactly where ``rng`` is."""
+    version, internal, gauss = rng.getstate()
+    state = _np.random.RandomState()
+    state.set_state(
+        ("MT19937", _np.array(internal[:-1], dtype=_np.uint32), internal[-1])
+    )
+    return state, version, gauss
+
+
+def _sync_back(rng: random.Random, state, version: int, gauss) -> None:
+    """Write a numpy ``RandomState`` position back into ``rng``."""
+    _, key, pos = state.get_state()[:3]
+    rng.setstate((version, tuple(int(x) for x in key) + (int(pos),), gauss))
+
+
+class BatchedDraws:
+    """Exact-replay batched random stream (see module docstring).
+
+    >>> import random
+    >>> scalar = random.Random(7)
+    >>> batched = BatchedDraws(random.Random(7), block=16)
+    >>> draws = [batched.expovariate(2.0) for _ in range(40)]  # 3 refills
+    >>> draws == [scalar.expovariate(2.0) for _ in range(40)]
+    True
+    """
+
+    __slots__ = ("_rng", "_block", "_buf", "_i", "_n", "_start_state")
+
+    def __init__(
+        self, rng: Union[random.Random, int], block: int = DEFAULT_BLOCK
+    ):
+        if isinstance(rng, int):
+            rng = random.Random(rng)
+        if block < 2:
+            raise ValueError(f"block must be >= 2, got {block}")
+        self._rng = rng
+        self._block = block
+        self._buf: list = []
+        self._i = 0
+        self._n = 0
+        self._start_state = None  # rng state at the current block's start
+
+    def _refill(self) -> None:
+        rng = self._rng
+        if _np is None:
+            # Scalar degradation: same stream, no batching.
+            self._buf = [rng.random() for _ in range(self._block)]
+            self._start_state = None
+        else:
+            self._start_state = rng.getstate()
+            state, version, gauss = _transplant_state(rng)
+            self._buf = state.random_sample(self._block).tolist()
+            # Advance the wrapped generator past the block immediately;
+            # the saved start state lets a fallback call rewind to the
+            # exact mid-block position.
+            _sync_back(rng, state, version, gauss)
+        self._i = 0
+        self._n = self._block
+
+    def _materialize(self) -> random.Random:
+        """Re-position the wrapped generator at the current draw index
+        and drop the rest of the block.
+
+        Used before any non-batched method, so mixed consumers (e.g. a
+        ``gammavariate`` call between batched ``expovariate`` draws)
+        stay on the exact scalar sequence.  MT19937 cannot step
+        backwards, so the rewind replays the consumed prefix from the
+        block's recorded start state.
+        """
+        if self._n and self._start_state is not None:
+            version, _, gauss = self._start_state
+            self._rng.setstate(self._start_state)
+            if self._i:
+                state, version, gauss = _transplant_state(self._rng)
+                state.random_sample(self._i)
+                _sync_back(self._rng, state, version, gauss)
+        self._buf = []
+        self._i = 0
+        self._n = 0
+        self._start_state = None
+        return self._rng
+
+    def __getattr__(self, name: str):
+        # Fallback surface: any other random.Random method (gauss,
+        # gammavariate, randrange, getstate, ...) operates on the
+        # wrapped generator after re-synchronising its position.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._materialize(), name)
+
+    # -- block-backed methods (the simulator's hot consumers) ----------
+    def random(self) -> float:
+        """Next uniform in ``[0, 1)`` — bit-identical to the scalar rng."""
+        i = self._i
+        if i >= self._n:
+            self._refill()
+            i = 0
+        self._i = i + 1
+        return self._buf[i]
+
+    def expovariate(self, lambd: float) -> float:
+        """Exponential draw, bit-identical to ``Random.expovariate``."""
+        i = self._i
+        if i >= self._n:
+            self._refill()
+            i = 0
+        self._i = i + 1
+        return -math.log(1.0 - self._buf[i]) / lambd
+
+    def uniform(self, a: float, b: float) -> float:
+        """Uniform in ``[a, b)``, bit-identical to ``Random.uniform``."""
+        return a + (b - a) * self.random()
+
+    def paretovariate(self, alpha: float) -> float:
+        """Pareto draw, bit-identical to ``Random.paretovariate``."""
+        u = 1.0 - self.random()
+        return u ** (-1.0 / alpha)
+
+    @property
+    def pending(self) -> int:
+        """Unconsumed draws left in the current block."""
+        return self._n - self._i
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedDraws(block={self._block}, pending={self.pending})"
+        )
+
+
+class BatchedExponential:
+    """Vectorised exponential block generator for the array runtime.
+
+    Unlike :class:`BatchedDraws`, the transform runs through numpy's
+    SIMD ``log`` — blocks are *statistically* exponential with the right
+    rate but not bit-identical to ``Random.expovariate``.  The array
+    runtime validates itself statistically against the object engine, so
+    this is the appropriate contract there.
+
+    >>> gen = BatchedExponential(rate=2.0, seed=7)
+    >>> block = gen.draw_block(1000)
+    >>> bool(0.3 < block.mean() < 0.7)  # mean ~ 1/rate
+    True
+    >>> gen.rate
+    2.0
+    """
+
+    __slots__ = ("_rate", "_state", "_buf", "_i", "_block")
+
+    def __init__(
+        self,
+        rate: float,
+        seed: Union[int, random.Random],
+        block: int = DEFAULT_BLOCK,
+    ):
+        if _np is None:
+            raise RuntimeError("BatchedExponential requires numpy")
+        if not rate > 0.0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if isinstance(seed, random.Random):
+            # Share the MT19937 position of an existing stream so the
+            # array runtime consumes the same per-consumer substream the
+            # object engine would (different transform, same uniforms).
+            self._state, _, _ = _transplant_state(seed)
+        else:
+            self._state = _np.random.RandomState(int(seed) % (2**32))
+        self._rate = float(rate)
+        self._block = int(block)
+        self._buf = _np.empty(0)
+        self._i = 0
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def draw_block(self, n: int):
+        """Return ``n`` fresh exponential draws as a numpy array."""
+        u = self._state.random_sample(int(n))
+        # -log(1-u)/rate mirrors Random.expovariate's inversion form.
+        out = _np.log1p(-u)
+        out /= -self._rate
+        return out
+
+    def draw(self) -> float:
+        """Scalar draw from an internal block (refilled lazily)."""
+        if self._i >= len(self._buf):
+            self._buf = self.draw_block(self._block)
+            self._i = 0
+        value = float(self._buf[self._i])
+        self._i += 1
+        return value
+
+    def __repr__(self) -> str:
+        return f"BatchedExponential(rate={self._rate}, block={self._block})"

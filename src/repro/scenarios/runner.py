@@ -310,7 +310,7 @@ def run_replication(spec: ScenarioSpec, index: int) -> ReplicationResult:
             else None
         ),
     )
-    simulator = Simulator()
+    simulator = Simulator(scheduler=options.scheduler)
     runtime = TopologyRuntime(simulator, topology, allocation, options)
 
     negotiator = None

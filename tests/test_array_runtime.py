@@ -1,0 +1,269 @@
+"""Validation of the array-backed fast path (``repro.sim.array_runtime``).
+
+Three layers of evidence, per the contract in the module docstring:
+
+1. the gate rejects every unsupported feature with a readable reason;
+2. deterministic arrival/service cases are **bit-identical** to the
+   object engine (same event order, no RNG consumed);
+3. stochastic cases agree **statistically** — the array path's mean and
+   p95 sojourn fall inside the object engine's replication confidence
+   interval on fidelity-smoke-style shapes — and a golden file pins the
+   array path's own determinism (fixed seed, fixed outputs).
+
+Regenerate the golden file after an intentional change::
+
+    PYTHONPATH=src python tests/test_array_runtime.py --regen
+"""
+
+import json
+import math
+import pathlib
+import sys
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.randomness.arrival import DeterministicProcess
+from repro.randomness.distributions import Deterministic, Empirical, LogNormal
+from repro.scheduler import Allocation
+from repro.sim import (
+    RuntimeOptions,
+    Simulator,
+    TopologyRuntime,
+    array_capable,
+    run_array,
+)
+from repro.topology import TopologyBuilder
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "array_runtime.json"
+
+
+def linear_chain(*, deterministic=False):
+    builder = TopologyBuilder("linear")
+    if deterministic:
+        builder.add_spout("src", arrivals=DeterministicProcess(9.7))
+        builder.add_operator("a", service_time=Deterministic(1.0 / 6.0))
+        builder.add_operator("b", service_time=Deterministic(1.0 / 11.0))
+    else:
+        builder.add_spout("src", rate=9.7)
+        builder.add_operator("a", mu=6.0)
+        builder.add_operator("b", mu=11.0)
+    builder.connect("src", "a").connect("a", "b", gain=2.0)
+    return builder.build(), Allocation(["a", "b"], [3, 3])
+
+
+def fanout(width=4):
+    builder = TopologyBuilder("fanout").add_spout("src", rate=50.0)
+    names = []
+    for i in range(width):
+        name = f"op{i}"
+        builder.add_operator(name, mu=20.0).connect("src", name)
+        names.append(name)
+    return builder.build(), Allocation(names, [4] * width)
+
+
+def object_stats(topology, allocation, options, duration, warmup):
+    sim = Simulator()
+    runtime = TopologyRuntime(sim, topology, allocation, options)
+    runtime.start()
+    sim.run_until(duration)
+    return runtime.stats(warmup=warmup)
+
+
+class TestGate:
+    def test_supported_case_passes(self):
+        topology, _ = linear_chain()
+        options = RuntimeOptions(queue_discipline="shared")
+        assert array_capable(topology, options) is None
+
+    @pytest.mark.parametrize(
+        "options, fragment",
+        [
+            (RuntimeOptions(queue_discipline="jsq"), "queue_discipline"),
+            (
+                RuntimeOptions(queue_discipline="shared", queue_limit=10),
+                "queue_limit",
+            ),
+            (
+                RuntimeOptions(queue_discipline="shared", hop_latency=0.1),
+                "hop latency",
+            ),
+            (
+                RuntimeOptions(
+                    queue_discipline="shared",
+                    arrival_rate_phases=((0.0, 1.0), (10.0, 2.0)),
+                ),
+                "arrival_rate_phases",
+            ),
+        ],
+    )
+    def test_option_rejections(self, options, fragment):
+        topology, _ = linear_chain()
+        assert fragment in array_capable(topology, options)
+
+    def test_cycle_rejected(self):
+        topology = (
+            TopologyBuilder("loop")
+            .add_spout("src", rate=5.0)
+            .add_operator("a", mu=10.0)
+            .add_operator("b", mu=10.0)
+            .connect("src", "a")
+            .connect("a", "b", gain=0.5)
+            .connect("b", "a", gain=0.5)
+            .build()
+        )
+        options = RuntimeOptions(queue_discipline="shared")
+        assert "cycle" in array_capable(topology, options)
+
+    def test_unsupported_service_rejected(self):
+        topology = (
+            TopologyBuilder("heavy")
+            .add_spout("src", rate=5.0)
+            .add_operator("a", service_time=LogNormal(0.1, 1.0))
+            .connect("src", "a")
+            .build()
+        )
+        options = RuntimeOptions(queue_discipline="shared")
+        assert "service" in array_capable(topology, options)
+
+    def test_fanout_sampler_rejected(self):
+        topology = (
+            TopologyBuilder("sampled")
+            .add_spout("src", rate=5.0)
+            .add_operator("a", mu=10.0)
+            .add_operator("b", mu=30.0)
+            .connect("src", "a")
+            .connect("a", "b", gain=2.0, fanout=Empirical([1.0, 3.0]))
+            .build()
+        )
+        options = RuntimeOptions(queue_discipline="shared")
+        assert "fanout" in array_capable(topology, options)
+
+    def test_run_array_raises_outside_gate(self):
+        topology, allocation = linear_chain()
+        with pytest.raises(SimulationError, match="does not support"):
+            run_array(
+                topology,
+                allocation,
+                RuntimeOptions(queue_discipline="jsq"),
+                duration=10.0,
+            )
+
+
+class TestExactEquivalence:
+    """Where event orders coincide and no RNG is drawn, the array path
+    must match the object engine bit for bit."""
+
+    def test_deterministic_case_bit_identical(self):
+        topology, allocation = linear_chain(deterministic=True)
+        options = RuntimeOptions(queue_discipline="shared", seed=3)
+        duration, warmup = 200.0, 20.0
+        obj = object_stats(topology, allocation, options, duration, warmup)
+        arr = run_array(
+            topology, allocation, options, duration=duration, warmup=warmup
+        )
+        assert arr.external_tuples == obj.external_tuples
+        assert arr.completed_trees == obj.completed_trees
+        assert arr.per_operator_processed == obj.per_operator_processed
+        # The samples are bit-identical (p95 selects one of them); the
+        # mean may differ in its last ulps because numpy reduces
+        # pairwise while Welford accumulates sequentially.
+        assert arr.p95_sojourn == obj.p95_sojourn
+        assert arr.mean_sojourn == pytest.approx(obj.mean_sojourn, rel=1e-12)
+
+    def test_array_path_is_deterministic(self):
+        topology, allocation = fanout()
+        options = RuntimeOptions(queue_discipline="shared", seed=11)
+        first = run_array(topology, allocation, options, duration=60.0)
+        second = run_array(topology, allocation, options, duration=60.0)
+        assert first == second
+
+
+class TestStatisticalEquivalence:
+    """Stochastic cases: the array path must land inside the object
+    engine's replication confidence interval."""
+
+    @pytest.mark.parametrize("shape", ["linear", "fanout"])
+    def test_mean_and_p95_within_ci(self, shape):
+        if shape == "linear":
+            topology, allocation = linear_chain()
+        else:
+            topology, allocation = fanout()
+        duration, warmup = 300.0, 30.0
+        means, p95s = [], []
+        for seed in range(5, 10):
+            options = RuntimeOptions(queue_discipline="shared", seed=seed)
+            stats = object_stats(topology, allocation, options, duration, warmup)
+            means.append(stats.mean_sojourn)
+            p95s.append(stats.p95_sojourn)
+
+        def interval(samples):
+            n = len(samples)
+            mean = sum(samples) / n
+            var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+            # ~t(4, 0.995) half-width, wide on purpose: this is a CI
+            # membership check, not a power analysis.
+            half = 4.6 * math.sqrt(var / n)
+            return mean - half, mean + half
+
+        arr_means, arr_p95s = [], []
+        for seed in range(5, 10):
+            options = RuntimeOptions(queue_discipline="shared", seed=seed)
+            arr = run_array(
+                topology, allocation, options, duration=duration, warmup=warmup
+            )
+            arr_means.append(arr.mean_sojourn)
+            arr_p95s.append(arr.p95_sojourn)
+        arr_mean = sum(arr_means) / len(arr_means)
+        arr_p95 = sum(arr_p95s) / len(arr_p95s)
+        lo, hi = interval(means)
+        assert lo <= arr_mean <= hi
+        lo, hi = interval(p95s)
+        assert lo <= arr_p95 <= hi
+
+    def test_same_seed_tracks_object_engine_closely(self):
+        # Transplanted substreams mean the array path consumes the very
+        # same uniforms; only the log transform differs (SIMD vs libm),
+        # so same-seed runs agree to float noise, far inside any CI.
+        topology, allocation = fanout()
+        options = RuntimeOptions(queue_discipline="shared", seed=11)
+        obj = object_stats(topology, allocation, options, 120.0, 10.0)
+        arr = run_array(topology, allocation, options, duration=120.0, warmup=10.0)
+        assert arr.external_tuples == obj.external_tuples
+        assert arr.mean_sojourn == pytest.approx(obj.mean_sojourn, rel=1e-6)
+        assert arr.p95_sojourn == pytest.approx(obj.p95_sojourn, rel=1e-6)
+
+
+def _golden_payload():
+    cases = {}
+    for name, (topology, allocation) in (
+        ("linear", linear_chain()),
+        ("fanout", fanout()),
+    ):
+        options = RuntimeOptions(queue_discipline="shared", seed=17)
+        stats = run_array(
+            topology, allocation, options, duration=150.0, warmup=15.0
+        )
+        cases[name] = {
+            "external_tuples": stats.external_tuples,
+            "completed_trees": stats.completed_trees,
+            "mean_sojourn": stats.mean_sojourn,
+            "std_sojourn": stats.std_sojourn,
+            "p95_sojourn": stats.p95_sojourn,
+            "per_operator_processed": stats.per_operator_processed,
+        }
+    return cases
+
+
+class TestGolden:
+    def test_array_runtime_matches_golden(self):
+        expected = json.loads(GOLDEN_PATH.read_text())
+        assert _golden_payload() == expected
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        GOLDEN_PATH.write_text(json.dumps(_golden_payload(), indent=2) + "\n")
+        print(f"regenerated {GOLDEN_PATH}")
+    else:
+        print(__doc__)

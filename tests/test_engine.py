@@ -103,6 +103,139 @@ class TestCancellation:
         assert len(fired) == 3
 
 
+class TestCompactionBoundary:
+    """Regression tests at the >half-cancelled compaction boundary."""
+
+    def test_compaction_triggers_only_past_the_boundary(self):
+        sim = Simulator()
+        keep = [sim.schedule(5.0, lambda: None) for _ in range(8)]
+        doomed = [sim.schedule(1.0, lambda: None) for _ in range(9)]
+        for handle in doomed[:8]:
+            handle.cancel()
+        # 8 cancelled of 17: not yet past the ">8 and more than half"
+        # boundary — nothing is compacted, the counter carries the debt.
+        assert len(sim._queue) == 17
+        assert sim._cancelled == 8
+        assert sim.pending_events == 9
+        doomed[8].cancel()
+        # 9 of 17: past the boundary.  Compaction must remove exactly
+        # the cancelled entries and settle the counter to zero, so the
+        # same backlog can never be walked twice.
+        assert len(sim._queue) == 8
+        assert sim._cancelled == 0
+        assert sim.pending_events == 8
+        del keep
+
+    def test_compaction_does_not_rerun_on_clean_backlog(self):
+        sim = Simulator()
+        survivors = [sim.schedule(5.0, lambda: None) for _ in range(8)]
+        doomed = [sim.schedule(1.0, lambda: None) for _ in range(9)]
+        for handle in doomed:
+            handle.cancel()
+        assert sim._cancelled == 0  # compacted and fully accounted
+        # Cancelling against the now-clean backlog must count from
+        # zero: a stale counter would trigger an immediate second
+        # compaction pass (and corrupt pending_events).
+        survivors[0].cancel()
+        assert sim._cancelled == 1
+        assert sim.pending_events == 7
+        assert len(sim._queue) == 8  # nothing compacted at 1/8
+
+    def test_mid_drain_cancellation_keeps_counter_consistent(self):
+        sim = Simulator()
+        fired = []
+        later = [sim.schedule(2.0, lambda: fired.append("late"))
+                 for _ in range(10)]
+
+        def cancel_most():
+            # Runs inside the drain: cancels 9 of the 10 pending
+            # handles, pushing the queue past the compaction boundary
+            # while run_until is iterating.
+            for handle in later[:9]:
+                handle.cancel()
+
+        sim.schedule(1.0, cancel_most)
+        sim.run_until(3.0)
+        assert fired == ["late"]
+        assert sim._cancelled == 0
+        assert sim.pending_events == 0
+
+
+class TestCalendarScheduler:
+    def test_scheduler_knob_validation(self):
+        with pytest.raises(SimulationError):
+            Simulator(scheduler="fibonacci")
+        with pytest.raises(SimulationError):
+            Simulator(spill_threshold=2)
+        assert Simulator(scheduler="heap").scheduler == "heap"
+
+    def test_calendar_spills_and_dispatches_identically(self):
+        import random as _random
+
+        def run(scheduler):
+            rng = _random.Random(99)
+            sim = Simulator(scheduler=scheduler, spill_threshold=64)
+            fired = []
+            kind = sim.register_handler(lambda a, b: fired.append((sim.now, a)))
+            for i in range(500):
+                sim.schedule_event(rng.uniform(0.0, 100.0), kind, i)
+            spilled = sim.spilled_events
+            sim.run_until(100.0)
+            return fired, spilled
+
+        heap_fired, _ = run("heap")
+        cal_fired, cal_spilled = run("calendar")
+        auto_fired, _ = run("auto")
+        assert cal_spilled > 0  # the ladder actually engaged
+        assert cal_fired == heap_fired
+        assert auto_fired == heap_fired
+
+    def test_heap_scheduler_never_spills(self):
+        sim = Simulator(scheduler="heap")
+        kind = sim.register_handler(lambda a, b: None)
+        for i in range(10_000):
+            sim.schedule_event(float(i), kind)
+        assert sim.spilled_events == 0
+        assert len(sim._queue) == 10_000
+
+    def test_ties_preserved_across_spill_boundary(self):
+        sim = Simulator(scheduler="calendar", spill_threshold=64)
+        fired = []
+        kind = sim.register_handler(lambda a, b: fired.append(a))
+        for i in range(300):
+            sim.schedule_event(50.0 + (i % 7), kind, i)
+        sim.run_until(100.0)
+        expected = sorted(range(300), key=lambda i: (i % 7, i))
+        assert fired == expected
+
+    def test_cancellation_reaches_spilled_entries(self):
+        sim = Simulator(scheduler="calendar", spill_threshold=64)
+        handles = [sim.schedule(float(i) + 1.0, lambda: None)
+                   for i in range(400)]
+        assert sim.spilled_events > 0
+        for handle in handles[100:]:
+            handle.cancel()
+        # Compaction walked both heap and ladder buckets.
+        assert sim.pending_events == 100
+        fired = []
+        for handle in handles[:100]:
+            handle.callback = lambda: fired.append(1)
+        sim.run_until(500.0)
+        assert len(fired) == 100
+        assert sim.pending_events == 0
+
+    def test_step_pours_ladder(self):
+        sim = Simulator(scheduler="calendar", spill_threshold=64)
+        seen = []
+        kind = sim.register_handler(lambda a, b: seen.append(a))
+        for i in range(200):
+            sim.schedule_event(float(200 - i), kind, i)
+        assert sim.spilled_events > 0
+        while sim.step():
+            pass
+        assert seen == list(reversed(range(200)))
+
+
 class TestTypedEvents:
     def test_registered_handler_receives_payload(self):
         sim = Simulator()

@@ -1,0 +1,277 @@
+"""Tests for the sharded campaign executor and the compacted
+(segmented) result-store backend."""
+
+import json
+
+import pytest
+
+from repro.campaigns.runner import (
+    ESTIMATED_RECORD_BYTES,
+    CampaignRunner,
+)
+from repro.campaigns.segstore import SegmentedResultStore, compact_store
+from repro.campaigns.shard import CLAIMS_DIR, ShardedCampaignRunner
+from repro.campaigns.spec import CampaignSpec, scenario_hash
+from repro.campaigns.store import ResultStore
+from repro.exceptions import ConfigurationError
+from repro.experiments import report
+from repro.scenarios.runner import AppliedAction, ReplicationResult
+from repro.scenarios.spec import ScenarioSpec
+
+BASE = {
+    "workload": "synthetic",
+    "workload_params": {
+        "total_cpu": 0.03,
+        "arrival_rate": 20.0,
+        "hop_latency": 0.004,
+    },
+    "policy": "none",
+    "initial_allocation": "10:10:10",
+    "duration": 40.0,
+    "warmup": 5.0,
+    "replications": 2,
+    "seed": 17,
+}
+
+
+def small_campaign(**overrides) -> CampaignSpec:
+    raw = {
+        "name": "camp",
+        "base": dict(BASE),
+        "axes": [
+            {
+                "name": "alloc",
+                "field": "initial_allocation",
+                "values": ["8:8:8", "10:10:10"],
+            },
+        ],
+    }
+    raw.update(overrides)
+    return CampaignSpec.from_dict(raw)
+
+
+def make_result(index=0, seed=17, mean=1.0) -> ReplicationResult:
+    return ReplicationResult(
+        index=index,
+        seed=seed,
+        duration=10.0,
+        external_tuples=100,
+        completed_trees=99,
+        dropped_tuples=1,
+        dropped_trees=0,
+        rebalances=2,
+        mean_sojourn=mean,
+        std_sojourn=0.1,
+        p95_sojourn=2.0 * mean,
+        final_allocation="1:1",
+        final_machines=3,
+        actions=(AppliedAction(5.0, "rebalance", "1:1", None),),
+        timeline=((0.0, 0.5, 3), (10.0, None, 0)),
+        recommendation="1:1",
+    )
+
+
+def sample_spec() -> ScenarioSpec:
+    return ScenarioSpec.from_dict({**BASE, "name": "one", "replications": 1})
+
+
+class TestSegmentedStore:
+    def test_round_trip(self, tmp_path):
+        spec = sample_spec()
+        digest = scenario_hash(spec)
+        store = SegmentedResultStore(tmp_path, segment="w0")
+        result = make_result(seed=5)
+        store.put(spec, digest, 5, result, campaign="c", cell="l")
+        assert store.load(digest, 5) == result
+        assert store.has(digest, 5)
+        assert store.count(digest) == 1
+        # One segment file, no per-replication files.
+        assert [p.name for p in (tmp_path / "segments").glob("*.ndjson")] == [
+            "w0.ndjson"
+        ]
+        assert not (tmp_path / digest[:2]).exists()
+
+    def test_other_writers_visible_after_refresh(self, tmp_path):
+        spec = sample_spec()
+        digest = scenario_hash(spec)
+        writer = SegmentedResultStore(tmp_path, segment="w0")
+        writer.put(spec, digest, 5, make_result(seed=5))
+        reader = SegmentedResultStore(tmp_path, segment="w1")
+        assert reader.load(digest, 5) is not None  # indexed on open
+        writer.put(spec, digest, 6, make_result(seed=6))
+        assert reader.load(digest, 6) is None  # written after open...
+        reader.refresh()
+        assert reader.load(digest, 6) is not None  # ...visible on rescan
+
+    def test_classic_layout_still_readable(self, tmp_path):
+        spec = sample_spec()
+        digest = scenario_hash(spec)
+        classic = ResultStore(tmp_path)
+        classic.put(spec, digest, 7, make_result(seed=7))
+        segmented = SegmentedResultStore(tmp_path)
+        assert segmented.load(digest, 7) is not None
+        # And mixed layouts iterate merged, in seed order.
+        segmented.put(spec, digest, 3, make_result(seed=3))
+        assert [seed for seed, _ in segmented.iter_records(digest)] == [3, 7]
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        spec = sample_spec()
+        digest = scenario_hash(spec)
+        store = SegmentedResultStore(tmp_path, segment="w0")
+        store.put(spec, digest, 5, make_result(seed=5))
+        store.close()
+        with open(store.segment_path, "a") as handle:
+            handle.write('{"version": 1, "spec_hash": "' + digest)  # torn
+        fresh = SegmentedResultStore(tmp_path, segment="w1")
+        assert fresh.load(digest, 5) is not None  # intact line survives
+        assert fresh.segment_record_count() == 1
+
+    def test_malformed_segment_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SegmentedResultStore(tmp_path, segment="../evil")
+
+    def test_provenance_travels_in_segment(self, tmp_path):
+        spec = sample_spec()
+        digest = scenario_hash(spec)
+        store = SegmentedResultStore(tmp_path, segment="w0")
+        store.put(spec, digest, 5, make_result(seed=5))
+        store.put(spec, digest, 6, make_result(seed=6))
+        store.close()
+        lines = [
+            json.loads(line)
+            for line in store.segment_path.read_text().splitlines()
+        ]
+        specs = [line for line in lines if line.get("kind") == "spec"]
+        assert len(specs) == 1  # once per hash, not per record
+        assert specs[0]["spec"] == spec.to_dict()
+
+
+class TestCompactStore:
+    def test_compact_migrates_and_removes(self, tmp_path):
+        spec = sample_spec()
+        digest = scenario_hash(spec)
+        classic = ResultStore(tmp_path)
+        for seed in (3, 5):
+            classic.put(spec, digest, seed, make_result(seed=seed))
+        stats = compact_store(tmp_path)
+        assert stats["migrated"] == 2
+        assert stats["skipped"] == 0
+        # Buckets are gone, segments hold everything.
+        assert not (tmp_path / digest[:2]).exists()
+        store = SegmentedResultStore(tmp_path)
+        assert [seed for seed, _ in store.iter_records(digest)] == [3, 5]
+
+    def test_compact_is_idempotent(self, tmp_path):
+        spec = sample_spec()
+        digest = scenario_hash(spec)
+        ResultStore(tmp_path).put(spec, digest, 3, make_result(seed=3))
+        assert compact_store(tmp_path)["migrated"] == 1
+        again = compact_store(tmp_path)
+        assert again["migrated"] == 0
+        assert SegmentedResultStore(tmp_path).load(digest, 3) is not None
+
+    def test_compact_skips_unreadable_records(self, tmp_path):
+        spec = sample_spec()
+        digest = scenario_hash(spec)
+        classic = ResultStore(tmp_path)
+        classic.put(spec, digest, 3, make_result(seed=3))
+        classic.record_path(digest, 9).write_text("{torn")
+        stats = compact_store(tmp_path)
+        assert stats["migrated"] == 1
+        assert stats["skipped"] == 1
+
+
+class TestShardedRunner:
+    def test_requires_segmented_store(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ShardedCampaignRunner(ResultStore(tmp_path), shards=2)
+        with pytest.raises(ConfigurationError):
+            ShardedCampaignRunner(
+                SegmentedResultStore(tmp_path), shards=0
+            )
+
+    def test_full_run_then_resume_computes_zero(self, tmp_path):
+        campaign = small_campaign()
+        store = SegmentedResultStore(tmp_path, segment="coordinator")
+        runner = ShardedCampaignRunner(store, shards=2)
+        first = runner.run(campaign)
+        assert first.computed == 4
+        assert first.reused == 0
+        second = runner.run(campaign)
+        assert second.computed == 0
+        assert second.reused == 4
+        # Both runs merged to identical per-cell summaries.
+        assert [c.summary.to_dict() for c in first.cells] == [
+            c.summary.to_dict() for c in second.cells
+        ]
+
+    def test_sharded_matches_unsharded(self, tmp_path):
+        campaign = small_campaign()
+        sharded_store = SegmentedResultStore(
+            tmp_path / "sharded", segment="coordinator"
+        )
+        sharded = ShardedCampaignRunner(sharded_store, shards=2).run(campaign)
+        plain = CampaignRunner(ResultStore(tmp_path / "plain")).run(campaign)
+        assert [c.summary.to_dict() for c in sharded.cells] == [
+            c.summary.to_dict() for c in plain.cells
+        ]
+
+    def test_interrupted_run_resumes_only_missing(self, tmp_path):
+        # Simulate an interrupt: a prior run landed half the results
+        # (one cell of two) before dying, leaving stale claim files.
+        campaign = small_campaign()
+        half = CampaignSpec.from_dict(
+            {
+                "name": "camp",
+                "base": dict(BASE),
+                "axes": [
+                    {
+                        "name": "alloc",
+                        "field": "initial_allocation",
+                        "values": ["8:8:8"],
+                    },
+                ],
+            }
+        )
+        store = SegmentedResultStore(tmp_path, segment="coordinator")
+        ShardedCampaignRunner(store, shards=2).run(half)
+        claims = tmp_path / CLAIMS_DIR
+        (claims / "stale_claim_from_dead_run").write_text("999")
+        result = ShardedCampaignRunner(store, shards=2).run(campaign)
+        # Only the missing cell's replications were computed; the stale
+        # claim neither blocked nor duplicated work.
+        assert result.computed == 2
+        assert result.reused == 2
+        assert not (claims / "stale_claim_from_dead_run").exists()
+
+    def test_claims_match_executed_jobs(self, tmp_path):
+        campaign = small_campaign()
+        store = SegmentedResultStore(tmp_path, segment="coordinator")
+        result = ShardedCampaignRunner(store, shards=2).run(campaign)
+        claims = list((tmp_path / CLAIMS_DIR).iterdir())
+        assert len(claims) == result.computed == 4
+
+
+class TestPlanReport:
+    def test_plan_reports_axes_cells_and_size(self, tmp_path):
+        campaign = small_campaign()
+        runner = CampaignRunner(ResultStore(tmp_path))
+        plan = runner.plan(campaign)
+        assert plan.axes == (("alloc", 2),)
+        assert plan.cells == 2
+        assert plan.total == 4
+        assert plan.estimated_store_bytes == 4 * ESTIMATED_RECORD_BYTES
+        rendered = report.render_campaign_plan(campaign.name, plan)
+        assert "grid: 2(alloc) = 2 cells" in rendered
+        assert "estimated new store size" in rendered
+
+    def test_cached_jobs_do_not_count_toward_size(self, tmp_path):
+        campaign = small_campaign()
+        store = SegmentedResultStore(tmp_path, segment="coordinator")
+        ShardedCampaignRunner(store, shards=1).run(campaign)
+        store.refresh()
+        plan = CampaignRunner(store).plan(campaign)
+        assert plan.cached == 4
+        assert plan.estimated_store_bytes == 0
+        rendered = report.render_campaign_plan(campaign.name, plan)
+        assert "estimated new store size" not in rendered
