@@ -1,0 +1,174 @@
+"""Hybrid-evaluation throughput benchmark: cells/sec per evaluation path.
+
+Measures how fast the campaign engine answers a fig7-style in-envelope
+grid (single-operator M/M/k cells over a rho x servers sweep — exactly
+the regime the committed tolerance manifest certifies) under each
+evaluation mode:
+
+- ``simulated_grid`` — ``evaluation: "simulate"``: every cell through
+  the discrete-event engine (single worker, so the number is per-core
+  and machine-comparable after calibration);
+- ``analytic_grid`` — ``evaluation: "analytic"``: every cell through
+  the queueing-model fast path, including manifest admission and
+  provenance construction;
+- ``hybrid_grid`` — ``evaluation: "hybrid"``: the full decide-then-
+  answer pipeline on a grid where every cell is in-envelope, i.e. the
+  fast path plus its decision overhead.
+
+The headline ``speedup`` (hybrid vs simulated cells/sec) is the number
+the README's Performance table quotes; ISSUE 7 requires >= 50x on this
+grid.
+
+Emits machine-readable JSON (``BENCH_HYBRID.json``) with the same
+calibration scheme as ``bench_runtime_hotpath.py``;
+``benchmarks/check_regression.py`` gates the ``hybrid`` section rows
+against ``BENCH_RUNTIME_baseline.json`` (one shared baseline file —
+regenerate both benches on the same machine when refreshing it).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hybrid.py \
+        --out BENCH_HYBRID.json [--scale 1.0] [--repeat 3]
+
+``--scale`` multiplies the per-cell sample-size target (CI uses 0.5);
+``--repeat`` keeps the best round per arm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from bench_runtime_hotpath import calibrate  # noqa: E402
+
+from repro.campaigns.hybrid import AnalyticCellEvaluator  # noqa: E402
+from repro.campaigns.runner import CampaignRunner  # noqa: E402
+from repro.fidelity.cases import build_case, fidelity_campaign  # noqa: E402
+
+SCHEMA = "bench_hybrid/v1"
+
+#: The fig7-style sweep: rho x servers, single operator, SCV 1, shared
+#: discipline — every cell inside the committed envelope, so hybrid
+#: answers 100% of the grid analytically.
+RHOS = (0.3, 0.5, 0.7)
+SERVERS = (1, 2, 4, 8, 16)
+REPLICATIONS = 2
+TARGET_TUPLES = 2400
+
+
+def grid_campaign(evaluation: str, scale: float):
+    cases = [
+        build_case(
+            "single",
+            rho,
+            servers,
+            1.0,
+            "shared",
+            replications=REPLICATIONS,
+            target_tuples=max(50, int(TARGET_TUPLES * scale)),
+        )
+        for rho in RHOS
+        for servers in SERVERS
+    ]
+    campaign = fidelity_campaign("bench-hybrid", cases=cases)
+    return dataclasses.replace(
+        campaign, name=f"bench-hybrid-{evaluation}", evaluation=evaluation
+    )
+
+
+def run_arm(evaluation: str, scale: float, *, min_wall: float = 1.0) -> dict:
+    """One timed round over the grid.
+
+    The analytic arms answer the whole grid in milliseconds — far too
+    short to time stably — so a round repeats whole grid passes until
+    ``min_wall`` seconds have accumulated and reports the mean rate.
+    Every pass uses a fresh evaluator (no store is attached), so
+    manifest admission and memo warm-up stay part of the measured cost.
+    """
+    campaign = grid_campaign(evaluation, scale)
+    passes = 0
+    total = 0.0
+    while passes == 0 or total < min_wall:
+        evaluator = (
+            AnalyticCellEvaluator.default()
+            if evaluation != "simulate"
+            else None
+        )
+        runner = CampaignRunner(None, max_workers=1, evaluator=evaluator)
+        started = time.perf_counter()
+        result = runner.run(campaign)
+        total += time.perf_counter() - started
+        passes += 1
+    cells = len(result.cells)
+    return {
+        "evaluation": evaluation,
+        "cells": cells,
+        "replications": cells * REPLICATIONS,
+        "analytic_jobs": result.analytic,
+        "passes": passes,
+        "wall_seconds": total,
+        "cells_per_sec": passes * cells / total if total > 0 else None,
+    }
+
+
+def best_of(rounds: int, evaluation: str, scale: float) -> dict:
+    best = None
+    for _ in range(rounds):
+        result = run_arm(evaluation, scale)
+        if best is None or result["cells_per_sec"] > best["cells_per_sec"]:
+            best = result
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_HYBRID.json")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    result = {
+        "schema": SCHEMA,
+        "config": {
+            "scale": args.scale,
+            "repeat": args.repeat,
+            "rhos": list(RHOS),
+            "servers": list(SERVERS),
+            "replications": REPLICATIONS,
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "calibration_ops_per_sec": calibrate(),
+        "hybrid": {},
+    }
+    arms = {
+        "simulated_grid": "simulate",
+        "analytic_grid": "analytic",
+        "hybrid_grid": "hybrid",
+    }
+    for row, evaluation in arms.items():
+        result["hybrid"][row] = best_of(args.repeat, evaluation, args.scale)
+        rate = result["hybrid"][row]["cells_per_sec"]
+        print(f"hybrid/{row}: {rate:,.1f} cells/sec", file=sys.stderr)
+    speedup = (
+        result["hybrid"]["hybrid_grid"]["cells_per_sec"]
+        / result["hybrid"]["simulated_grid"]["cells_per_sec"]
+    )
+    result["speedup_hybrid_vs_simulated"] = speedup
+    print(f"hybrid vs simulated: {speedup:,.0f}x cells/sec", file=sys.stderr)
+
+    pathlib.Path(args.out).write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

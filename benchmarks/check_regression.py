@@ -1,9 +1,12 @@
 """Gate hot-path throughput against a committed baseline.
 
-Compares a fresh ``bench_runtime_hotpath.py`` result against
-``benchmarks/BENCH_RUNTIME_baseline.json`` and fails (exit 1) when any
-tracked metric regressed by more than the threshold (default 25%, per
-ISSUE 2's CI smoke criterion).
+Compares a fresh ``bench_runtime_hotpath.py`` (or ``bench_hybrid.py``)
+result against ``benchmarks/BENCH_RUNTIME_baseline.json`` and fails
+(exit 1) when any tracked metric regressed by more than the threshold
+(default 25%, per ISSUE 2's CI smoke criterion).  Rows absent from the
+baseline *or* from the current results file are skipped with a warning,
+so each benchmark gates only its own sections against the one shared
+baseline.
 
 Raw events/sec are not comparable across machines, so each metric is
 first normalised by the run's ``calibration_ops_per_sec`` (a fixed
@@ -44,6 +47,13 @@ TRACKED = [
     ("solver", "assign_k200", "solves_per_sec"),
     ("solver", "assign_k200_cold", "solves_per_sec"),
     ("solver", "min_resources", "solves_per_sec"),
+    # ``bench_hybrid.py`` rows (ISSUE 7).  They live in the same
+    # baseline file but come from a separate results file, so a
+    # hotpath-only BENCH_RUNTIME.json skips them (and BENCH_HYBRID.json
+    # skips the simulator/solver rows) via the current-absent check.
+    ("hybrid", "analytic_grid", "cells_per_sec"),
+    ("hybrid", "hybrid_grid", "cells_per_sec"),
+    ("hybrid", "simulated_grid", "cells_per_sec"),
 ]
 
 
@@ -73,6 +83,9 @@ def main(argv=None) -> int:
     for section, case, metric in TRACKED:
         if case not in baseline.get(section, {}):
             print(f"{section}/{case}: not in baseline, skipped [warn]")
+            continue
+        if case not in current.get(section, {}):
+            print(f"{section}/{case}: not in current run, skipped [warn]")
             continue
         base = normalised(baseline, section, case, metric)
         now = normalised(current, section, case, metric)

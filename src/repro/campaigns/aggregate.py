@@ -17,7 +17,7 @@ from bisect import insort
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.campaigns.spec import CampaignCell, CampaignSpec
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import ResultStore, record_path
 from repro.scenarios.runner import replication_seed
 from repro.utils.math_helpers import percentile
 
@@ -47,9 +47,17 @@ class CellAggregate:
         self.total_completed = 0
         self.total_dropped = 0
         self.total_rebalances = 0
+        #: Replications by evaluation path (records stored before the
+        #: provenance tag existed count as ``simulated``).
+        self.simulated = 0
+        self.analytic = 0
 
-    def fold(self, result: Mapping[str, Any]) -> None:
+    def fold(self, result: Mapping[str, Any], *, path: str = "simulated") -> None:
         self.replications += 1
+        if path == "analytic":
+            self.analytic += 1
+        else:
+            self.simulated += 1
         self.total_external += int(result.get("external_tuples", 0))
         self.total_completed += int(result.get("completed_trees", 0))
         self.total_dropped += int(result.get("dropped_tuples", 0))
@@ -119,6 +127,8 @@ class CellAggregate:
             "total_completed": self.total_completed,
             "total_dropped": self.total_dropped,
             "total_rebalances": self.total_rebalances,
+            "simulated": self.simulated,
+            "analytic": self.analytic,
         }
 
 
@@ -130,11 +140,17 @@ class CampaignAggregator:
         self.cells: Dict[str, CellAggregate] = {}
         self.missing: Dict[str, int] = {}
 
-    def fold(self, cell_label: str, result: Mapping[str, Any]) -> None:
+    def fold(
+        self,
+        cell_label: str,
+        result: Mapping[str, Any],
+        *,
+        path: str = "simulated",
+    ) -> None:
         aggregate = self.cells.get(cell_label)
         if aggregate is None:
             aggregate = self.cells[cell_label] = CellAggregate(cell_label)
-        aggregate.fold(result)
+        aggregate.fold(result, path=path)
 
     def rows(self) -> List[Dict[str, Any]]:
         ordered = []
@@ -159,7 +175,7 @@ def aggregate_cell_from_store(
             spec_hash, replication_seed(cell.spec.seed, index)
         )
         if record is not None:
-            aggregate.fold(record["result"])
+            aggregate.fold(record["result"], path=record_path(record))
     return aggregate
 
 

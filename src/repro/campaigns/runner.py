@@ -9,6 +9,16 @@ written to the store *the moment it completes* (atomically), so killing
 a campaign mid-run loses at most the replications in flight; a resumed
 run recomputes only those.
 
+Evaluation modes (:attr:`CampaignSpec.evaluation`): ``simulate`` (the
+default) computes every job with the discrete-event engine, exactly as
+before.  ``hybrid`` routes each cell through an
+:class:`~repro.campaigns.hybrid.AnalyticCellEvaluator` first — cells
+the committed tolerance manifest certifies are answered from the
+queueing model inline (microseconds instead of seconds) and persisted
+with ``path: "analytic"`` provenance; the rest simulate.  ``analytic``
+demands the fast path for every cell and errors on the first one the
+envelope cannot certify.
+
 Determinism: each replication's outcome depends only on its scenario
 spec and derived seed (see :func:`repro.scenarios.runner.run_replication`),
 so worker count, completion order and cache hits cannot change a
@@ -22,6 +32,12 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaigns.hybrid import (
+    AnalyticCellEvaluator,
+    AnalyticDecision,
+    record_usable,
+    resolve_evaluator,
+)
 from repro.campaigns.spec import CampaignCell, CampaignSpec
 from repro.campaigns.store import ResultStore
 from repro.exceptions import ConfigurationError
@@ -45,11 +61,28 @@ def _run_job(job: _Job) -> ReplicationResult:
     return run_replication(spec, index)
 
 
-#: Rough serialized size of one stored replication record.  Observed
-#: classic-layout records run 2–6 KiB depending on topology width and
-#: timeline length; the estimate is for sanity-checking a sweep's disk
-#: cost before launching shards, not for accounting.
+#: Rough serialized size of one stored replication record in the
+#: classic one-file-per-replication layout.  Observed classic records
+#: run 2–6 KiB depending on topology width and timeline length; the
+#: estimate is for sanity-checking a sweep's disk cost before launching
+#: shards, not for accounting.
 ESTIMATED_RECORD_BYTES = 4096
+
+#: Per-record estimate for the segmented NDJSON layout when the store
+#: holds no records yet to measure (packed lines, no per-file block
+#: rounding).  A store with indexed records reports its observed mean
+#: instead (:meth:`SegmentedResultStore.mean_record_bytes`).
+ESTIMATED_SEGMENT_RECORD_BYTES = 2048
+
+#: Analytic-path records carry no timeline, action log or spread stats,
+#: so they serialize far smaller than simulated ones.
+ESTIMATED_ANALYTIC_RECORD_BYTES = 1024
+
+#: Coarse per-job wall-time heuristics for the plan's by-path breakdown.
+#: Simulated jobs vary over orders of magnitude with duration and load;
+#: this is a planning aid ("hours vs seconds"), not a promise.
+ESTIMATED_SIMULATED_SECONDS_PER_JOB = 1.0
+ESTIMATED_ANALYTIC_SECONDS_PER_JOB = 1e-4
 
 
 @dataclass(frozen=True)
@@ -57,9 +90,18 @@ class CampaignPlan:
     """What a run would do: which jobs are cached, which must compute.
 
     ``axes`` lists ``(axis_name, point_count)`` pairs and ``cells`` the
-    expanded grid size, so a dry run shows the sweep's shape; the store
-    estimate sizes the *uncached* work at
-    :data:`ESTIMATED_RECORD_BYTES` per job.
+    expanded grid size, so a dry run shows the sweep's shape.  The
+    store estimate is layout-aware: classic stores cost
+    :data:`ESTIMATED_RECORD_BYTES` per uncached job, segmented stores
+    their observed (or :data:`ESTIMATED_SEGMENT_RECORD_BYTES` default)
+    NDJSON bytes per record, analytic-path jobs the slimmer
+    :data:`ESTIMATED_ANALYTIC_RECORD_BYTES` — and overhead cells, which
+    never write records, cost nothing.
+
+    ``analytic_cells`` / ``simulated_cells`` split the grid by decided
+    path; ``analytic_jobs`` counts uncached jobs the fast path would
+    answer.  The two ``estimated_*_seconds`` fields give the coarse
+    by-path wall-time breakdown a ``--dry-run`` prints.
     """
 
     total: int
@@ -67,6 +109,12 @@ class CampaignPlan:
     axes: Tuple[Tuple[str, int], ...] = ()
     cells: int = 0
     estimated_store_bytes: int = 0
+    evaluation: str = "simulate"
+    analytic_cells: int = 0
+    simulated_cells: int = 0
+    analytic_jobs: int = 0
+    estimated_analytic_seconds: float = 0.0
+    estimated_simulated_seconds: float = 0.0
 
     @property
     def to_compute(self) -> int:
@@ -82,13 +130,15 @@ class CampaignCellResult:
     store.  Cells that expand to identical simulation inputs share one
     computation, so summing cell counts over-states executed work —
     campaign-level totals live on :class:`CampaignResult`, which counts
-    unique jobs.
+    unique jobs.  ``path`` records how the cell was evaluated
+    (``simulated`` or ``analytic``).
     """
 
     cell: CampaignCell
     summary: ScenarioSummary
     computed: int
     reused: int
+    path: str = "simulated"
 
     def to_dict(self) -> dict:
         return {
@@ -97,6 +147,7 @@ class CampaignCellResult:
             "spec_hash": self.cell.spec_hash,
             "computed": self.computed,
             "reused": self.reused,
+            "path": self.path,
             "summary": self.summary.to_dict(),
         }
 
@@ -108,12 +159,15 @@ class CampaignResult:
     ``computed`` / ``reused`` count *unique* ``(spec hash, seed)`` jobs
     — simulations actually executed by this run vs. loaded from the
     store — so deduplicated identical cells are not double-counted.
+    ``analytic`` counts the subset of ``computed`` answered by the
+    model fast path (always 0 in ``simulate`` mode).
     """
 
     campaign: CampaignSpec
     cells: Tuple[CampaignCellResult, ...]
     computed: int
     reused: int
+    analytic: int = 0
 
     @property
     def summaries(self) -> List[ScenarioSummary]:
@@ -128,8 +182,10 @@ class CampaignResult:
     def to_dict(self) -> dict:
         return {
             "campaign": self.campaign.name,
+            "evaluation": self.campaign.evaluation,
             "computed": self.computed,
             "reused": self.reused,
+            "analytic": self.analytic,
             "cells": [c.to_dict() for c in self.cells],
         }
 
@@ -142,6 +198,12 @@ class CampaignRunner:
     for the expanded specs.  With a store, completed replications are
     loaded instead of recomputed and fresh ones are persisted as they
     finish.
+
+    ``evaluator`` injects a configured
+    :class:`~repro.campaigns.hybrid.AnalyticCellEvaluator` for
+    hybrid/analytic campaigns; when omitted, those modes build the
+    default evaluator from the committed tolerance manifest.  Campaigns
+    with ``evaluation: "simulate"`` never consult it.
     """
 
     def __init__(
@@ -149,11 +211,13 @@ class CampaignRunner:
         store: Optional[ResultStore] = None,
         *,
         max_workers: Optional[int] = None,
+        evaluator: Optional[AnalyticCellEvaluator] = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1 when set")
         self._store = store
         self._max_workers = max_workers
+        self._evaluator = evaluator
 
     # ------------------------------------------------------------------
     # planning
@@ -164,19 +228,37 @@ class CampaignRunner:
         Mirrors :meth:`run` exactly: unique ``(spec hash, seed)`` jobs
         (identical cells share one), plus one uncacheable job per
         overhead cell — so ``to_compute`` predicts ``run()``'s
-        ``computed`` count.
+        ``computed`` count, path decisions included.
         """
         cells = campaign.expand()
-        keys = set()
+        evaluator = resolve_evaluator(campaign.evaluation, self._evaluator)
+        decisions = self._decide_cells(campaign, cells, evaluator)
+        keys: Dict[Tuple[str, int], str] = {}
+        analytic_cells = simulated_cells = 0
         for cell in _simulation_cells(cells):
             spec_hash = cell.spec_hash
+            path = _cell_path(decisions, spec_hash)
+            if path == "analytic":
+                analytic_cells += 1
+            else:
+                simulated_cells += 1
             for index in range(cell.spec.replications):
-                keys.add((spec_hash, replication_seed(cell.spec.seed, index)))
+                seed = replication_seed(cell.spec.seed, index)
+                keys[(spec_hash, seed)] = path
         cached = 0
-        if self._store is not None:
-            for spec_hash, seed in keys:
-                if self._store.load_record(spec_hash, seed) is not None:
-                    cached += 1
+        uncached_analytic = uncached_simulated = 0
+        for (spec_hash, seed), path in keys.items():
+            record = (
+                self._store.load_record(spec_hash, seed)
+                if self._store is not None
+                else None
+            )
+            if record is not None and record_usable(record, path):
+                cached += 1
+            elif path == "analytic":
+                uncached_analytic += 1
+            else:
+                uncached_simulated += 1
         overhead = len(cells) - len(_simulation_cells(cells))
         total = len(keys) + overhead
         return CampaignPlan(
@@ -186,8 +268,40 @@ class CampaignRunner:
                 (axis.name, len(axis.values)) for axis in campaign.axes
             ),
             cells=len(cells),
-            estimated_store_bytes=(total - cached) * ESTIMATED_RECORD_BYTES,
+            estimated_store_bytes=self._estimate_store_bytes(
+                uncached_simulated, uncached_analytic
+            ),
+            evaluation=campaign.evaluation,
+            analytic_cells=analytic_cells,
+            simulated_cells=simulated_cells + overhead,
+            analytic_jobs=uncached_analytic,
+            estimated_analytic_seconds=uncached_analytic
+            * ESTIMATED_ANALYTIC_SECONDS_PER_JOB,
+            estimated_simulated_seconds=(uncached_simulated + overhead)
+            * ESTIMATED_SIMULATED_SECONDS_PER_JOB,
         )
+
+    def _estimate_store_bytes(self, simulated: int, analytic: int) -> int:
+        """Layout-aware size estimate for uncached store-bound jobs.
+
+        Overhead cells are excluded by the caller: they run through the
+        figure drivers and never write store records — the classic
+        flat-rate estimate wrongly billed them.
+        """
+        per_record: float = ESTIMATED_RECORD_BYTES
+        # Imported here: segstore subclasses ResultStore and is imported
+        # by the package __init__ after this module.
+        from repro.campaigns.segstore import SegmentedResultStore
+
+        if isinstance(self._store, SegmentedResultStore):
+            observed = self._store.mean_record_bytes()
+            per_record = (
+                observed
+                if observed is not None
+                else ESTIMATED_SEGMENT_RECORD_BYTES
+            )
+        per_analytic = min(per_record, ESTIMATED_ANALYTIC_RECORD_BYTES)
+        return int(round(simulated * per_record + analytic * per_analytic))
 
     # ------------------------------------------------------------------
     # execution
@@ -198,28 +312,35 @@ class CampaignRunner:
             raise ConfigurationError(
                 f"campaign {campaign.name!r} expands to no cells"
             )
+        evaluator = resolve_evaluator(campaign.evaluation, self._evaluator)
+        decisions = self._decide_cells(campaign, cells, evaluator)
         cached: Dict[Tuple[str, int], ReplicationResult] = {}
-        jobs: List[_Job] = []
+        sim_jobs: List[_Job] = []
+        analytic_jobs: List[_Job] = []
         pending_keys = set()
         for cell in _simulation_cells(cells):
             spec_hash = cell.spec_hash
+            path = _cell_path(decisions, spec_hash)
             for index in range(cell.spec.replications):
                 seed = replication_seed(cell.spec.seed, index)
                 key = (spec_hash, seed)
                 if key in cached or key in pending_keys:
                     continue
-                result = (
-                    self._store.load(spec_hash, seed)
-                    if self._store is not None
-                    else None
-                )
+                result = self._load_usable(spec_hash, seed, path)
                 if result is not None:
                     cached[key] = result
                 else:
                     pending_keys.add(key)
-                    jobs.append((spec_hash, seed, cell.spec, index))
+                    job = (spec_hash, seed, cell.spec, index)
+                    if path == "analytic":
+                        analytic_jobs.append(job)
+                    else:
+                        sim_jobs.append(job)
 
-        computed = self._execute(campaign, cells, jobs)
+        computed = self._answer_analytic(
+            campaign, cells, analytic_jobs, evaluator, decisions
+        )
+        computed.update(self._execute(campaign, cells, sim_jobs))
 
         results: List[CampaignCellResult] = []
         overhead_runs = 0
@@ -260,6 +381,7 @@ class CampaignRunner:
                     summary=summarize_replications(cell.spec, merged),
                     computed=fresh,
                     reused=reused,
+                    path=_cell_path(decisions, spec_hash),
                 )
             )
         return CampaignResult(
@@ -267,11 +389,90 @@ class CampaignRunner:
             cells=tuple(results),
             computed=len(computed) + overhead_runs,
             reused=len(cached),
+            analytic=len(analytic_jobs),
         )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _decide_cells(
+        self,
+        campaign: CampaignSpec,
+        cells: Sequence[CampaignCell],
+        evaluator: Optional[AnalyticCellEvaluator],
+    ) -> Dict[str, AnalyticDecision]:
+        """Per-``spec_hash`` path decisions, in sweep order (so the
+        evaluator's memoized Erlang state advances monotonically across
+        neighboring cells).  ``analytic`` mode fails on the first cell
+        the envelope cannot certify, naming it."""
+        if evaluator is None:
+            return {}
+        decisions: Dict[str, AnalyticDecision] = {}
+        for cell in _simulation_cells(cells):
+            if cell.spec_hash in decisions:
+                continue
+            decision = evaluator.decide(cell.spec)
+            if (
+                campaign.evaluation == "analytic"
+                and not decision.analytic_capable
+            ):
+                raise ConfigurationError(
+                    f"evaluation 'analytic': cell {cell.label!r} cannot be"
+                    f" answered analytically ({decision.reason})"
+                )
+            decisions[cell.spec_hash] = decision
+        return decisions
+
+    def _load_usable(
+        self, spec_hash: str, seed: int, path: str
+    ) -> Optional[ReplicationResult]:
+        """The stored result for this job — only if its record's path
+        satisfies the current decision (see :func:`record_usable`)."""
+        if self._store is None:
+            return None
+        record = self._store.load_record(spec_hash, seed)
+        if record is None or not record_usable(record, path):
+            return None
+        try:
+            return ReplicationResult.from_dict(record["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _answer_analytic(
+        self,
+        campaign: CampaignSpec,
+        cells: Sequence[CampaignCell],
+        jobs: Sequence[_Job],
+        evaluator: Optional[AnalyticCellEvaluator],
+        decisions: Dict[str, AnalyticDecision],
+    ) -> Dict[Tuple[str, int], ReplicationResult]:
+        """Answer the analytic-path jobs inline, with provenance.
+
+        Runs in the coordinating process — each answer is a handful of
+        cached float operations, so no pool (or shard worker) should
+        ever see these jobs.
+        """
+        computed: Dict[Tuple[str, int], ReplicationResult] = {}
+        if not jobs:
+            return computed
+        assert evaluator is not None  # jobs only exist with an evaluator
+        label_by_hash = {c.spec_hash: c.label for c in cells}
+        for spec_hash, seed, spec, index in jobs:
+            result = evaluator.evaluate(spec, index)
+            computed[(spec_hash, seed)] = result
+            if self._store is not None:
+                self._store.put(
+                    spec,
+                    spec_hash,
+                    seed,
+                    result,
+                    campaign=campaign.name,
+                    cell=label_by_hash.get(spec_hash, ""),
+                    path="analytic",
+                    provenance=evaluator.provenance(decisions[spec_hash]),
+                )
+        return computed
+
     def _execute(
         self,
         campaign: CampaignSpec,
@@ -313,6 +514,11 @@ class CampaignRunner:
                 for future in done:
                     persist(futures[future], future.result())
         return computed
+
+
+def _cell_path(decisions: Dict[str, AnalyticDecision], spec_hash: str) -> str:
+    decision = decisions.get(spec_hash)
+    return decision.path if decision is not None else "simulated"
 
 
 def _simulation_cells(

@@ -104,6 +104,23 @@ class SegmentedResultStore(ResultStore):
         """Records currently indexed from segments (all writers)."""
         return len(self._index)
 
+    def mean_record_bytes(self) -> Optional[float]:
+        """Observed NDJSON bytes per indexed record, or ``None`` when the
+        segments hold no records yet.  Drives the layout-aware store
+        size estimate in :meth:`CampaignRunner.plan`: packed NDJSON
+        lines cost their actual bytes, not a filesystem block each."""
+        if not self._index:
+            return None
+        total = 0
+        for path in self._segment_dir.glob("*.ndjson"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        if total <= 0:
+            return None
+        return total / len(self._index)
+
     # ------------------------------------------------------------------
     # read side: segments first, classic layout as fallback
     # ------------------------------------------------------------------
@@ -145,15 +162,18 @@ class SegmentedResultStore(ResultStore):
         *,
         campaign: str = "",
         cell: str = "",
+        path: str = "simulated",
+        provenance=None,
     ) -> Path:
-        record = {
-            "version": RECORD_VERSION,
-            "spec_hash": spec_hash,
-            "seed": int(seed),
-            "campaign": campaign,
-            "cell": cell,
-            "result": result.to_dict(),
-        }
+        record = self._record(
+            spec_hash,
+            seed,
+            result,
+            campaign=campaign,
+            cell=cell,
+            path=path,
+            provenance=provenance,
+        )
         if spec_hash not in self._known_specs:
             # Provenance travels inside the segment (the classic layout
             # uses a spec.json per bucket; segments must not reintroduce

@@ -28,8 +28,13 @@ import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.campaigns.hybrid import (
+    AnalyticCellEvaluator,
+    record_usable,
+    resolve_evaluator,
+)
 from repro.campaigns.runner import CampaignResult, CampaignRunner
 from repro.campaigns.segstore import SegmentedResultStore
 from repro.campaigns.spec import CampaignSpec
@@ -80,8 +85,12 @@ def _shard_worker(
             spec_hash, seed, spec_dict, index, cell = jobs[
                 (offset + position) % n
             ]
-            if store.load_record(spec_hash, seed) is not None:
+            record = store.load_record(spec_hash, seed)
+            if record is not None and record_usable(record, "simulated"):
                 continue  # landed in a segment before this run
+            # (An analytic-path record does not satisfy a simulated-path
+            # job: the coordinator only ships jobs it decided must
+            # simulate, so a stale analytic record is recomputed.)
             if not _claim(claims, spec_hash, seed):
                 continue  # another worker owns it
             spec = ScenarioSpec.from_dict(spec_dict)
@@ -108,7 +117,13 @@ class ShardedCampaignRunner:
     unsharded runs produce identical :class:`CampaignResult` payloads.
     """
 
-    def __init__(self, store: SegmentedResultStore, *, shards: int = 2):
+    def __init__(
+        self,
+        store: SegmentedResultStore,
+        *,
+        shards: int = 2,
+        evaluator: Optional[AnalyticCellEvaluator] = None,
+    ):
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if not isinstance(store, SegmentedResultStore):
@@ -117,6 +132,7 @@ class ShardedCampaignRunner:
             )
         self._store = store
         self._shards = shards
+        self._evaluator = evaluator
 
     def run(self, campaign: CampaignSpec) -> CampaignResult:
         store = self._store
@@ -133,19 +149,53 @@ class ShardedCampaignRunner:
         for path in claims.iterdir():
             path.unlink()
 
+        # Path decisions happen here, in the coordinator: analytic cells
+        # are answered inline into the coordinator's own segment before
+        # any job is shipped, so shard workers only ever see
+        # out-of-envelope (simulated-path) work.
+        evaluator = resolve_evaluator(campaign.evaluation, self._evaluator)
         jobs: List[_WireJob] = []
         seen = set()
+        analytic_executed = 0
         for cell in cells:
             if cell.spec.kind != "simulation":
                 continue  # overhead cells are uncacheable; merge runs them
             spec_hash = cell.spec_hash
             spec_dict = cell.spec.to_dict()
+            decision = (
+                evaluator.decide(cell.spec) if evaluator is not None else None
+            )
+            if (
+                campaign.evaluation == "analytic"
+                and decision is not None
+                and not decision.analytic_capable
+            ):
+                raise ConfigurationError(
+                    f"evaluation 'analytic': cell {cell.label!r} cannot be"
+                    f" answered analytically ({decision.reason})"
+                )
+            path = decision.path if decision is not None else "simulated"
             for index in range(cell.spec.replications):
                 seed = replication_seed(cell.spec.seed, index)
                 if (spec_hash, seed) in seen:
                     continue
                 seen.add((spec_hash, seed))
-                if store.load_record(spec_hash, seed) is not None:
+                record = store.load_record(spec_hash, seed)
+                if record is not None and record_usable(record, path):
+                    continue
+                if path == "analytic":
+                    result = evaluator.evaluate(cell.spec, index)
+                    store.put(
+                        cell.spec,
+                        spec_hash,
+                        seed,
+                        result,
+                        campaign=campaign.name,
+                        cell=cell.label,
+                        path="analytic",
+                        provenance=evaluator.provenance(decision),
+                    )
+                    analytic_executed += 1
                     continue
                 jobs.append((spec_hash, seed, spec_dict, index, cell.label))
 
@@ -176,10 +226,13 @@ class ShardedCampaignRunner:
         # the store, so it loads instead of recomputing (its `computed`
         # counts only uncacheable overhead cells, its `reused` every
         # simulation job).  Restate the split so jobs executed by this
-        # run's shards count as computed, not reused.
-        merged = CampaignRunner(store).run(campaign)
+        # run's shards — and analytic answers produced above — count as
+        # computed, not reused.
+        merged = CampaignRunner(store, evaluator=evaluator).run(campaign)
+        fresh = executed + analytic_executed
         return dataclasses.replace(
             merged,
-            computed=merged.computed + executed,
-            reused=merged.reused - executed,
+            computed=merged.computed + fresh,
+            reused=merged.reused - fresh,
+            analytic=merged.analytic + analytic_executed,
         )

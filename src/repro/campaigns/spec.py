@@ -46,6 +46,15 @@ from repro.scenarios.spec import ScenarioSpec
 #: repeat the work, they do not change what one replication computes.
 _HASH_EXCLUDED = ("name", "replications")
 
+#: How a campaign's cells are answered (``CampaignSpec.evaluation``):
+#: ``simulate`` runs every replication through the discrete-event
+#: engine (the default — bit-identical to pre-hybrid behaviour);
+#: ``hybrid`` answers cells inside the committed model-trust envelope
+#: analytically and simulates the rest; ``analytic`` requires every
+#: cell to be in-envelope and errors otherwise.  Mode descriptions for
+#: reports live in :mod:`repro.campaigns.hybrid`.
+EVALUATION_MODES = ("simulate", "hybrid", "analytic")
+
 
 def _normalize_numbers(value: Any) -> Any:
     """Collapse JSON's int/float spelling split (``60`` vs ``60.0``).
@@ -293,10 +302,19 @@ class CampaignSpec:
     base: Dict[str, Any]
     axes: Tuple[CampaignAxis, ...] = ()
     description: str = ""
+    #: See :data:`EVALUATION_MODES`; ``simulate`` is the default and is
+    #: omitted from serialized specs so pre-hybrid campaign JSON and
+    #: round-trips stay byte-identical.
+    evaluation: str = "simulate"
 
     def __post_init__(self):
         if not self.name:
             raise ConfigurationError("campaign name must be non-empty")
+        if self.evaluation not in EVALUATION_MODES:
+            raise ConfigurationError(
+                f"unknown evaluation mode {self.evaluation!r}; expected"
+                f" one of {EVALUATION_MODES}"
+            )
         if not isinstance(self.base, Mapping):
             raise ConfigurationError("campaign base must be a mapping")
         if "name" in self.base:
@@ -371,11 +389,13 @@ class CampaignSpec:
         }
         if self.description:
             payload["description"] = self.description
+        if self.evaluation != "simulate":
+            payload["evaluation"] = self.evaluation
         return payload
 
     @classmethod
     def from_dict(cls, raw: Mapping[str, Any]) -> "CampaignSpec":
-        unknown = set(raw) - {"name", "base", "axes", "description"}
+        unknown = set(raw) - {"name", "base", "axes", "description", "evaluation"}
         if unknown:
             raise ConfigurationError(f"unknown campaign keys: {sorted(unknown)}")
         missing = {"name", "base"} - set(raw)
@@ -388,6 +408,7 @@ class CampaignSpec:
             base=dict(raw["base"]),
             axes=tuple(raw.get("axes", ())),
             description=str(raw.get("description", "")),
+            evaluation=str(raw.get("evaluation", "simulate")),
         )
 
     def to_json(self, *, indent: int = 2) -> str:

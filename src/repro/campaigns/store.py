@@ -26,7 +26,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.scenarios.runner import ReplicationResult
@@ -35,6 +35,24 @@ from repro.scenarios.spec import ScenarioSpec
 #: Bump when the record schema changes; mismatched records are ignored
 #: (recomputed), never misread.
 RECORD_VERSION = 1
+
+#: Evaluation paths a record may carry.  ``simulated`` results come from
+#: the discrete-event engine, ``analytic`` ones from the queueing-model
+#: fast path (``repro.campaigns.hybrid``).  The field is additive within
+#: RECORD_VERSION 1: records written before it existed carry no ``path``
+#: key and rehydrate as ``simulated`` (see :func:`record_path`).
+RECORD_PATHS = ("simulated", "analytic")
+
+
+def record_path(record: Mapping[str, Any]) -> str:
+    """The evaluation path of a stored record (``simulated`` default).
+
+    >>> record_path({"path": "analytic"})
+    'analytic'
+    >>> record_path({})                      # pre-provenance record
+    'simulated'
+    """
+    return str(record.get("path", RECORD_PATHS[0]))
 
 
 class ResultStore:
@@ -149,28 +167,66 @@ class ResultStore:
         *,
         campaign: str = "",
         cell: str = "",
+        path: str = "simulated",
+        provenance: Optional[Mapping[str, Any]] = None,
     ) -> Path:
         """Persist one replication result atomically.
 
-        The containing bucket also gets a one-time ``spec.json`` with
-        the scenario that produced it, for human audit of a store.
+        ``path`` tags how the result was produced (``simulated`` or
+        ``analytic``); analytic results carry their admission
+        ``provenance`` (manifest version, the envelope rule that
+        admitted the cell) so a store is auditable after the fact.  The
+        containing bucket also gets a one-time ``spec.json`` with the
+        scenario that produced it, for human audit of a store.
         """
+        record = self._record(
+            spec_hash,
+            seed,
+            result,
+            campaign=campaign,
+            cell=cell,
+            path=path,
+            provenance=provenance,
+        )
         bucket = self._bucket(spec_hash)
         bucket.mkdir(parents=True, exist_ok=True)
-        provenance = bucket / "spec.json"
-        if not provenance.exists():
-            self._write_atomic(provenance, spec.to_dict())
-        record = {
+        spec_path = bucket / "spec.json"
+        if not spec_path.exists():
+            self._write_atomic(spec_path, spec.to_dict())
+        record_file = self.record_path(spec_hash, seed)
+        self._write_atomic(record_file, record)
+        return record_file
+
+    def _record(
+        self,
+        spec_hash: str,
+        seed: int,
+        result: ReplicationResult,
+        *,
+        campaign: str,
+        cell: str,
+        path: str,
+        provenance: Optional[Mapping[str, Any]],
+    ) -> Dict[str, Any]:
+        """The record mapping both layouts persist (schema additive:
+        ``path``/``analytic`` appeared after RECORD_VERSION 1 records
+        already existed, so readers must treat them as optional)."""
+        if path not in RECORD_PATHS:
+            raise ConfigurationError(
+                f"unknown record path {path!r}; expected one of {RECORD_PATHS}"
+            )
+        record: Dict[str, Any] = {
             "version": RECORD_VERSION,
             "spec_hash": spec_hash,
             "seed": int(seed),
             "campaign": campaign,
             "cell": cell,
+            "path": path,
             "result": result.to_dict(),
         }
-        path = self.record_path(spec_hash, seed)
-        self._write_atomic(path, record)
-        return path
+        if provenance is not None:
+            record["analytic"] = dict(provenance)
+        return record
 
     def _write_atomic(self, path: Path, payload: Dict[str, Any]) -> None:
         fd, tmp = tempfile.mkstemp(

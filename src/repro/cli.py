@@ -12,9 +12,12 @@ Usage::
     python -m repro all            # everything, scaled protocols
     python -m repro list-policies        # registered scheduling policies
     python -m repro list-arrival-models  # registered arrival models
+    python -m repro list-evaluation-modes  # campaign evaluation paths
     python -m repro run-scenario examples/scenarios/smoke.json --workers 4
     python -m repro run-scenario examples/scenarios/mmpp2_burst.json
     python -m repro run-campaign examples/campaigns/smoke.json --store runs/
+    python -m repro run-campaign examples/campaigns/hybrid_smoke.json \
+        --store runs/ --evaluation hybrid   # analytic fast path
     python -m repro campaign-report examples/campaigns/smoke.json --store runs/
     python -m repro fidelity --grid small --json   # model-vs-sim audit
     python -m repro fidelity --grid burst          # drift under MMPP traffic
@@ -32,6 +35,7 @@ sweep the engine can express is reachable without writing a driver.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -147,8 +151,36 @@ def _open_store(path_text: str) -> ResultStore:
     return ResultStore(root)
 
 
+def _campaign_evaluator(args, campaign: CampaignSpec):
+    """The :class:`AnalyticCellEvaluator` for hybrid/analytic runs.
+
+    ``simulate`` campaigns get ``None`` — the default mode loads no
+    manifest and builds no evaluator.  An explicitly named ``--manifest``
+    must exist; the default falls back to the evaluator's own search
+    (working directory, then package checkout).
+    """
+    if campaign.evaluation == "simulate":
+        return None
+    from repro.campaigns.hybrid import AnalyticCellEvaluator
+
+    kwargs = {"safety_margin": args.safety_margin}
+    if args.manifest != str(DEFAULT_FIDELITY_MANIFEST):
+        manifest_path = Path(args.manifest)
+        if not manifest_path.exists():
+            raise SystemExit(f"tolerance manifest not found: {manifest_path}")
+        return AnalyticCellEvaluator(
+            ToleranceManifest.load(manifest_path),
+            manifest_path=manifest_path,
+            **kwargs,
+        )
+    return AnalyticCellEvaluator.default(**kwargs)
+
+
 def _run_campaign(args) -> str:
     campaign = _load_campaign(args.spec)
+    if args.evaluation is not None:
+        campaign = dataclasses.replace(campaign, evaluation=args.evaluation)
+    evaluator = _campaign_evaluator(args, campaign)
     if args.shards is not None:
         if not args.store:
             raise SystemExit("--shards requires --store (per-worker segments)")
@@ -159,12 +191,16 @@ def _run_campaign(args) -> str:
 
         store = SegmentedResultStore(args.store, segment="coordinator")
         if args.dry_run:
-            plan = CampaignRunner(store).plan(campaign)
+            plan = CampaignRunner(store, evaluator=evaluator).plan(campaign)
             return report.render_campaign_plan(campaign.name, plan)
-        result = ShardedCampaignRunner(store, shards=args.shards).run(campaign)
+        result = ShardedCampaignRunner(
+            store, shards=args.shards, evaluator=evaluator
+        ).run(campaign)
     else:
         store = _open_store(args.store) if args.store else None
-        runner = CampaignRunner(store, max_workers=args.workers)
+        runner = CampaignRunner(
+            store, max_workers=args.workers, evaluator=evaluator
+        )
         if args.dry_run:
             return report.render_campaign_plan(
                 campaign.name, runner.plan(campaign)
@@ -253,6 +289,12 @@ def _list_policies(args) -> str:
 
 def _list_arrival_models(args) -> str:
     return report.render_arrival_models(available_arrival_models())
+
+
+def _list_evaluation_modes(args) -> str:
+    from repro.campaigns.hybrid import EVALUATION_MODE_DESCRIPTIONS
+
+    return report.render_evaluation_modes(EVALUATION_MODE_DESCRIPTIONS)
 
 
 def _all(args) -> str:
@@ -389,11 +431,21 @@ def build_parser() -> argparse.ArgumentParser:
             " paths like arrival_model.burst_ratio) and execute every"
             " cell.  With --store, completed replications are"
             " content-addressed and reused, so an interrupted sweep"
-            " resumes losing only in-flight work."
+            " resumes losing only in-flight work.  With --shards N the"
+            " work-stealing executor races N processes over the grid"
+            " (results land in per-worker segments; see `repro"
+            " store-compact` to migrate an older per-file store)."
+            "  With --evaluation hybrid, cells inside the committed"
+            " tolerance envelope are answered from the queueing model"
+            " and tagged with analytic provenance; see `repro"
+            " list-evaluation-modes`."
         ),
         epilog=(
-            "example: repro run-campaign"
+            "examples: repro run-campaign"
             " examples/campaigns/burst_sweep.json --store runs/"
+            " --shards 4 | repro run-campaign"
+            " examples/campaigns/hybrid_smoke.json --store runs/"
+            " --evaluation hybrid --dry-run"
         ),
     )
     pc.add_argument("spec", help="path to a CampaignSpec JSON file")
@@ -423,6 +475,29 @@ def build_parser() -> argparse.ArgumentParser:
         " compacted per-worker segments)",
     )
     pc.add_argument(
+        "--evaluation",
+        choices=["simulate", "hybrid", "analytic"],
+        default=None,
+        help="override the spec's evaluation mode: simulate every cell,"
+        " answer manifest-certified cells analytically (hybrid), or"
+        " require the analytic path everywhere (see `repro"
+        " list-evaluation-modes`)",
+    )
+    pc.add_argument(
+        "--manifest",
+        default=str(DEFAULT_FIDELITY_MANIFEST),
+        help="tolerance manifest the hybrid/analytic evaluator trusts"
+        " (default: the committed fidelity envelope)",
+    )
+    pc.add_argument(
+        "--safety-margin",
+        dest="safety_margin",
+        type=float,
+        default=1.0,
+        help="scale the manifest envelope before admission; values > 1"
+        " only ever convert analytic cells to simulated ones",
+    )
+    pc.add_argument(
         "--json", action="store_true", help="print the campaign result as JSON"
     )
     pc.set_defaults(handler=_run_campaign)
@@ -450,10 +525,15 @@ def build_parser() -> argparse.ArgumentParser:
             " cell of the campaign from stored replications (mean,"
             " ~95% CI, p95) without simulating anything.  Cells whose"
             " replications are not all stored are reported as missing."
+            "  Reads classic per-file stores, compacted segment stores"
+            " (`repro store-compact`) and sharded-run output alike, and"
+            " breaks each cell down by evaluation path (simulated vs"
+            " analytic provenance) when a hybrid run produced it."
         ),
         epilog=(
             "example: repro campaign-report"
             " examples/campaigns/smoke.json --store runs/ --json"
+            " (works on sharded and compacted stores too)"
         ),
     )
     pr.add_argument("spec", help="path to a CampaignSpec JSON file")
@@ -540,6 +620,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     pm.set_defaults(handler=_list_arrival_models)
+
+    pe = sub.add_parser(
+        "list-evaluation-modes",
+        help="campaign evaluation modes (simulate / hybrid / analytic)",
+        description=(
+            "List the campaign evaluation modes.  A CampaignSpec's"
+            " optional 'evaluation' field (or run-campaign's"
+            " --evaluation flag) selects one; 'hybrid' answers cells"
+            " inside the committed tolerance envelope from the queueing"
+            " model and simulates the rest."
+        ),
+    )
+    pe.set_defaults(handler=_list_evaluation_modes)
 
     return parser
 

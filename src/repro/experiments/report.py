@@ -178,11 +178,19 @@ def render_scenario(summary) -> str:
 
 
 def render_campaign(result: CampaignResult) -> str:
-    """A campaign run: per-cell summary rows plus cache accounting."""
-    lines = [
+    """A campaign run: per-cell summary rows plus cache accounting.
+
+    The analytic-path accounting only appears for hybrid/analytic
+    campaigns, so ``evaluation: "simulate"`` output stays byte-identical
+    to releases that predate the fast path.
+    """
+    header = (
         f"Campaign {result.campaign.name}: cells={len(result.cells)}"
         f" computed={result.computed} reused={result.reused}"
-    ]
+    )
+    if result.campaign.evaluation != "simulate":
+        header += f" analytic={result.analytic}"
+    lines = [header]
     for cell_result in result.cells:
         summary = cell_result.summary
         if summary.extra and "overhead_rows" in summary.extra:
@@ -204,11 +212,16 @@ def render_campaign(result: CampaignResult) -> str:
             if summary.std_between is not None
             else "-"
         )
+        path = (
+            f"  path={cell_result.path}"
+            if cell_result.path != "simulated"
+            else ""
+        )
         lines.append(
             f"  {cell_result.cell.label}: mean={mean:>12}  std={spread:>12}"
             f"  reps={len(summary.replications)}"
             f"  (computed={cell_result.computed}"
-            f" reused={cell_result.reused})"
+            f" reused={cell_result.reused}){path}"
         )
     return "\n".join(lines)
 
@@ -222,6 +235,18 @@ def render_campaign_plan(name: str, plan: CampaignPlan) -> str:
     if plan.axes:
         shape = " x ".join(f"{n}({name})" for name, n in plan.axes)
         lines.append(f"  grid: {shape} = {plan.cells} cells")
+    if plan.evaluation != "simulate":
+        lines.append(
+            f"  evaluation: {plan.evaluation}"
+            f" ({plan.analytic_cells} cells analytic,"
+            f" {plan.simulated_cells} simulated;"
+            f" {plan.analytic_jobs} uncached analytic jobs)"
+        )
+        lines.append(
+            "  estimated wall time:"
+            f" analytic ~{_seconds(plan.estimated_analytic_seconds)}"
+            f" + simulated ~{_seconds(plan.estimated_simulated_seconds)}"
+        )
     if plan.estimated_store_bytes:
         size = plan.estimated_store_bytes
         if size >= 1 << 20:
@@ -248,10 +273,33 @@ def render_campaign_aggregate(aggregator: CampaignAggregator) -> str:
             else "-"
         )
         missing = f"  MISSING {row['missing']}" if row["missing"] else ""
+        analytic = (
+            f"  analytic={row['analytic']}" if row.get("analytic") else ""
+        )
         lines.append(
             f"  {row['label']}: mean={mean:>12} {ci:>14}  p95={p95:>12}"
-            f"  reps={row['replications']}{missing}"
+            f"  reps={row['replications']}{analytic}{missing}"
         )
+    return "\n".join(lines)
+
+
+def _seconds(value: float) -> str:
+    """Human wall-time for the plan's coarse estimates."""
+    if value < 0.1:
+        return "<0.1 s"
+    if value < 120.0:
+        return f"{value:.1f} s"
+    if value < 7200.0:
+        return f"{value / 60.0:.1f} min"
+    return f"{value / 3600.0:.1f} h"
+
+
+def render_evaluation_modes(modes) -> str:
+    """The campaign evaluation modes as ``name - description`` rows."""
+    lines = ["Campaign evaluation modes:"]
+    width = max(len(name) for name in modes) if modes else 0
+    for name, description in modes.items():
+        lines.append(f"  {name:<{width}}  {description}")
     return "\n".join(lines)
 
 

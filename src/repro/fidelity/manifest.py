@@ -39,7 +39,7 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, Mapping
+from typing import Any, Dict, Iterable, Mapping, Tuple
 
 from repro.exceptions import ConfigurationError
 
@@ -90,10 +90,39 @@ class ToleranceManifest:
         arrival: str = "poisson",
     ) -> float:
         """The cell's tolerance: max of default + applicable overrides."""
+        return self.tolerance_with_rule(
+            metric,
+            topology=topology,
+            discipline=discipline,
+            scv=scv,
+            rho=rho,
+            arrival=arrival,
+        )[0]
+
+    def tolerance_with_rule(
+        self,
+        metric: str,
+        *,
+        topology: str,
+        discipline: str,
+        scv: float,
+        rho: float,
+        arrival: str = "poisson",
+    ) -> Tuple[float, str]:
+        """``(tolerance, rule)``: the envelope plus the entry that set it.
+
+        The rule names the manifest entry binding under the max rule —
+        ``"default"`` or ``"<group>:<key>"`` (``"rho:0.9"``, say).  When
+        several entries tie, the first in manifest order wins (default,
+        then the override groups in :data:`_GROUPS` order), so the
+        attribution is deterministic.  Unlisted metrics report
+        ``(inf, "unlisted")`` — reported by the audit, never certified.
+        """
         entry = self.metrics.get(metric)
         if entry is None:
-            return math.inf  # unlisted metrics are reported, not enforced
+            return math.inf, "unlisted"
         tolerance = float(entry["default"])
+        rule = "default"
         for group, value in (
             ("topology", topology),
             ("discipline", discipline),
@@ -102,9 +131,10 @@ class ToleranceManifest:
             ("arrival", arrival),
         ):
             override = entry.get(group, {}).get(value)
-            if override is not None:
-                tolerance = max(tolerance, float(override))
-        return tolerance
+            if override is not None and float(override) > tolerance:
+                tolerance = float(override)
+                rule = f"{group}:{value}"
+        return tolerance, rule
 
     # ------------------------------------------------------------------
     # serialization

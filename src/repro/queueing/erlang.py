@@ -268,6 +268,24 @@ class ErlangMarginalEvaluator:
         """Marginal benefit at the current ``k`` (Algorithm 1's delta)."""
         return self._delta
 
+    def advance_to(self, k: int) -> float:
+        """Advance the recurrence to server count ``k``; returns E[T](k).
+
+        The Erlang-B recurrence only runs forward, so ``k`` must be at
+        or beyond the current position.  Each step is O(1) — this is
+        what lets one evaluator answer a whole ascending-``k`` sweep
+        (neighboring campaign cells sharing ``(lam, mu)``) for the cost
+        of a single warm-up, instead of an O(k) Erlang-B per cell.
+        """
+        if k < self.k:
+            raise ValueError(
+                f"cannot rewind evaluator from k={self.k} to k={k};"
+                " the Erlang-B recurrence only runs forward"
+            )
+        while self.k < k:
+            self.advance()
+        return self._cur
+
     def advance(self) -> float:
         """Move from ``k`` to ``k + 1`` in O(1); returns the new delta.
 
