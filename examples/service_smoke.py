@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Service smoke: drive a campaign through the HTTP job server.
+
+Boots an in-process :class:`repro.service.CampaignService` on an
+ephemeral port (or talks to an already-running server via ``--url``),
+submits a campaign spec over HTTP, tails the NDJSON aggregate stream
+while replications land, and polls the job to completion.
+
+Because jobs execute against a content-addressed result store, running
+this script twice with the same ``--store`` proves the resume
+contract: the second submission re-enqueues the same job id and
+finishes with ``computed=0`` — every replication served from the
+store, nothing recomputed.  CI's ``service-smoke`` job does exactly
+that and asserts on this script's output.
+
+Run::
+
+    python examples/service_smoke.py --store service-store
+    python examples/service_smoke.py --store service-store  # computed=0
+    python examples/service_smoke.py --url http://127.0.0.1:8151 \
+        --campaign examples/campaigns/smoke.json
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.service import CampaignService, ServiceClient, ServiceConfig
+
+DEFAULT_CAMPAIGN = Path(__file__).parent / "campaigns" / "smoke.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--campaign",
+        default=str(DEFAULT_CAMPAIGN),
+        help="CampaignSpec JSON file to submit (default: the smoke grid)",
+    )
+    parser.add_argument(
+        "--store",
+        default="service-store",
+        help="result-store directory (in-process server mode)",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="talk to an already-running server instead of booting one",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="per-job replication workers (in-process server mode)",
+    )
+    parser.add_argument(
+        "--stream-out",
+        default="service-stream.ndjson",
+        help="write the streamed aggregate snapshots here (NDJSON)",
+    )
+    args = parser.parse_args()
+
+    campaign = json.loads(Path(args.campaign).read_text())
+
+    service = None
+    if args.url is None:
+        service = CampaignService(
+            ServiceConfig(
+                store=Path(args.store),
+                port=0,  # ephemeral: no clash with a real deployment
+                job_workers=1,
+                campaign_workers=args.workers,
+                poll_interval=0.1,
+            )
+        )
+        service.start()
+        url = service.url
+        print(f"booted in-process service at {url} (store: {args.store})")
+    else:
+        url = args.url
+        print(f"using running service at {url}")
+
+    try:
+        client = ServiceClient(url)
+        job = client.submit(campaign=campaign)
+        print(f"submitted job {job['id']} ({job['name']}): {job['state']}")
+
+        # Tail the stream: one line per aggregate change until terminal.
+        snapshots = []
+        for snapshot in client.stream(job["id"]):
+            snapshots.append(snapshot)
+            progress = snapshot["progress"]
+            print(
+                f"  stream seq={snapshot['seq']} state={snapshot['state']}"
+                f" stored={progress['stored']}/{progress['total']}"
+            )
+        Path(args.stream_out).write_text(
+            "".join(json.dumps(s, sort_keys=True) + "\n" for s in snapshots)
+        )
+        print(f"wrote {len(snapshots)} snapshots to {args.stream_out}")
+
+        final = client.wait(job["id"], timeout=600)
+        if final["state"] != "done":
+            print(f"job ended {final['state']}: {final['error']}")
+            return 1
+        result = final["result"]
+        print(
+            f"service run: campaign={result['campaign']}"
+            f" computed={result['computed']} reused={result['reused']}"
+            f" analytic={result['analytic']}"
+        )
+        for cell in result["cells"]:
+            print(
+                f"  {cell['label']:<24} path={cell['path']:<9}"
+                f" mean_sojourn={cell['mean_sojourn']:.4f}"
+            )
+        return 0
+    finally:
+        if service is not None:
+            service.shutdown()
+            print("service stopped")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

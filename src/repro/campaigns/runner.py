@@ -40,7 +40,7 @@ from repro.campaigns.hybrid import (
 )
 from repro.campaigns.spec import CampaignCell, CampaignSpec
 from repro.campaigns.store import ResultStore
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CampaignCancelled, ConfigurationError
 from repro.scenarios.runner import (
     ReplicationResult,
     ScenarioRunner,
@@ -204,6 +204,14 @@ class CampaignRunner:
     hybrid/analytic campaigns; when omitted, those modes build the
     default evaluator from the committed tolerance manifest.  Campaigns
     with ``evaluation: "simulate"`` never consult it.
+
+    ``cancel`` is an optional :class:`threading.Event` (anything with
+    an ``is_set()`` method) polled between job completions.  Once set,
+    the runner stops dispatching, persists every result that already
+    finished, and raises :class:`~repro.exceptions.CampaignCancelled` —
+    so a cancelled campaign resumes from its store losing only work in
+    flight.  This is the hook the job service's cancel endpoint (and
+    its shutdown path) relies on.
     """
 
     def __init__(
@@ -212,12 +220,21 @@ class CampaignRunner:
         *,
         max_workers: Optional[int] = None,
         evaluator: Optional[AnalyticCellEvaluator] = None,
+        cancel=None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1 when set")
         self._store = store
         self._max_workers = max_workers
         self._evaluator = evaluator
+        self._cancel = cancel
+
+    def _check_cancelled(self, campaign: CampaignSpec) -> None:
+        if self._cancel is not None and self._cancel.is_set():
+            raise CampaignCancelled(
+                f"campaign {campaign.name!r} cancelled; completed"
+                " replications are persisted in the store"
+            )
 
     # ------------------------------------------------------------------
     # planning
@@ -346,6 +363,7 @@ class CampaignRunner:
         overhead_runs = 0
         for cell in cells:
             if cell.spec.kind != "simulation":
+                self._check_cancelled(campaign)
                 summary = ScenarioRunner(max_workers=1).run(cell.spec)
                 overhead_runs += 1
                 results.append(
@@ -455,6 +473,7 @@ class CampaignRunner:
         computed: Dict[Tuple[str, int], ReplicationResult] = {}
         if not jobs:
             return computed
+        self._check_cancelled(campaign)
         assert evaluator is not None  # jobs only exist with an evaluator
         label_by_hash = {c.spec_hash: c.label for c in cells}
         for spec_hash, seed, spec, index in jobs:
@@ -501,6 +520,7 @@ class CampaignRunner:
         workers = min(workers, len(jobs))
         if workers <= 1:
             for job in jobs:
+                self._check_cancelled(campaign)
                 persist(job, _run_job(job))
             return computed
         # submit/wait rather than map: each result is persisted the
@@ -513,6 +533,18 @@ class CampaignRunner:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     persist(futures[future], future.result())
+                if (
+                    pending
+                    and self._cancel is not None
+                    and self._cancel.is_set()
+                ):
+                    # Completed results above are already persisted;
+                    # unstarted jobs are withdrawn and in-flight ones
+                    # finish but are discarded — the store keeps
+                    # exactly the work that completed.
+                    for future in pending:
+                        future.cancel()
+                    self._check_cancelled(campaign)
         return computed
 
 

@@ -21,43 +21,49 @@ Usage::
     python -m repro campaign-report examples/campaigns/smoke.json --store runs/
     python -m repro fidelity --grid small --json   # model-vs-sim audit
     python -m repro fidelity --grid burst          # drift under MMPP traffic
+    python -m repro serve --store runs/ --port 8151  # campaigns over HTTP
 
-The CLI is a thin wrapper over :mod:`repro.experiments`,
-:mod:`repro.scenarios`, :mod:`repro.campaigns`, :mod:`repro.workloads`
-and :mod:`repro.fidelity`; it prints the same text reports the
-benchmarks do.  ``run-scenario`` executes any JSON
+Every verb is a thin client over :mod:`repro.api` — the same facade
+the HTTP service (:mod:`repro.service`) and any notebook or driver
+script use — so the CLI, the service and programmatic callers can
+never drift apart.  ``run-scenario`` executes any JSON
 :class:`ScenarioSpec` (including its ``arrival_model``);
 ``run-campaign`` expands and executes a JSON :class:`CampaignSpec`
-grid, skipping any replication already in the ``--store`` — every
-sweep the engine can express is reachable without writing a driver.
+grid, skipping any replication already in the ``--store``; ``serve``
+turns the same engine into a long-running job server.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.campaigns.aggregate import aggregate_from_store
-from repro.campaigns.runner import CampaignRunner
-from repro.campaigns.spec import CampaignSpec
-from repro.campaigns.store import ResultStore
+from repro import api
 from repro.exceptions import DRSError
 from repro.experiments import baselines, fig6, fig7, fig8, fig9, fig10, report, table2
 from repro.fidelity import GRIDS, ToleranceManifest, generate_manifest, run_audit
 from repro.fidelity.report import render_audit
-from repro.scenarios.registry import available_policies
-from repro.scenarios.runner import ScenarioRunner
-from repro.scenarios.spec import ScenarioSpec
-from repro.workloads import available_arrival_models
 
 #: Default tolerance manifest (the committed error envelope); resolved
 #: relative to the working directory — present in a repo checkout, and
 #: overridable with ``--manifest`` everywhere else.
 DEFAULT_FIDELITY_MANIFEST = Path("tests/golden/fidelity_tolerances.json")
+
+
+def _manifest_argument(args) -> Optional[Path]:
+    """The ``--manifest`` value :func:`repro.api` should see.
+
+    The committed default may be silently absent (running outside a
+    repo checkout) — the evaluator then falls back to its own search —
+    so only an explicitly named manifest is passed through, where the
+    API enforces existence.
+    """
+    if args.manifest == str(DEFAULT_FIDELITY_MANIFEST):
+        return None
+    return Path(args.manifest)
 
 
 def _fig6(args) -> str:
@@ -117,95 +123,40 @@ def _baselines(args) -> str:
 
 
 def _run_scenario(args) -> str:
-    path = Path(args.spec)
-    if not path.exists():
-        raise SystemExit(f"scenario spec not found: {path}")
-    spec = ScenarioSpec.from_json(path.read_text())
-    if args.replications is not None:
-        spec = ScenarioSpec.from_dict(
-            {**spec.to_dict(), "replications": args.replications}
-        )
-    runner = ScenarioRunner(max_workers=args.workers)
-    summary = runner.run(spec)
+    summary = api.run_scenario(
+        args.spec, workers=args.workers, replications=args.replications
+    )
     if args.json:
         return summary.to_json(indent=2)
     return report.render_scenario(summary)
 
 
-def _load_campaign(path_text: str) -> CampaignSpec:
-    path = Path(path_text)
-    if not path.exists():
-        raise SystemExit(f"campaign spec not found: {path}")
-    return CampaignSpec.from_json(path.read_text())
-
-
-def _open_store(path_text: str) -> ResultStore:
-    """Open a result store, sniffing its layout: stores that have been
-    compacted (or written by shard workers) get the segment-aware
-    reader, everything else the classic per-file one."""
-    root = Path(path_text)
-    if (root / "segments").is_dir():
-        from repro.campaigns.segstore import SegmentedResultStore
-
-        return SegmentedResultStore(root)
-    return ResultStore(root)
-
-
-def _campaign_evaluator(args, campaign: CampaignSpec):
-    """The :class:`AnalyticCellEvaluator` for hybrid/analytic runs.
-
-    ``simulate`` campaigns get ``None`` — the default mode loads no
-    manifest and builds no evaluator.  An explicitly named ``--manifest``
-    must exist; the default falls back to the evaluator's own search
-    (working directory, then package checkout).
-    """
-    if campaign.evaluation == "simulate":
-        return None
-    from repro.campaigns.hybrid import AnalyticCellEvaluator
-
-    kwargs = {"safety_margin": args.safety_margin}
-    if args.manifest != str(DEFAULT_FIDELITY_MANIFEST):
-        manifest_path = Path(args.manifest)
-        if not manifest_path.exists():
-            raise SystemExit(f"tolerance manifest not found: {manifest_path}")
-        return AnalyticCellEvaluator(
-            ToleranceManifest.load(manifest_path),
-            manifest_path=manifest_path,
-            **kwargs,
-        )
-    return AnalyticCellEvaluator.default(**kwargs)
-
-
 def _run_campaign(args) -> str:
-    campaign = _load_campaign(args.spec)
-    if args.evaluation is not None:
-        campaign = dataclasses.replace(campaign, evaluation=args.evaluation)
-    evaluator = _campaign_evaluator(args, campaign)
     if args.shards is not None:
         if not args.store:
             raise SystemExit("--shards requires --store (per-worker segments)")
         if args.shards < 1:
             raise SystemExit(f"--shards must be >= 1, got {args.shards}")
-        from repro.campaigns.segstore import SegmentedResultStore
-        from repro.campaigns.shard import ShardedCampaignRunner
-
-        store = SegmentedResultStore(args.store, segment="coordinator")
-        if args.dry_run:
-            plan = CampaignRunner(store, evaluator=evaluator).plan(campaign)
-            return report.render_campaign_plan(campaign.name, plan)
-        result = ShardedCampaignRunner(
-            store, shards=args.shards, evaluator=evaluator
-        ).run(campaign)
-    else:
-        store = _open_store(args.store) if args.store else None
-        runner = CampaignRunner(
-            store, max_workers=args.workers, evaluator=evaluator
+    campaign = api.load_campaign(args.spec)
+    manifest = _manifest_argument(args)
+    if args.dry_run:
+        plan = api.plan(
+            campaign,
+            store=args.store,
+            evaluation=args.evaluation,
+            manifest=manifest,
+            safety_margin=args.safety_margin,
         )
-        if args.dry_run:
-            return report.render_campaign_plan(
-                campaign.name, runner.plan(campaign)
-            )
-        result = runner.run(campaign)
+        return report.render_campaign_plan(campaign.name, plan)
+    result = api.run_campaign(
+        campaign,
+        store=args.store,
+        workers=args.workers,
+        shards=args.shards,
+        evaluation=args.evaluation,
+        manifest=manifest,
+        safety_margin=args.safety_margin,
+    )
     if args.json:
         return json.dumps(result.to_dict(), indent=2, sort_keys=True)
     return report.render_campaign(result)
@@ -226,13 +177,7 @@ def _store_compact(args) -> str:
 
 
 def _campaign_report(args) -> str:
-    campaign = _load_campaign(args.spec)
-    store_dir = Path(args.store)
-    # Read-only verb: a typo'd --store must error, not silently create
-    # an empty store and report every replication missing.
-    if not store_dir.is_dir():
-        raise SystemExit(f"result store not found: {store_dir}")
-    aggregator = aggregate_from_store(campaign, _open_store(str(store_dir)))
+    aggregator = api.aggregate(args.spec, args.store)
     if args.json:
         return json.dumps(aggregator.to_dict(), indent=2, sort_keys=True)
     return report.render_campaign_aggregate(aggregator)
@@ -245,7 +190,7 @@ def _fidelity(args):
     tolerance manifest (or no manifest is in play), exit 1 on any
     violation — the contract the CI ``fidelity-smoke`` job enforces.
     """
-    store = ResultStore(args.store) if args.store else None
+    store = api.open_store(args.store) if args.store else None
     audit = run_audit(args.grid, store=store, max_workers=args.workers)
 
     manifest = None
@@ -283,18 +228,43 @@ def _fidelity(args):
     return text, (1 if violations else 0)
 
 
+def _serve(args) -> str:
+    """Run the HTTP campaign service until interrupted (Ctrl-C)."""
+    from repro.service import CampaignService, ServiceConfig
+
+    manifest = _manifest_argument(args)
+    if manifest is not None and not manifest.exists():
+        raise SystemExit(f"tolerance manifest not found: {manifest}")
+    service = CampaignService(
+        ServiceConfig(
+            store=Path(args.store),
+            host=args.host,
+            port=args.port,
+            job_workers=args.job_workers,
+            campaign_workers=args.workers,
+            manifest=manifest,
+            safety_margin=args.safety_margin,
+        )
+    )
+    print(
+        f"repro service listening on {service.url}"
+        f" (store: {args.store}, job workers: {args.job_workers})",
+        flush=True,
+    )
+    service.serve_forever()
+    return "service stopped"
+
+
 def _list_policies(args) -> str:
-    return report.render_policies(available_policies())
+    return report.render_policies(api.available_policies())
 
 
 def _list_arrival_models(args) -> str:
-    return report.render_arrival_models(available_arrival_models())
+    return report.render_arrival_models(api.available_arrival_models())
 
 
 def _list_evaluation_modes(args) -> str:
-    from repro.campaigns.hybrid import EVALUATION_MODE_DESCRIPTIONS
-
-    return report.render_evaluation_modes(EVALUATION_MODE_DESCRIPTIONS)
+    return report.render_evaluation_modes(api.available_evaluation_modes())
 
 
 def _all(args) -> str:
@@ -351,20 +321,36 @@ def build_parser() -> argparse.ArgumentParser:
             help="rate scale for FPD (events shrink, shape preserved)",
         )
 
-    p6 = sub.add_parser("fig6", help="sojourn mean/std per allocation")
+    p6 = sub.add_parser(
+        "fig6",
+        help="sojourn mean/std per allocation",
+        epilog="example: repro fig6 --app fpd --duration 300 --scale 0.5",
+    )
     add_app(p6, 480.0)
     p6.set_defaults(handler=_fig6)
 
-    p7 = sub.add_parser("fig7", help="estimated vs measured sojourn")
+    p7 = sub.add_parser(
+        "fig7",
+        help="estimated vs measured sojourn",
+        epilog="example: repro fig7 --app vld --duration 600",
+    )
     add_app(p7, 480.0)
     p7.set_defaults(handler=_fig7)
 
-    p8 = sub.add_parser("fig8", help="underestimation vs bolt CPU time")
+    p8 = sub.add_parser(
+        "fig8",
+        help="underestimation vs bolt CPU time",
+        epilog="example: repro fig8 --duration 250 --warmup 30",
+    )
     p8.add_argument("--duration", type=float, default=250.0)
     p8.add_argument("--warmup", type=float, default=30.0)
     p8.set_defaults(handler=_fig8)
 
-    p9 = sub.add_parser("fig9", help="re-balancing convergence timelines")
+    p9 = sub.add_parser(
+        "fig9",
+        help="re-balancing convergence timelines",
+        epilog="example: repro fig9 --app vld --enable-at 300 --bucket 30",
+    )
     p9.add_argument("--app", choices=["vld", "fpd"], default="vld")
     p9.add_argument("--enable-at", dest="enable_at", type=float, default=300.0)
     p9.add_argument("--duration", type=float, default=660.0)
@@ -372,21 +358,40 @@ def build_parser() -> argparse.ArgumentParser:
     p9.add_argument("--scale", type=float, default=0.4)
     p9.set_defaults(handler=_fig9)
 
-    p10 = sub.add_parser("fig10", help="Tmax-driven machine scaling")
+    p10 = sub.add_parser(
+        "fig10",
+        help="Tmax-driven machine scaling",
+        epilog="example: repro fig10 --enable-at 240 --duration 720",
+    )
     p10.add_argument("--enable-at", dest="enable_at", type=float, default=240.0)
     p10.add_argument("--duration", type=float, default=720.0)
     p10.add_argument("--bucket", type=float, default=30.0)
     p10.set_defaults(handler=_fig10)
 
-    pt = sub.add_parser("table2", help="DRS-layer computation overheads")
+    pt = sub.add_parser(
+        "table2",
+        help="DRS-layer computation overheads",
+        epilog="example: repro table2 --repetitions 2000",
+    )
     pt.add_argument("--repetitions", type=int, default=2000)
     pt.set_defaults(handler=_table2)
 
-    pb = sub.add_parser("baselines", help="DRS vs baseline allocators")
+    pb = sub.add_parser(
+        "baselines",
+        help="DRS vs baseline allocators",
+        epilog="example: repro baselines --app vld --duration 300",
+    )
     add_app(pb, 300.0)
     pb.set_defaults(handler=_baselines)
 
-    pa = sub.add_parser("all", help="every artefact, scaled protocols")
+    pa = sub.add_parser(
+        "all",
+        help="every artefact, scaled protocols",
+        epilog=(
+            "runs fig6 (both apps), fig8, fig9, fig10 and table2 with"
+            " scaled protocols; expect several minutes of simulation"
+        ),
+    )
     pa.set_defaults(handler=_all)
 
     ps = sub.add_parser(
@@ -596,6 +601,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pf.set_defaults(handler=_fidelity)
 
+    pv = sub.add_parser(
+        "serve",
+        help="run the HTTP campaign service (submit/poll/stream/cancel)",
+        description=(
+            "Serve campaigns over HTTP: POST a CampaignSpec (or bare"
+            " ScenarioSpec) to /jobs, poll /jobs/<id> for per-cell"
+            " progress, stream /jobs/<id>/stream for incremental"
+            " aggregates, POST /jobs/<id>/cancel to stop cooperatively."
+            "  Jobs execute on a background worker pool against the"
+            " shared --store; a killed server resumes interrupted jobs"
+            " from the store with zero recomputation.  Stdlib-only: no"
+            " extra dependency is needed."
+        ),
+        epilog=(
+            "example: repro serve --store runs/ --port 8151"
+            " --job-workers 2 (then: curl -X POST"
+            " http://127.0.0.1:8151/jobs -d @campaign.json)"
+        ),
+    )
+    pv.add_argument(
+        "--store",
+        required=True,
+        help="result-store directory shared by every job (job records"
+        " persist under <store>/jobs/)",
+    )
+    pv.add_argument("--host", default="127.0.0.1", help="bind address")
+    pv.add_argument(
+        "--port",
+        type=int,
+        default=8151,
+        help="TCP port (0 picks an ephemeral port; default: 8151)",
+    )
+    pv.add_argument(
+        "--job-workers",
+        dest="job_workers",
+        type=int,
+        default=2,
+        help="concurrent jobs (each still fans replications out over"
+        " --workers processes)",
+    )
+    pv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="per-job parallel replication workers (default: all cores)",
+    )
+    pv.add_argument(
+        "--manifest",
+        default=str(DEFAULT_FIDELITY_MANIFEST),
+        help="tolerance manifest for hybrid/analytic submissions"
+        " (default: the committed fidelity envelope)",
+    )
+    pv.add_argument(
+        "--safety-margin",
+        dest="safety_margin",
+        type=float,
+        default=1.0,
+        help="scale the manifest envelope before analytic admission",
+    )
+    pv.set_defaults(handler=_serve)
+
     pp = sub.add_parser(
         "list-policies",
         help="registered scheduling policies",
@@ -605,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
             " third-party registrations — with one-line descriptions."
             "  A ScenarioSpec's 'policy' field names one of these."
         ),
+        epilog="example: repro list-policies",
     )
     pp.set_defaults(handler=_list_policies)
 
@@ -618,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
             " {\"kind\": \"mmpp2\", \"burst_ratio\": 8.0,"
             " \"mean_burst\": 5.0, \"mean_gap\": 20.0}."
         ),
+        epilog="example: repro list-arrival-models",
     )
     pm.set_defaults(handler=_list_arrival_models)
 
@@ -631,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
             " inside the committed tolerance envelope from the queueing"
             " model and simulates the rest."
         ),
+        epilog="example: repro list-evaluation-modes",
     )
     pe.set_defaults(handler=_list_evaluation_modes)
 
@@ -642,6 +711,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         result = args.handler(args)
+    except (
+        api.SpecNotFoundError,
+        api.StoreNotFoundError,
+        api.ManifestNotFoundError,
+    ) as exc:
+        # Missing artefacts are usage errors, not runtime failures: the
+        # message alone is the diagnosis (same contract as argparse).
+        raise SystemExit(str(exc))
     except DRSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -47,6 +47,16 @@ class SchedulingError(DRSError):
     """A scheduling operation failed (bad allocation vector, etc.)."""
 
 
+class CampaignCancelled(DRSError):
+    """A campaign run was cancelled cooperatively before finishing.
+
+    Raised by :class:`~repro.campaigns.runner.CampaignRunner` when its
+    cancellation event is set mid-run.  Every replication completed
+    before the cancellation is already persisted to the store, so a
+    resumed run recomputes nothing that finished.
+    """
+
+
 class MeasurementError(DRSError):
     """A measurement operation failed or produced unusable statistics."""
 

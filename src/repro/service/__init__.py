@@ -1,0 +1,48 @@
+"""``repro.service`` — campaigns over HTTP, resumable by construction.
+
+The service layer turns the campaign engine into a long-running
+simulation server without adding a single runtime dependency: a
+stdlib-HTTP front end (:mod:`repro.service.server`), a persistent
+content-addressed job queue with a worker pool
+(:mod:`repro.service.jobs`), and a urllib client
+(:mod:`repro.service.client`).  Everything executes through the
+:mod:`repro.api` facade against one shared
+:class:`~repro.campaigns.store.ResultStore`, so an HTTP-submitted
+campaign is bit-identical to the same spec run in-process — and a
+killed server resumes from the store with zero recomputation.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobExecutor,
+    JobQueue,
+    JobRecord,
+    condense_result,
+    job_id_for,
+    job_progress,
+)
+from repro.service.server import (
+    DEFAULT_PORT,
+    CampaignService,
+    ServiceConfig,
+    campaign_from_submission,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "DEFAULT_PORT",
+    "CampaignService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceError",
+    "JobExecutor",
+    "JobQueue",
+    "JobRecord",
+    "campaign_from_submission",
+    "condense_result",
+    "job_id_for",
+    "job_progress",
+]

@@ -1,0 +1,156 @@
+"""Minimal urllib client for the campaign service.
+
+:class:`ServiceClient` wraps the HTTP surface in plain method calls so
+tests, examples and scripts never hand-roll requests.  Like the server
+it talks to, it is stdlib-only.
+
+>>> from repro.service import ServiceClient
+>>> client = ServiceClient("http://127.0.0.1:8151")   # doctest: +SKIP
+>>> job = client.submit(campaign={...})               # doctest: +SKIP
+>>> final = client.wait(job["id"], timeout=60)        # doctest: +SKIP
+>>> client.aggregates(job["id"])["cells"]             # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.exceptions import DRSError
+
+
+class ServiceError(DRSError):
+    """The service answered with an error (or did not answer at all)."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Typed-ish HTTP client over the campaign service endpoints."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except (ValueError, OSError):
+                pass
+            raise ServiceError(
+                detail or f"{method} {path} failed: HTTP {exc.code}",
+                status=exc.code,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(
+        self,
+        *,
+        campaign: Optional[Dict[str, Any]] = None,
+        scenario: Optional[Dict[str, Any]] = None,
+        workers: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Submit a campaign (or bare scenario); returns the job record."""
+        if (campaign is None) == (scenario is None):
+            raise ServiceError(
+                "submit() needs exactly one of campaign= or scenario="
+            )
+        body: Dict[str, Any] = {}
+        if campaign is not None:
+            body["campaign"] = campaign
+        if scenario is not None:
+            body["scenario"] = scenario
+        if workers is not None:
+            body["workers"] = workers
+        return self._request("POST", "/jobs", body)["job"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """Job record + per-cell progress (``progress`` key)."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def aggregates(self, job_id: str) -> Dict[str, Any]:
+        """Current mean/CI/p95 aggregates for the job's campaign."""
+        return self._request("GET", f"/jobs/{job_id}/aggregates")
+
+    def wait(
+        self, job_id: str, *, timeout: float = 120.0, interval: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']!r} after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield aggregate snapshots from the NDJSON stream endpoint.
+
+        The generator ends when the server closes the stream (job
+        reached a terminal state); each item carries ``seq``, ``state``,
+        ``progress`` and ``aggregate`` keys.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/stream",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"GET /jobs/{job_id}/stream failed: HTTP {exc.code}",
+                status=exc.code,
+            ) from None

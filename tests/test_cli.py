@@ -26,6 +26,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "runs/"])
+        assert args.store == "runs/"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8151
+        assert args.job_workers == 2
+
+    def test_serve_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_every_verb_has_an_epilog(self):
+        """Help epilogs are part of the UX contract: each verb shows a
+        worked example (or equivalent guidance) under its options."""
+        parser = build_parser()
+        actions = [
+            a
+            for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        ]
+        subparsers = actions[0].choices
+        missing = [name for name, sp in subparsers.items() if not sp.epilog]
+        assert not missing, f"verbs without an epilog: {missing}"
+
+    def test_serve_missing_manifest_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="tolerance manifest not found"):
+            main(
+                [
+                    "serve",
+                    "--store",
+                    str(tmp_path),
+                    "--manifest",
+                    str(tmp_path / "absent.json"),
+                ]
+            )
+
 
 class TestExecution:
     def test_table2_runs(self, capsys):

@@ -11,6 +11,7 @@ import doctest
 
 import pytest
 
+import repro.api
 import repro.campaigns.spec
 import repro.campaigns.store
 import repro.randomness.distributions
@@ -22,6 +23,7 @@ import repro.workloads.trace
 
 #: Modules whose docstring examples are part of the documented contract.
 DOCUMENTED_MODULES = [
+    repro.api,
     repro.campaigns.spec,
     repro.campaigns.store,
     repro.randomness.distributions,
