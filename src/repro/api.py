@@ -18,7 +18,8 @@ through the same handful of functions here, so "what the CLI does" and
   :class:`~repro.campaigns.runner.CampaignResult`,
   :class:`~repro.campaigns.aggregate.CampaignAggregator`).
 - :func:`available_policies` / :func:`available_arrival_models` /
-  :func:`available_evaluation_modes` expose the registries.
+  :func:`available_evaluation_modes` / :func:`available_placements` /
+  :func:`available_failure_models` expose the registries.
 
 Missing-artifact errors are typed (:class:`SpecNotFoundError`,
 :class:`StoreNotFoundError`, :class:`ManifestNotFoundError` — all
@@ -53,6 +54,7 @@ from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import ResultStore
 from repro.exceptions import ConfigurationError
 from repro.fidelity.manifest import ToleranceManifest
+from repro.platform import available_failure_models, available_placements
 from repro.scenarios.registry import available_policies
 from repro.scenarios.runner import ScenarioRunner, ScenarioSummary
 from repro.scenarios.spec import ScenarioSpec
@@ -73,6 +75,8 @@ __all__ = [
     "available_policies",
     "available_arrival_models",
     "available_evaluation_modes",
+    "available_placements",
+    "available_failure_models",
 ]
 
 #: Anything the loaders accept as a spec source.

@@ -309,6 +309,11 @@ class AnalyticCellEvaluator:
             )
         if spec.hop_latency not in (None, 0.0):
             return "non-zero hop latency has no committed envelope"
+        if spec.platform is not None:
+            return (
+                "platform blocks (weighted links, machine speeds, churn)"
+                " have no committed envelope"
+            )
         if spec.measurement is not None:
             return "measurement-noise overlays require simulation"
         if spec.cluster is not None or spec.initial_machines is not None:
@@ -328,6 +333,7 @@ class AnalyticCellEvaluator:
             None if spec.arrival_model is None else str(sorted(spec.arrival_model.items())),
             spec.queue_discipline,
             spec.hop_latency,
+            None if spec.platform is None else str(sorted(spec.platform.items())),
             spec.measurement is None,
             spec.cluster is None,
             spec.initial_machines,

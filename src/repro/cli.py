@@ -13,6 +13,8 @@ Usage::
     python -m repro list-policies        # registered scheduling policies
     python -m repro list-arrival-models  # registered arrival models
     python -m repro list-evaluation-modes  # campaign evaluation paths
+    python -m repro list-placements      # platform placement policies
+    python -m repro list-failure-models  # platform churn models
     python -m repro run-scenario examples/scenarios/smoke.json --workers 4
     python -m repro run-scenario examples/scenarios/mmpp2_burst.json
     python -m repro run-campaign examples/campaigns/smoke.json --store runs/
@@ -265,6 +267,14 @@ def _list_arrival_models(args) -> str:
 
 def _list_evaluation_modes(args) -> str:
     return report.render_evaluation_modes(api.available_evaluation_modes())
+
+
+def _list_placements(args) -> str:
+    return report.render_placements(api.available_placements())
+
+
+def _list_failure_models(args) -> str:
+    return report.render_failure_models(api.available_failure_models())
 
 
 def _all(args) -> str:
@@ -702,6 +712,35 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="example: repro list-evaluation-modes",
     )
     pe.set_defaults(handler=_list_evaluation_modes)
+
+    pl = sub.add_parser(
+        "list-placements",
+        help="platform placement policies (platform 'placement' kinds)",
+        description=(
+            "List every placement policy the platform registry knows."
+            "  A ScenarioSpec's optional 'platform' block names one via"
+            " its 'placement' object, e.g."
+            " {\"placement\": {\"kind\": \"round_robin\"}}; 'colocated'"
+            " is the default and 'heterogeneous' drives the paper's"
+            " speed-aware assignment."
+        ),
+        epilog="example: repro list-placements",
+    )
+    pl.set_defaults(handler=_list_placements)
+
+    pf = sub.add_parser(
+        "list-failure-models",
+        help="platform failure models (platform 'failure' kinds)",
+        description=(
+            "List every node-churn model the platform registry knows."
+            "  A ScenarioSpec's optional 'platform' block names one via"
+            " its 'failure' object, e.g. {\"failure\": {\"kind\":"
+            " \"exponential\", \"mean_up\": 120.0, \"mean_down\": 10.0,"
+            " \"machines\": [\"m2\"]}}; 'none' is the default."
+        ),
+        epilog="example: repro list-failure-models",
+    )
+    pf.set_defaults(handler=_list_failure_models)
 
     return parser
 

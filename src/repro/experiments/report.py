@@ -321,6 +321,24 @@ def render_arrival_models(models) -> str:
     return "\n".join(lines)
 
 
+def render_placements(placements) -> str:
+    """The placement-policy registry as ``kind - description`` rows."""
+    lines = ["Registered placement policies:"]
+    width = max(len(name) for name in placements) if placements else 0
+    for name, description in placements.items():
+        lines.append(f"  {name:<{width}}  {description}")
+    return "\n".join(lines)
+
+
+def render_failure_models(models) -> str:
+    """The failure-model registry as ``kind - description`` rows."""
+    lines = ["Registered failure models:"]
+    width = max(len(name) for name in models) if models else 0
+    for name, description in models.items():
+        lines.append(f"  {name:<{width}}  {description}")
+    return "\n".join(lines)
+
+
 def render_baselines(result: BaselineComparison) -> str:
     """DRS vs baseline allocators."""
     lines = [

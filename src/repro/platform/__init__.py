@@ -1,0 +1,64 @@
+"""Execution-substrate platform layer (weighted links, heterogeneous
+machines, node churn).
+
+Public surface:
+
+- :class:`~repro.platform.spec.PlatformSpec` /
+  :class:`~repro.platform.spec.CompiledPlatform` — the JSON
+  description of machines, links, placement and churn, plus its
+  topology-bound runtime form;
+- the placement registry
+  (:func:`~repro.platform.placement.register_placement`,
+  :func:`~repro.platform.placement.available_placements`,
+  :func:`~repro.platform.placement.create_placement`);
+- the failure-model registry
+  (:func:`~repro.platform.failure.register_failure_model`,
+  :func:`~repro.platform.failure.available_failure_models`,
+  :func:`~repro.platform.failure.create_failure_model`).
+"""
+
+from repro.platform.failure import (
+    ExponentialChurn,
+    FailureModel,
+    NoFailure,
+    TraceChurn,
+    available_failure_models,
+    create_failure_model,
+    register_failure_model,
+)
+from repro.platform.placement import (
+    ColocatedPlacement,
+    HeterogeneousPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    available_placements,
+    create_placement,
+    register_placement,
+)
+from repro.platform.spec import (
+    CompiledPlatform,
+    LinkSpec,
+    MachineSpec,
+    PlatformSpec,
+)
+
+__all__ = [
+    "CompiledPlatform",
+    "LinkSpec",
+    "MachineSpec",
+    "PlatformSpec",
+    "PlacementPolicy",
+    "ColocatedPlacement",
+    "RoundRobinPlacement",
+    "HeterogeneousPlacement",
+    "available_placements",
+    "create_placement",
+    "register_placement",
+    "FailureModel",
+    "NoFailure",
+    "ExponentialChurn",
+    "TraceChurn",
+    "available_failure_models",
+    "create_failure_model",
+    "register_failure_model",
+]

@@ -29,6 +29,7 @@ from repro.config import (
 )
 from repro.exceptions import ConfigurationError
 from repro.model.performance import PerformanceModel
+from repro.platform import PlatformSpec
 from repro.scenarios.binding import (
     PolicyBinding,
     passive_recommendation,
@@ -281,11 +282,18 @@ def run_replication(spec: ScenarioSpec, index: int) -> ReplicationResult:
     _check_machine_pool(spec, policy)
     allocation = _initial_allocation(spec, policy, model, topology)
 
-    hop_latency = (
-        spec.hop_latency
-        if spec.hop_latency is not None
-        else getattr(workload, "hop_latency", DEFAULT_HOP_LATENCY)
-    )
+    if spec.platform is not None:
+        # Per-edge link transfers replace the global hop constant (the
+        # spec already rejected hop_latency + platform together).
+        platform = PlatformSpec.from_dict(spec.platform)
+        hop_latency = 0.0
+    else:
+        platform = None
+        hop_latency = (
+            spec.hop_latency
+            if spec.hop_latency is not None
+            else getattr(workload, "hop_latency", DEFAULT_HOP_LATENCY)
+        )
     measurement = (
         measurement_from_dict(spec.measurement)
         if spec.measurement is not None
@@ -309,6 +317,7 @@ def run_replication(spec: ScenarioSpec, index: int) -> ReplicationResult:
             if spec.arrival_model is not None
             else None
         ),
+        platform=platform,
     )
     simulator = Simulator(scheduler=options.scheduler)
     runtime = TopologyRuntime(simulator, topology, allocation, options)

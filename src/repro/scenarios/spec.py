@@ -32,6 +32,7 @@ from repro.apps.robustness import RobustnessWorkload
 from repro.apps.synthetic import SyntheticChainWorkload
 from repro.apps.vld import VLDWorkload
 from repro.exceptions import ConfigurationError
+from repro.platform import PlatformSpec
 from repro.workloads.models import create_arrival_model
 
 #: Topology families a spec may name.  Values are dataclass factories
@@ -143,6 +144,8 @@ available: ['fidelity', 'fpd', 'robustness', 'synthetic', 'vld']
     #: Composes with ``rate_phases`` (phases wrap the model's output).
     arrival_model: Optional[Dict[str, Any]] = None
     #: ``None`` uses the workload's own hop latency (or the VLD default).
+    #: **Legacy** flat-network knob kept for existing specs; new specs
+    #: should describe transfers with a ``platform`` block instead.
     hop_latency: Optional[float] = None
     queue_discipline: str = "jsq"
     timeline_bucket: float = 60.0
@@ -155,6 +158,13 @@ available: ['fidelity', 'fpd', 'robustness', 'synthetic', 'vld']
     #: When set, each replication also records what a passively watching
     #: DRS would recommend at this ``Kmax`` from its last measurement.
     recommend_kmax: Optional[int] = None
+    #: Platform block (:class:`repro.platform.PlatformSpec` mapping):
+    #: machines with speeds/slots, weighted links, placement and node
+    #: churn.  ``None`` keeps the legacy flat-network runtime.  Mutually
+    #: exclusive with ``hop_latency`` (per-edge transfers replace the
+    #: global hop constant).  Canonicalised at construction so equal
+    #: platforms hash equally.
+    platform: Optional[Dict[str, Any]] = None
 
     def __post_init__(self):
         if not self.name:
@@ -199,6 +209,17 @@ available: ['fidelity', 'fpd', 'robustness', 'synthetic', 'vld']
             # where the simulation runs, which may be a different host.
             model = create_arrival_model(self.arrival_model)
             object.__setattr__(self, "arrival_model", model.to_dict())
+        if self.platform is not None:
+            if self.hop_latency is not None:
+                raise ConfigurationError(
+                    "hop_latency and platform are mutually exclusive: the"
+                    " platform's links define every transfer delay"
+                )
+            # Validate and canonicalise now (same contract as
+            # arrival_model): typos fail at spec load, and equal
+            # platforms serialise identically for content addressing.
+            canonical = PlatformSpec.from_dict(self.platform).to_dict()
+            object.__setattr__(self, "platform", canonical)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -234,6 +255,10 @@ available: ['fidelity', 'fpd', 'robustness', 'synthetic', 'vld']
         payload = self._base_dict()
         if self.arrival_model is not None:
             payload["arrival_model"] = dict(self.arrival_model)
+        if self.platform is not None:
+            # Same omission contract as arrival_model: specs without a
+            # platform keep their pre-platform content address.
+            payload["platform"] = dict(self.platform)
         return payload
 
     def _base_dict(self) -> Dict[str, Any]:

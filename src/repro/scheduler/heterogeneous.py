@@ -98,6 +98,11 @@ def expected_sojourn_heterogeneous(
 ) -> float:
     """Eq. (3) under the equal-speed surrogate for each operator."""
     network = model.network
+    if network.external_rate <= 0:
+        raise SchedulingError(
+            "expected_sojourn_heterogeneous needs a positive external"
+            f" arrival rate, got {network.external_rate}"
+        )
     total = 0.0
     for load, (k, speed) in zip(network.loads, assignment.effective_parallelism()):
         sojourn = _operator_sojourn(load.arrival_rate, load.service_rate, k, speed)
@@ -131,6 +136,10 @@ def assign_heterogeneous(
 
     network = model.network
     n = network.num_operators
+    if n == 0:
+        raise SchedulingError("the model has no operators to place")
+    if all(c.count == 0 for c in classes):
+        raise SchedulingError("every processor class has count 0")
     remaining = {c.name: c.count for c in classes}
     speeds = {c.name: c.speed for c in classes}
     assignments: List[Dict[str, int]] = [dict() for _ in range(n)]

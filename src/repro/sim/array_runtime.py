@@ -58,6 +58,8 @@ def array_capable(topology, options: RuntimeOptions) -> Optional[str]:
         return "queue_limit is set"
     if options.hop_latency != 0.0 or options.hop_latency_distribution is not None:
         return "hop latency is non-zero"
+    if options.platform is not None:
+        return "platform is set (links/speeds/churn need the object engine)"
     if options.arrival_model is not None:
         return "arrival_model is set"
     if options.arrival_rate_phases is not None:

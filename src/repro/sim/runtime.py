@@ -60,7 +60,7 @@ from bisect import bisect_left
 from math import log as _log
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # runtime import stays lazy: workloads sits above sim
     from repro.workloads.models import ArrivalModel
@@ -86,10 +86,31 @@ from repro.utils.rng import RngFactory
 #: medium parallelism up); both produce identical selections.
 _JSQ_HEAP_MIN = 16
 
+#: A churn transition that fires during a rebalance pause retries after
+#: this many simulated seconds (the pause has already torn every
+#: executor down; the transition applies once the resume rebuilds them).
+_CHURN_RETRY = 1.0
+
 # Module-level aliases: a LOAD_GLOBAL beats the attribute chain in the
 # per-tuple loops below.
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+
+def _mean_transfer(matrix, sources, targets) -> float:
+    """Mean link cost over every ``source × target`` machine pair.
+
+    Routes carry one expected transfer delay rather than sampling the
+    pair per tuple: the per-edge cost stays a single attribute read on
+    the emission hot path and the mean is exact for the uniform
+    executor choice the router makes.
+    """
+    total = 0.0
+    for source in sources:
+        row = matrix[source]
+        for target in targets:
+            total += row[target]
+    return total / (len(sources) * len(targets))
 
 
 @dataclass(frozen=True)
@@ -97,7 +118,12 @@ class RuntimeOptions:
     """Tunables of the simulated CSP layer.
 
     ``hop_latency`` is the fixed per-emission transport delay (seconds);
-    ``hop_latency_distribution`` overrides it with a random one.
+    ``hop_latency_distribution`` overrides it with a random one.  Both
+    are **legacy** knobs: they model the network as one global constant.
+    New code should describe the substrate with a ``platform`` block
+    instead (per-link latencies/bandwidths, machine speeds, churn); the
+    legacy knobs keep working unchanged — and stay byte-identical — for
+    every existing spec, but gain no new features.
     ``queue_limit`` bounds each operator's total queued tuples; beyond
     it tuples are dropped and their trees abandoned (the "errors when
     the queue reaches its size limit" failure mode of the paper's
@@ -134,6 +160,17 @@ class RuntimeOptions:
     #: the replayed stream is identical to the scalar path — so results
     #: are unchanged; only the draw cost is amortised.
     batched_draws: bool = False
+    #: Execution substrate — any object with
+    #: ``bind(topology, allocation) -> binding`` (in practice a
+    #: :class:`~repro.platform.spec.PlatformSpec`; the dependency is
+    #: duck-typed because repro.platform sits above sim in the
+    #: layering).  The binding supplies per-executor machines/speeds,
+    #: the machine-pair transfer matrix and the churn process.  ``None``
+    #: keeps the legacy hop-constant path byte-for-byte.  Mutually
+    #: exclusive with the deprecated ``hop_latency`` /
+    #: ``hop_latency_distribution`` knobs: per-edge transfer times come
+    #: from the platform's links.
+    platform: Optional[Any] = None
 
     def __post_init__(self):
         if self.scheduler not in ("auto", "heap", "calendar"):
@@ -171,6 +208,21 @@ class RuntimeOptions:
                 " (e.g. a repro.workloads ArrivalModel); got"
                 f" {self.arrival_model!r}"
             )
+        if self.platform is not None:
+            if not callable(getattr(self.platform, "bind", None)):
+                # Duck-typed for the same layering reason as
+                # arrival_model: repro.platform sits above the simulator.
+                raise SimulationError(
+                    "platform must provide a bind(topology, allocation)"
+                    " method (e.g. a repro.platform PlatformSpec); got"
+                    f" {self.platform!r}"
+                )
+            if self.hop_latency != 0.0 or self.hop_latency_distribution is not None:
+                raise SimulationError(
+                    "hop_latency/hop_latency_distribution and platform are"
+                    " mutually exclusive: per-edge transfer times come from"
+                    " the platform's links"
+                )
 
 
 @dataclass
@@ -201,9 +253,22 @@ class _Executor:
     """One executor: a queue, a busy flag, and (for the jsq heap) its
     index and cached load ``len(queue) + busy``.  ``payload`` /
     ``duration`` hold the in-service tuple between the start and finish
-    events (one tuple in service at a time)."""
+    events (one tuple in service at a time).  Under a platform,
+    ``machine`` / ``speed`` pin the executor to its host (service draws
+    divide by the speed) and ``dead`` marks an executor whose machine
+    failed mid-service: its pending finish event drops the tuple."""
 
-    __slots__ = ("queue", "busy", "index", "load", "payload", "duration")
+    __slots__ = (
+        "queue",
+        "busy",
+        "index",
+        "load",
+        "payload",
+        "duration",
+        "machine",
+        "speed",
+        "dead",
+    )
 
     def __init__(self, index: int = 0):
         self.queue: deque = deque()
@@ -212,6 +277,9 @@ class _Executor:
         self.load = 0
         self.payload = None
         self.duration = 0.0
+        self.machine = 0
+        self.speed = 1.0
+        self.dead = False
 
 
 class _Route:
@@ -221,9 +289,20 @@ class _Route:
     the grouping object otherwise; ``base``/``frac`` are the integer and
     fractional parts of a deterministic gain (``fanout is None``);
     ``arrivals`` is the target operator's measurement counter, updated
-    inline by the emission loop."""
+    inline by the emission loop; ``transfer`` is the per-edge transport
+    delay under a platform (placement-mean link cost; 0.0 and unread on
+    the legacy path)."""
 
-    __slots__ = ("edge", "op", "sel", "fanout", "base", "frac", "arrivals")
+    __slots__ = (
+        "edge",
+        "op",
+        "sel",
+        "fanout",
+        "base",
+        "frac",
+        "arrivals",
+        "transfer",
+    )
 
     def __init__(self, edge, op, measurer: Measurer):
         self.edge = edge
@@ -237,6 +316,7 @@ class _Route:
         self.base = base
         self.frac = gain - base
         self.arrivals = measurer.arrival_counter(edge.target)
+        self.transfer = 0.0
 
 
 class _SpoutSource:
@@ -470,7 +550,31 @@ class TopologyRuntime:
         self._reports: List[MeasurementReport] = []
         self.on_measurement: Optional[Callable[[MeasurementReport], None]] = None
 
+        # Platform layer: bind placement, per-edge transfer delays,
+        # machine speeds and the churn process.  ``None`` leaves the
+        # legacy hop-constant path untouched byte-for-byte (the golden
+        # suite pins this; the ``platform_off`` benchmark row bounds the
+        # guard's overhead).
+        self._platform = None
+        self._patterns: Dict[str, Tuple[int, ...]] = {}
+        self._machine_up: List[bool] = []
+        self._churn_rng = None
+        self._kind_node = -1
+        #: ``(time, machine_name, "down"|"up")`` churn transitions applied.
+        self.node_events: List[Tuple[float, str, str]] = []
+        if self._options.platform is not None:
+            binding = self._options.platform.bind(topology, allocation)
+            self._platform = binding
+            self._machine_up = [True] * len(binding.machine_names)
+            self._patterns = binding.patterns_for(allocation)
+            for name, op_runtime in self._operators.items():
+                self._pin_executors(op_runtime, self._patterns[name])
+            self._refresh_transfers()
+            self._churn_rng = rng_factory.stream("churn")
+            self._kind_node = simulator.register_handler(self._on_node_event)
+
         # Hot-path constants, prebound RNG methods and typed-event kinds.
+        self._het = self._platform is not None
         self._queue_limit = self._options.queue_limit
         # Free-choice deliveries skip the generic _deliver path entirely
         # while unpaused (the queue-limit test is O(1) inline); kept in
@@ -540,6 +644,14 @@ class TopologyRuntime:
             gap = source.next_gap(sim.now, source.rng)
             sim.schedule_event(gap, self._kind_spout, source)
         sim.schedule_event(self._pull_interval, self._kind_tick)
+        if self._platform is not None:
+            seeds = self._platform.failure.initial_events(
+                self._platform.machine_names, self._churn_rng
+            )
+            for delay, machine, goes_down in seeds:
+                sim.schedule_event(
+                    delay, self._kind_node, machine, 1 if goes_down else 0
+                )
 
     def apply_allocation(
         self,
@@ -581,6 +693,14 @@ class TopologyRuntime:
             self._allocation = new_allocation
             for name, runtime in self._operators.items():
                 runtime.set_executors(new_allocation[name])
+            if self._platform is not None:
+                self._patterns = self._platform.patterns_for(new_allocation)
+                for name, runtime in self._operators.items():
+                    pattern = self._alive_pattern(name)
+                    if len(pattern) != len(runtime.executors):
+                        runtime.set_executors(len(pattern))
+                    self._pin_executors(runtime, pattern)
+                self._refresh_transfers()
             self._paused = False
             self._fast = True
             for runtime in self._operators.values():
@@ -732,6 +852,7 @@ class TopologyRuntime:
         frandom = self._fanout_random
         hop_dist = self._hop_dist
         hop_const = self._hop_const
+        het = self._het
         kind_finish = self._kind_finish
         state = roots.get(root)
         for route in routes:
@@ -770,7 +891,12 @@ class TopologyRuntime:
                 arrivals._count += 1
                 if ext_counter is not None:
                     ext_counter._count += 1
-                if hop_dist is not None:
+                if het:
+                    delay = route.transfer
+                    if delay > 0.0:
+                        sim.schedule_event(delay, self._kind_hop, route, payload)
+                        continue
+                elif hop_dist is not None:
                     delay = hop_dist.sample(self._hop_rng)
                     if delay > 0:
                         sim.schedule_event(delay, self._kind_hop, route, payload)
@@ -842,6 +968,8 @@ class TopologyRuntime:
                     duration = -_log(1.0 - srandom()) / op.service_rate
                 else:
                     duration = op.sample_service(op.service_rng)
+                if het:
+                    duration /= executor.speed
                 ss = op.service_stats
                 n = ss._n + 1
                 ss._n = n
@@ -889,6 +1017,17 @@ class TopologyRuntime:
     def _on_finish(self, op: _OperatorRuntime, executor: _Executor) -> None:
         """Service completion: emit downstream tuples, then pull the
         executor's next queued tuple (or the shared queue's head)."""
+        if executor.dead:
+            # The machine went down mid-service: the in-flight tuple is
+            # lost.  (Queued tuples were already redistributed by the
+            # node_down handler; only the in-service payload dies here.)
+            executor.dead = False
+            payload = executor.payload
+            executor.payload = None
+            executor.busy = False
+            if payload is not None:
+                self._drop(payload)
+            return
         sim = self._sim
         now = sim._now
         op.processed += 1
@@ -966,6 +1105,8 @@ class TopologyRuntime:
             duration = -_log(1.0 - srandom()) / op.service_rate
         else:
             duration = op.sample_service(op.service_rng)
+        if self._het:
+            duration /= executor.speed
         ss = op.service_stats
         n = ss._n + 1
         ss._n = n
@@ -1144,10 +1285,118 @@ class TopologyRuntime:
             duration = -_log(1.0 - srandom()) / op.service_rate
         else:
             duration = op.sample_service(op.service_rng)
+        if self._het:
+            duration /= executor.speed
         op.service_stats.add(duration)
         executor.payload = payload
         executor.duration = duration
         sim.schedule_event(duration, self._kind_finish, op, executor)
+
+    # ------------------------------------------------------------------
+    # platform: placement, transfers and churn
+    # ------------------------------------------------------------------
+    def _pin_executors(
+        self, op: _OperatorRuntime, pattern: Tuple[int, ...]
+    ) -> None:
+        """Bind each executor of ``op`` to its machine (index + speed).
+
+        A busy executor keeps its ``dead`` mark: the kill must survive
+        re-pinning so the in-flight tuple still dies at its finish
+        event.  Idle executors can never be dead-pending.
+        """
+        speeds = self._platform.machine_speeds
+        for executor, machine in zip(op.executors, pattern):
+            executor.machine = machine
+            executor.speed = speeds[machine]
+            if not executor.busy:
+                executor.dead = False
+
+    def _alive_pattern(self, name: str) -> Tuple[int, ...]:
+        """The operator's placement restricted to machines that are up.
+
+        Falls back to the full pattern when every hosting machine is
+        down: the operator keeps serving on the (nominally dead)
+        machines — degraded realism, but routing never deadlocks.
+        """
+        pattern = self._patterns[name]
+        up = self._machine_up
+        alive = tuple(m for m in pattern if up[m])
+        return alive if alive else pattern
+
+    def _refresh_transfers(self) -> None:
+        """Recompute each route's expected transfer delay.
+
+        A route's delay is the mean link cost over the alive placement
+        pairs of its source and target operators (spout routes use the
+        ingress machine as source).  Recomputed after placement changes:
+        start-up, rebalance, node churn.
+        """
+        binding = self._platform
+        matrix = binding.transfer
+        ingress = (binding.ingress,)
+        for source in self._spout_sources:
+            for route in source.routes:
+                route.transfer = _mean_transfer(
+                    matrix, ingress, self._alive_pattern(route.op.name)
+                )
+        for name, op in self._operators.items():
+            sources = self._alive_pattern(name)
+            for route in op.out_routes:
+                route.transfer = _mean_transfer(
+                    matrix, sources, self._alive_pattern(route.op.name)
+                )
+
+    def _on_node_event(self, machine: int, flag: int) -> None:
+        """Apply a ``node_down`` / ``node_up`` transition for ``machine``.
+
+        Down: executors on the machine vanish — their queued tuples are
+        redelivered to survivors (or dropped by the queue-limit / no-
+        survivor machinery) and any in-service tuple dies when its
+        finish event fires (``executor.dead``).  Up: the machine rejoins
+        and placements grow back.  During a rebalance pause the
+        transition retries shortly after, mirroring how real clusters
+        serialise membership changes behind a rebalance.
+        """
+        sim = self._sim
+        down = bool(flag)
+        if self._paused:
+            sim.schedule_event(_CHURN_RETRY, self._kind_node, machine, flag)
+            return
+        up = self._machine_up
+        if up[machine] == down:  # a genuine state flip
+            up[machine] = not down
+            self.node_events.append(
+                (
+                    sim._now,
+                    self._platform.machine_names[machine],
+                    "down" if down else "up",
+                )
+            )
+            if down:
+                for op in self._operators.values():
+                    for executor in op.executors:
+                        if executor.busy and executor.machine == machine:
+                            executor.dead = True
+            redeliveries = []
+            for name, op in self._operators.items():
+                if machine not in self._patterns[name]:
+                    continue
+                pattern = self._alive_pattern(name)
+                displaced = op.resize(len(pattern))
+                self._pin_executors(op, pattern)
+                if displaced:
+                    redeliveries.append((op, displaced))
+            self._refresh_transfers()
+            for op, displaced in redeliveries:
+                for payload in displaced:
+                    self._deliver(op, payload, None)
+        delay = self._platform.failure.next_delay(
+            machine, down, self._churn_rng
+        )
+        if delay is not None:
+            sim.schedule_event(
+                delay, self._kind_node, machine, 0 if down else 1
+            )
 
     # ------------------------------------------------------------------
     # measurement
