@@ -58,7 +58,10 @@ from repro.platform import available_failure_models, available_placements
 from repro.scenarios.registry import available_policies
 from repro.scenarios.runner import ScenarioRunner, ScenarioSummary
 from repro.scenarios.spec import ScenarioSpec
-from repro.workloads import available_arrival_models
+from repro.workloads import (
+    available_arrival_models,
+    available_closed_loop_sources,
+)
 
 __all__ = [
     "SpecNotFoundError",
@@ -74,6 +77,7 @@ __all__ = [
     "aggregate",
     "available_policies",
     "available_arrival_models",
+    "available_closed_loop_sources",
     "available_evaluation_modes",
     "available_placements",
     "available_failure_models",

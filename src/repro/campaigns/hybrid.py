@@ -302,6 +302,16 @@ class AnalyticCellEvaluator:
             # certified accuracy.
             kind = spec.arrival_model.get("kind", "?")
             return f"arrival model {kind!r} is not Poisson"
+        if spec.closed_loop is not None:
+            return (
+                "closed-loop sources couple arrivals to completions; the"
+                " analytic model assumes an open arrival stream"
+            )
+        if spec.queue_limit is not None or spec.backpressure:
+            return (
+                "bounded queues (drop or backpressure) have no committed"
+                " envelope"
+            )
         if spec.queue_discipline not in SUPPORTED_DISCIPLINES:
             return (
                 f"discipline {spec.queue_discipline!r} has no committed"
@@ -332,6 +342,11 @@ class AnalyticCellEvaluator:
             bool(spec.rate_phases),
             None if spec.arrival_model is None else str(sorted(spec.arrival_model.items())),
             spec.queue_discipline,
+            spec.queue_limit,
+            spec.backpressure,
+            None
+            if spec.closed_loop is None
+            else str(sorted(spec.closed_loop.items())),
             spec.hop_latency,
             None if spec.platform is None else str(sorted(spec.platform.items())),
             spec.measurement is None,

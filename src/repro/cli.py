@@ -262,7 +262,14 @@ def _list_policies(args) -> str:
 
 
 def _list_arrival_models(args) -> str:
-    return report.render_arrival_models(api.available_arrival_models())
+    return "\n\n".join(
+        (
+            report.render_arrival_models(api.available_arrival_models()),
+            report.render_closed_loop_sources(
+                api.available_closed_loop_sources()
+            ),
+        )
+    )
 
 
 def _list_evaluation_modes(args) -> str:
@@ -677,11 +684,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered scheduling policies",
         description=(
             "List every scheduling policy the registry knows — DRS"
-            " modes, static baselines, the threshold scaler and any"
-            " third-party registrations — with one-line descriptions."
+            " modes, static baselines, the threshold scaler, the"
+            " slo_feedback p95-target loop and any third-party"
+            " registrations — with one-line descriptions."
             "  A ScenarioSpec's 'policy' field names one of these."
         ),
-        epilog="example: repro list-policies",
+        epilog=(
+            "example: repro list-policies  (slo_feedback holds a"
+            " measured-p95 SLO; compare against drs.* and threshold"
+            " with examples/campaigns/sloscaler_bakeoff.json)"
+        ),
     )
     pp.set_defaults(handler=_list_policies)
 
@@ -689,13 +701,21 @@ def build_parser() -> argparse.ArgumentParser:
         "list-arrival-models",
         help="registered arrival models (scenario 'arrival_model' kinds)",
         description=(
-            "List every arrival model the workload registry knows."
+            "List every arrival model the workload registry knows,"
+            " plus the registered closed-loop source kinds."
             "  A ScenarioSpec's optional 'arrival_model' object names"
             " one via its 'kind' key, e.g."
             " {\"kind\": \"mmpp2\", \"burst_ratio\": 8.0,"
-            " \"mean_burst\": 5.0, \"mean_gap\": 20.0}."
+            " \"mean_burst\": 5.0, \"mean_gap\": 20.0}; the optional"
+            " 'closed_loop' object instead couples arrivals to"
+            " completions ({\"kind\": \"closed_loop\", \"clients\": 40,"
+            " \"think_time\": 0.5})."
         ),
-        epilog="example: repro list-arrival-models",
+        epilog=(
+            "example: repro list-arrival-models  (arrival models drive"
+            " open-loop spouts; closed-loop sources gate each client on"
+            " its outstanding requests)"
+        ),
     )
     pm.set_defaults(handler=_list_arrival_models)
 

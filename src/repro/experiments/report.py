@@ -321,6 +321,15 @@ def render_arrival_models(models) -> str:
     return "\n".join(lines)
 
 
+def render_closed_loop_sources(sources) -> str:
+    """The closed-loop source registry as ``kind - description`` rows."""
+    lines = ["Registered closed-loop sources:"]
+    width = max(len(name) for name in sources) if sources else 0
+    for name, description in sources.items():
+        lines.append(f"  {name:<{width}}  {description}")
+    return "\n".join(lines)
+
+
 def render_placements(placements) -> str:
     """The placement-policy registry as ``kind - description`` rows."""
     lines = ["Registered placement policies:"]

@@ -142,11 +142,16 @@ class PolicyBinding:
         model = model_from_report(report, self._fallback_model)
         if model is None:
             return
+        # Tail latency over a few recent pull intervals: long enough to
+        # hold a stable p95, short enough to track the present (the
+        # whole-run p95 would lag a load change by the run's history).
+        window = 5.0 * self._runtime.options.measurement.pull_interval
         snapshot = LoadSnapshot(
             arrival_rates=model.network.arrival_rates,
             service_rates=model.network.service_rates,
             external_rate=model.external_rate,
             measured_sojourn=report.measured_sojourn,
+            measured_p95=self._runtime.recent_p95(window),
         )
         decision = self._policy.observe(
             PolicyObservation(

@@ -208,3 +208,111 @@ class ThresholdPolicy:
 
     def __repr__(self) -> str:
         return f"ThresholdPolicy({self._scaler!r}, kmax={self._kmax})"
+
+
+class SloFeedbackPolicy:
+    """Tail-latency feedback scaler: hold measured p95 at an SLO target.
+
+    Unlike the utilisation-watermark :class:`ThresholdPolicy`, this
+    policy closes the loop on the quantity operators actually promise in
+    an SLO — the p95 sojourn time reported by the runtime's sliding
+    window (:attr:`LoadSnapshot.measured_p95`):
+
+    - p95 above ``p95_target`` and budget left: add ``step`` executors
+      to the bottleneck operator (highest utilisation
+      :math:`\\lambda_i / (k_i \\mu_i)` on the measured rates);
+    - p95 below ``low_fraction * p95_target``: reclaim ``step``
+      executors from the least-utilised operator, but only when the
+      post-removal utilisation stays under ``scale_in_utilisation`` —
+      the guard that keeps the feedback loop from oscillating into an
+      unstable queue;
+    - otherwise (or while the window has produced no p95 yet): no-op.
+
+    Starts from the uniform split of ``kmax``, like the reactive
+    baseline it is compared against.
+    """
+
+    def __init__(
+        self,
+        p95_target: float,
+        kmax: int,
+        *,
+        step: int = 1,
+        low_fraction: float = 0.5,
+        scale_in_utilisation: float = 0.85,
+    ):
+        if p95_target <= 0.0:
+            raise ValueError("p95_target must be positive")
+        self._target = float(p95_target)
+        self._kmax = int(kmax)
+        self._step = max(1, int(step))
+        self._low_fraction = float(low_fraction)
+        self._guard = float(scale_in_utilisation)
+
+    def initial_allocation(
+        self, model: PerformanceModel
+    ) -> Optional[Allocation]:
+        return UniformAllocator().allocate(model, self._kmax)
+
+    def _utilisations(self, observation: PolicyObservation):
+        counts = observation.current_allocation.vector
+        lams = observation.snapshot.arrival_rates
+        mus = observation.snapshot.service_rates
+        utils = []
+        for index, count in enumerate(counts):
+            capacity = count * mus[index]
+            utils.append(lams[index] / capacity if capacity > 0.0 else math.inf)
+        return utils
+
+    def observe(self, observation: PolicyObservation) -> ControllerDecision:
+        p95 = observation.snapshot.measured_p95
+        if p95 is None:
+            return _no_change(observation, "no p95 measurement yet")
+        allocation = observation.current_allocation
+        counts = list(allocation.vector)
+        utils = self._utilisations(observation)
+
+        if p95 > self._target:
+            budget = self._kmax - sum(counts)
+            if budget <= 0:
+                return _no_change(
+                    observation,
+                    f"p95 {p95:.3f} above target but Kmax={self._kmax}"
+                    " exhausted",
+                )
+            index = max(range(len(counts)), key=lambda i: utils[i])
+            counts[index] += min(self._step, budget)
+        elif p95 < self._low_fraction * self._target:
+            candidates = [
+                i
+                for i, count in enumerate(counts)
+                if count > 1
+                and (count - self._step) > 0
+                and utils[i] * count / (count - self._step) < self._guard
+            ]
+            if not candidates:
+                return _no_change(
+                    observation, "p95 slack but no safe scale-in candidate"
+                )
+            index = min(candidates, key=lambda i: utils[i])
+            counts[index] -= self._step
+        else:
+            return _no_change(
+                observation, f"p95 {p95:.3f} within SLO band"
+            )
+
+        updated = Allocation(list(allocation.names), counts)
+        return ControllerDecision(
+            ControllerAction.REBALANCE,
+            updated,
+            observation.current_machines,
+            math.inf,
+            f"slo_feedback p95 {p95:.3f} vs target {self._target:.3f}:"
+            f" {allocation.spec()} -> {updated.spec()}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SloFeedbackPolicy(p95_target={self._target},"
+            f" kmax={self._kmax}, step={self._step})"
+        )

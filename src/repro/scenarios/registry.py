@@ -32,6 +32,7 @@ from repro.scenarios.policies import (
     DRSControllerPolicy,
     PassivePolicy,
     SchedulingPolicy,
+    SloFeedbackPolicy,
     StaticAllocatorPolicy,
     ThresholdPolicy,
 )
@@ -94,8 +95,8 @@ def available_policies() -> Dict[str, str]:
     """Registered policy names mapped to their one-line descriptions.
 
     >>> sorted(available_policies())
-    ['drs.min_resource', 'drs.min_sojourn', 'none', 'static.proportional', \
-'static.random', 'static.uniform', 'threshold']
+    ['drs.min_resource', 'drs.min_sojourn', 'none', 'slo_feedback', \
+'static.proportional', 'static.random', 'static.uniform', 'threshold']
     """
     return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
 
@@ -209,6 +210,21 @@ def _make_static_random(topology: Topology, params) -> SchedulingPolicy:
     kmax = int(_require(params, "kmax", "static.random"))
     rng = random.Random(int(params.pop("seed", 0)))
     return StaticAllocatorPolicy(RandomAllocator(rng), kmax)
+
+
+@register_policy(
+    "slo_feedback",
+    "p95-target feedback scaler: grow the bottleneck while measured tail"
+    " latency exceeds the SLO, reclaim slack capacity when it falls",
+)
+def _make_slo_feedback(topology: Topology, params) -> SchedulingPolicy:
+    return SloFeedbackPolicy(
+        p95_target=float(_require(params, "p95_target", "slo_feedback")),
+        kmax=int(_require(params, "kmax", "slo_feedback")),
+        step=int(params.pop("step", 1)),
+        low_fraction=float(params.pop("low_fraction", 0.5)),
+        scale_in_utilisation=float(params.pop("scale_in_utilisation", 0.85)),
+    )
 
 
 @register_policy(

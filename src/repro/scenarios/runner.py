@@ -43,6 +43,7 @@ from repro.sim.engine import Simulator
 from repro.sim.negotiator import SimResourceNegotiator
 from repro.sim.runtime import RuntimeOptions, TopologyRuntime
 from repro.utils.rng import derive_seed
+from repro.workloads.closed_loop import create_closed_loop_source
 from repro.workloads.models import create_arrival_model
 
 
@@ -121,6 +122,13 @@ class ReplicationResult:
     #: records stored before it existed, hence the ``None`` defaults.
     operator_waits: Optional[Dict[str, Optional[float]]] = None
     operator_services: Optional[Dict[str, Optional[float]]] = None
+    #: Reactive-load counters (closed-loop clients / backpressure):
+    #: total source-blocked simulated seconds, admission-controller
+    #: rejections, and requests clients attempted.  Additive-optional
+    #: like the fields above, so pre-existing stored records rehydrate.
+    blocked_time: Optional[float] = None
+    admission_rejected: Optional[int] = None
+    issued_requests: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -150,6 +158,9 @@ class ReplicationResult:
                 if self.operator_services is not None
                 else None
             ),
+            "blocked_time": self.blocked_time,
+            "admission_rejected": self.admission_rejected,
+            "issued_requests": self.issued_requests,
         }
 
     @classmethod
@@ -177,6 +188,9 @@ class ReplicationResult:
             recommendation=raw.get("recommendation"),
             operator_waits=raw.get("operator_waits"),
             operator_services=raw.get("operator_services"),
+            blocked_time=raw.get("blocked_time"),
+            admission_rejected=raw.get("admission_rejected"),
+            issued_requests=raw.get("issued_requests"),
         )
 
 
@@ -318,6 +332,14 @@ def run_replication(spec: ScenarioSpec, index: int) -> ReplicationResult:
             else None
         ),
         platform=platform,
+        queue_limit=spec.queue_limit,
+        backpressure=spec.backpressure,
+        # Same canonical-dict-to-object contract as arrival_model.
+        closed_loop=(
+            create_closed_loop_source(spec.closed_loop)
+            if spec.closed_loop is not None
+            else None
+        ),
     )
     simulator = Simulator(scheduler=options.scheduler)
     runtime = TopologyRuntime(simulator, topology, allocation, options)
@@ -380,6 +402,9 @@ def run_replication(spec: ScenarioSpec, index: int) -> ReplicationResult:
         recommendation=recommendation,
         operator_waits=dict(stats.per_operator_wait),
         operator_services=dict(stats.per_operator_service),
+        blocked_time=stats.blocked_time,
+        admission_rejected=stats.admission_rejected,
+        issued_requests=stats.issued_requests,
     )
 
 

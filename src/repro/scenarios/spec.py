@@ -33,6 +33,7 @@ from repro.apps.synthetic import SyntheticChainWorkload
 from repro.apps.vld import VLDWorkload
 from repro.exceptions import ConfigurationError
 from repro.platform import PlatformSpec
+from repro.workloads.closed_loop import create_closed_loop_source
 from repro.workloads.models import create_arrival_model
 
 #: Topology families a spec may name.  Values are dataclass factories
@@ -165,6 +166,21 @@ available: ['fidelity', 'fpd', 'robustness', 'synthetic', 'vld']
     #: global hop constant).  Canonicalised at construction so equal
     #: platforms hash equally.
     platform: Optional[Dict[str, Any]] = None
+    #: Per-operator queue bound.  Beyond it tuples are dropped (trees
+    #: abandoned) — or, with ``backpressure``, upstream pauses instead.
+    #: ``None`` leaves queues unbounded (the pre-existing behaviour).
+    queue_limit: Optional[int] = None
+    #: Full queues signal upstream to pause rather than dropping.
+    #: Requires ``queue_limit``; default ``False`` keeps the drop path
+    #: (and the spec's content address) unchanged.
+    backpressure: bool = False
+    #: Closed-loop client population (``{"kind": "closed_loop",
+    #: "clients": ..., "think_time": ...}``) replacing every spout's
+    #: arrival process with a finite latency-reacting population.
+    #: Validated against the :mod:`repro.workloads.closed_loop`
+    #: registry at construction; mutually exclusive with
+    #: ``arrival_model`` and ``rate_phases``.
+    closed_loop: Optional[Dict[str, Any]] = None
 
     def __post_init__(self):
         if not self.name:
@@ -220,6 +236,27 @@ available: ['fidelity', 'fpd', 'robustness', 'synthetic', 'vld']
             # platforms serialise identically for content addressing.
             canonical = PlatformSpec.from_dict(self.platform).to_dict()
             object.__setattr__(self, "platform", canonical)
+        if self.queue_limit is not None and (
+            not isinstance(self.queue_limit, int) or self.queue_limit < 1
+        ):
+            raise ConfigurationError(
+                f"queue_limit must be an integer >= 1 when set,"
+                f" got {self.queue_limit!r}"
+            )
+        if self.backpressure and self.queue_limit is None:
+            raise ConfigurationError(
+                "backpressure requires queue_limit: without a bound there"
+                " is no 'full' signal to propagate"
+            )
+        if self.closed_loop is not None:
+            if self.arrival_model is not None or self.rate_phases:
+                raise ConfigurationError(
+                    "closed_loop replaces the spout arrival process; it is"
+                    " mutually exclusive with arrival_model and rate_phases"
+                )
+            # Same validate-and-canonicalise contract as arrival_model.
+            source = create_closed_loop_source(self.closed_loop)
+            object.__setattr__(self, "closed_loop", source.to_dict())
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -259,6 +296,12 @@ available: ['fidelity', 'fpd', 'robustness', 'synthetic', 'vld']
             # Same omission contract as arrival_model: specs without a
             # platform keep their pre-platform content address.
             payload["platform"] = dict(self.platform)
+        if self.queue_limit is not None:
+            payload["queue_limit"] = self.queue_limit
+        if self.backpressure:
+            payload["backpressure"] = True
+        if self.closed_loop is not None:
+            payload["closed_loop"] = dict(self.closed_loop)
         return payload
 
     def _base_dict(self) -> Dict[str, Any]:

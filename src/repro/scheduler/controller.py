@@ -51,12 +51,19 @@ class ControllerAction(enum.Enum):
 
 @dataclass(frozen=True)
 class LoadSnapshot:
-    """One measurement interval's aggregated view of the system."""
+    """One measurement interval's aggregated view of the system.
+
+    ``measured_p95`` is the tail-latency signal over a trailing window
+    (fed by the runtime's completion record; ``None`` when nothing
+    completed recently) — the input of SLO-feedback policies.  Additive
+    with a default so every existing snapshot constructor is unchanged.
+    """
 
     arrival_rates: Sequence[float]
     service_rates: Sequence[float]
     external_rate: float
     measured_sojourn: Optional[float] = None
+    measured_p95: Optional[float] = None
 
 
 @dataclass(frozen=True)

@@ -56,6 +56,10 @@ def array_capable(topology, options: RuntimeOptions) -> Optional[str]:
         return f"queue_discipline={options.queue_discipline!r} (need 'shared')"
     if options.queue_limit is not None:
         return "queue_limit is set"
+    if options.backpressure:
+        return "backpressure needs the object engine's blocking semantics"
+    if options.closed_loop is not None:
+        return "closed-loop sources need the object engine's client states"
     if options.hop_latency != 0.0 or options.hop_latency_distribution is not None:
         return "hop latency is non-zero"
     if options.platform is not None:

@@ -127,7 +127,14 @@ class RuntimeOptions:
     ``queue_limit`` bounds each operator's total queued tuples; beyond
     it tuples are dropped and their trees abandoned (the "errors when
     the queue reaches its size limit" failure mode of the paper's
-    introduction).
+    introduction).  ``backpressure`` changes what a full queue means:
+    instead of dropping, the full operator *signals upstream* — its
+    predecessors stop starting new work and sources pause — so nothing
+    is lost and the pressure propagates to the edge of the topology
+    (blocked time is surfaced in :class:`RunStats`).  ``closed_loop``
+    replaces the open-loop spouts entirely with a finite client
+    population that waits for completions (think time, per-client
+    outstanding cap, optional latency-aware admission control).
     """
 
     queue_discipline: str = "jsq"
@@ -171,6 +178,18 @@ class RuntimeOptions:
     #: ``hop_latency_distribution`` knobs: per-edge transfer times come
     #: from the platform's links.
     platform: Optional[Any] = None
+    #: Closed-loop client population *replacing* each spout's arrival
+    #: process — any object with ``think_gap(rng) -> float`` plus
+    #: ``clients`` / ``max_outstanding`` attributes (in practice a
+    #: :class:`~repro.workloads.closed_loop.ClosedLoopSource`; the
+    #: dependency is duck-typed because workloads sits above sim in the
+    #: layering).  Mutually exclusive with ``arrival_model`` and
+    #: ``arrival_rate_phases``: a reacting population *is* the load.
+    closed_loop: Optional[Any] = None
+    #: A full queue (``queue_limit`` reached) pauses its upstream
+    #: producers instead of dropping tuples.  Requires ``queue_limit``;
+    #: default ``False`` keeps the drop path byte-for-byte.
+    backpressure: bool = False
 
     def __post_init__(self):
         if self.scheduler not in ("auto", "heap", "calendar"):
@@ -223,11 +242,50 @@ class RuntimeOptions:
                     " mutually exclusive: per-edge transfer times come from"
                     " the platform's links"
                 )
+        if self.backpressure and self.queue_limit is None:
+            raise SimulationError(
+                "backpressure requires queue_limit: without a bound there"
+                " is no 'full' signal to propagate upstream"
+            )
+        if self.closed_loop is not None:
+            if not callable(
+                getattr(self.closed_loop, "think_gap", None)
+            ) or not isinstance(
+                getattr(self.closed_loop, "clients", None), int
+            ) or not isinstance(
+                getattr(self.closed_loop, "max_outstanding", None), int
+            ):
+                # Duck-typed for the same layering reason as
+                # arrival_model: repro.workloads sits above the simulator.
+                raise SimulationError(
+                    "closed_loop must provide a think_gap(rng) method and"
+                    " integer clients/max_outstanding attributes (e.g. a"
+                    " repro.workloads ClosedLoopSource); got"
+                    f" {self.closed_loop!r}"
+                )
+            if (
+                self.arrival_model is not None
+                or self.arrival_rate_phases is not None
+            ):
+                raise SimulationError(
+                    "closed_loop replaces the spout arrival process"
+                    " entirely; it is mutually exclusive with"
+                    " arrival_model and arrival_rate_phases"
+                )
 
 
 @dataclass
 class RunStats:
-    """Aggregated results of a run (or of a time window of one)."""
+    """Aggregated results of a run (or of a time window of one).
+
+    The trailing fields cover the reactive-load machinery and default
+    to their open-loop values: ``blocked_time`` is the total simulated
+    time sources spent paused by backpressure, ``admission_rejected``
+    counts closed-loop requests turned away by the admission
+    controller, and ``issued_requests`` is the number of requests
+    clients attempted (``None`` for open-loop runs, where arrivals are
+    never rejected and ``external_tuples`` is the whole story).
+    """
 
     duration: float
     external_tuples: int
@@ -241,6 +299,9 @@ class RunStats:
     per_operator_wait: Dict[str, Optional[float]]
     per_operator_service: Dict[str, Optional[float]]
     rebalances: int
+    blocked_time: float = 0.0
+    admission_rejected: int = 0
+    issued_requests: Optional[int] = None
 
     @property
     def completion_ratio(self) -> float:
@@ -321,15 +382,31 @@ class _Route:
 
 class _SpoutSource:
     """Per-spout emission state: prebound arrival process, RNG stream
-    and outgoing routes."""
+    and outgoing routes.  ``blocked_since`` is the time this source was
+    paused by backpressure (``None`` while flowing)."""
 
-    __slots__ = ("name", "rng", "next_gap", "routes")
+    __slots__ = ("name", "rng", "next_gap", "routes", "blocked_since")
 
     def __init__(self, name, rng, process, routes):
         self.name = name
         self.rng = rng
         self.next_gap = process.next_gap
         self.routes = routes
+        self.blocked_since: Optional[float] = None
+
+
+class _ClientState:
+    """One closed-loop client: how many requests it has in flight, and
+    why it is not issuing right now (``waiting`` = at its outstanding
+    cap, ``blocked_since`` = paused by backpressure since that time)."""
+
+    __slots__ = ("source", "outstanding", "waiting", "blocked_since")
+
+    def __init__(self, source: _SpoutSource):
+        self.source = source
+        self.outstanding = 0
+        self.waiting = False
+        self.blocked_since: Optional[float] = None
 
 
 class _OperatorRuntime:
@@ -356,6 +433,8 @@ class _OperatorRuntime:
         "service_acc",
         "service_random",
         "service_rate",
+        "full",
+        "bp_preds",
     )
 
     def __init__(self, name: str, service: Distribution, discipline: str):
@@ -385,6 +464,11 @@ class _OperatorRuntime:
         # same stream, minus two interpreter frames per draw.
         self.service_random: Optional[Callable[[], float]] = None
         self.service_rate = 0.0
+        # Backpressure state: ``full`` marks queued >= queue_limit;
+        # ``bp_preds`` are the upstream operator runtimes to wake when
+        # this queue drains (both unused unless backpressure is on).
+        self.full = False
+        self.bp_preds: Tuple["_OperatorRuntime", ...] = ()
 
     @property
     def parallelism(self) -> int:
@@ -573,13 +657,43 @@ class TopologyRuntime:
             self._churn_rng = rng_factory.stream("churn")
             self._kind_node = simulator.register_handler(self._on_node_event)
 
+        # Closed-loop clients and backpressure (both off by default; the
+        # default path stays byte-for-byte, pinned by the golden suite).
+        self._cl = self._options.closed_loop
+        self._bp = self._options.backpressure
+        # Admission knobs are optional on duck-typed sources.
+        self._cl_admission = getattr(self._cl, "admission_latency", None)
+        self._cl_alpha = getattr(self._cl, "admission_alpha", 0.2)
+        self._cl_clients: List[_ClientState] = []
+        if self._cl is not None:
+            for source in self._spout_sources:
+                for _ in range(self._cl.clients):
+                    self._cl_clients.append(_ClientState(source))
+        self._cl_roots: Dict[int, _ClientState] = {}
+        self._latency_ewma: Optional[float] = None
+        self._issued_requests = 0
+        self._admission_rejected = 0
+        self._blocked_time = 0.0
+        #: Sources/clients currently paused by backpressure, FIFO.
+        self._bp_waiters: List[Any] = []
+        if self._bp:
+            preds: Dict[str, List[_OperatorRuntime]] = {
+                name: [] for name in self._operators
+            }
+            for name, op_runtime in self._operators.items():
+                for route in op_runtime.out_routes:
+                    preds[route.op.name].append(op_runtime)
+            for name, op_runtime in self._operators.items():
+                op_runtime.bp_preds = tuple(preds[name])
+
         # Hot-path constants, prebound RNG methods and typed-event kinds.
         self._het = self._platform is not None
         self._queue_limit = self._options.queue_limit
         # Free-choice deliveries skip the generic _deliver path entirely
         # while unpaused (the queue-limit test is O(1) inline); kept in
-        # sync by apply_allocation.
-        self._fast = True
+        # sync by apply_allocation.  Backpressure needs every delivery
+        # on the generic path, where full-queue marking lives.
+        self._fast = not self._bp
         self._hop_dist = self._options.hop_latency_distribution
         self._hop_const = self._options.hop_latency
         self._pull_interval = self._options.measurement.pull_interval
@@ -589,6 +703,7 @@ class TopologyRuntime:
         self._kind_hop = simulator.register_handler(self._on_hop)
         self._kind_finish = simulator.register_handler(self._on_finish)
         self._kind_tick = simulator.register_handler(self._on_tick)
+        self._kind_client = simulator.register_handler(self._on_client)
 
     # ------------------------------------------------------------------
     # public accessors
@@ -631,6 +746,37 @@ class TopologyRuntime:
         """(completion_time, sojourn) of every completed tree."""
         return list(zip(self._completion_times, self._completion_sojourns))
 
+    @property
+    def issued_requests(self) -> int:
+        """Closed-loop requests attempted (admitted + rejected)."""
+        return self._issued_requests
+
+    @property
+    def admission_rejected(self) -> int:
+        """Closed-loop requests refused by the admission controller."""
+        return self._admission_rejected
+
+    @property
+    def blocked_time(self) -> float:
+        """Total simulated time sources/clients spent backpressure-paused.
+
+        Includes the still-open blocked intervals of currently paused
+        sources, so the value is exact at any point mid-run.
+        """
+        blocked = self._blocked_time
+        if self._bp_waiters:
+            now = self._sim.now
+            for waiter in self._bp_waiters:
+                since = waiter.blocked_since
+                if since is not None:
+                    blocked += now - since
+        return blocked
+
+    @property
+    def client_outstanding(self) -> Tuple[int, ...]:
+        """Per-client in-flight request counts (closed-loop runs only)."""
+        return tuple(client.outstanding for client in self._cl_clients)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -640,9 +786,18 @@ class TopologyRuntime:
             raise SimulationError("runtime already started")
         self._started = True
         sim = self._sim
-        for source in self._spout_sources:
-            gap = source.next_gap(sim.now, source.rng)
-            sim.schedule_event(gap, self._kind_spout, source)
+        if self._cl is None:
+            for source in self._spout_sources:
+                gap = source.next_gap(sim.now, source.rng)
+                sim.schedule_event(gap, self._kind_spout, source)
+        else:
+            # Closed loop: every client starts thinking; its first
+            # request arrives after one think interval (drawn from the
+            # spout's RNG stream, in client order, so runs stay
+            # deterministic per seed).
+            for client in self._cl_clients:
+                gap = self._cl.think_gap(client.source.rng)
+                sim.schedule_event(gap, self._kind_client, client)
         sim.schedule_event(self._pull_interval, self._kind_tick)
         if self._platform is not None:
             seeds = self._platform.failure.initial_events(
@@ -702,13 +857,17 @@ class TopologyRuntime:
                     self._pin_executors(runtime, pattern)
                 self._refresh_transfers()
             self._paused = False
-            self._fast = True
+            self._fast = not self._bp
             for runtime in self._operators.values():
                 held = list(runtime.held)
                 runtime.held.clear()
                 runtime.queued -= len(held)
                 for payload in held:
                     self._deliver(runtime, payload, None)
+            if self._bp:
+                # Queue depths moved arbitrarily during redistribution;
+                # re-derive every full flag and wake what drained.
+                self._bp_sync()
             # Old smoothed metrics describe the previous configuration.
             self._measurer.reset_smoothing()
 
@@ -749,6 +908,11 @@ class TopologyRuntime:
                 for name, runtime in self._operators.items()
             },
             rebalances=self._rebalances,
+            blocked_time=self.blocked_time,
+            admission_rejected=self._admission_rejected,
+            issued_requests=(
+                self._issued_requests if self._cl is not None else None
+            ),
         )
 
     def _window_summary(self, warmup: float) -> tuple:
@@ -788,6 +952,19 @@ class TopologyRuntime:
         self._stats_cache[key] = result
         return result
 
+    def recent_p95(self, window: float) -> Optional[float]:
+        """p95 sojourn over the completions of the last ``window`` seconds.
+
+        The recency signal behind latency-target feedback policies
+        (``slo_feedback``): completed-tree statistics over the whole run
+        lag the present, while a trailing window tracks it.  ``None``
+        until something completes inside the window.
+        """
+        if window <= 0:
+            raise SimulationError("recent_p95 window must be > 0")
+        cut = self._sim.now - window
+        return self._window_summary(cut if cut > 0.0 else 0.0)[2]
+
     def timeline(self) -> List[Tuple[float, Optional[float], int]]:
         """Per-bucket mean sojourn: [(bucket_start, mean, count), ...].
 
@@ -812,7 +989,12 @@ class TopologyRuntime:
         ]
 
     def check_conservation(self) -> None:
-        """Every tracked tree is completed, in flight, or dropped."""
+        """Every tracked tree is completed, in flight, or dropped.
+
+        Closed-loop runs add two identities: every issued request was
+        either admitted (became an external tuple) or rejected, and the
+        clients' in-flight counts agree with the root table.
+        """
         accounted = self._tracker.completed + self._tracker.in_flight
         accounted += self._tracker.dropped
         if accounted != self._external_tuples:
@@ -820,6 +1002,22 @@ class TopologyRuntime:
                 f"conservation violated: {self._external_tuples} external"
                 f" tuples but {accounted} accounted for"
             )
+        if self._cl is not None:
+            admitted = self._issued_requests - self._admission_rejected
+            if admitted != self._external_tuples:
+                raise SimulationError(
+                    f"closed-loop conservation violated:"
+                    f" {self._issued_requests} issued -"
+                    f" {self._admission_rejected} rejected !="
+                    f" {self._external_tuples} external tuples"
+                )
+            outstanding = sum(c.outstanding for c in self._cl_clients)
+            if outstanding != len(self._cl_roots):
+                raise SimulationError(
+                    f"closed-loop conservation violated: clients hold"
+                    f" {outstanding} outstanding requests but"
+                    f" {len(self._cl_roots)} roots are mapped"
+                )
 
     # ------------------------------------------------------------------
     # typed-event handlers (the hot path)
@@ -883,6 +1081,8 @@ class TopologyRuntime:
                     # drop it and count the drop so callers can alert.
                     if roots.pop(root, None) is not None:
                         tracker._dropped += 1
+                        if self._cl is not None:
+                            self._cl_release(root)
                     state = None
             arrivals = route.arrivals
             op = route.op
@@ -998,6 +1198,13 @@ class TopologyRuntime:
         schedule the next arrival of this spout."""
         sim = self._sim
         now = sim._now
+        if self._bp and self._routes_full(source.routes):
+            # A downstream queue is full: pause the source.  The next
+            # arrival is *not* scheduled — the deferred emission (and
+            # the gap after it) resume when the queue drains.
+            source.blocked_since = now
+            self._bp_waiters.append(source)
+            return
         root_id = self._root_counter
         self._root_counter = root_id + 1
         self._external_tuples += 1
@@ -1013,6 +1220,80 @@ class TopologyRuntime:
     def _on_hop(self, route: _Route, payload: dict) -> None:
         """A tuple arrives at its target after a non-zero hop delay."""
         self._deliver(route.op, payload, route.sel)
+
+    # ------------------------------------------------------------------
+    # closed-loop clients
+    # ------------------------------------------------------------------
+    def _on_client(self, client: _ClientState, _unused) -> None:
+        """A client finished thinking: try to issue its next request."""
+        self._client_try_issue(client)
+
+    def _client_try_issue(self, client: _ClientState) -> None:
+        """Issue now, or park the client on whatever is in the way.
+
+        A client at its outstanding cap waits for one of its requests
+        to come back (``waiting``); under backpressure a client whose
+        spout routes hit a full queue pauses with the other waiters.
+        Parked clients have no pending think event — the release path
+        issues for them directly.
+        """
+        if client.outstanding >= self._cl.max_outstanding:
+            client.waiting = True
+            return
+        if self._bp and self._routes_full(client.source.routes):
+            client.blocked_since = self._sim._now
+            self._bp_waiters.append(client)
+            return
+        self._client_issue(client)
+
+    def _client_issue(self, client: _ClientState) -> None:
+        """Emit one request (or reject it) and schedule the next think.
+
+        The admission controller consults the sojourn EWMA *before*
+        emitting: while smoothed latency exceeds the threshold the
+        request is counted as rejected and never enters the topology —
+        the client simply thinks again (a fast retry-after).
+        """
+        sim = self._sim
+        now = sim._now
+        cl = self._cl
+        source = client.source
+        self._issued_requests += 1
+        admit_at = self._cl_admission
+        if (
+            admit_at is not None
+            and self._latency_ewma is not None
+            and self._latency_ewma > admit_at
+        ):
+            self._admission_rejected += 1
+        else:
+            root_id = self._root_counter
+            self._root_counter = root_id + 1
+            self._external_tuples += 1
+            tracker = self._tracker
+            tracker.register_root(root_id, now)
+            # Map the root (and bump outstanding) *before* emitting:
+            # a queue-limit drop during emission must release the
+            # client through the same idempotent path as a completion.
+            self._cl_roots[root_id] = client
+            client.outstanding += 1
+            payload = {"root": root_id}
+            self._emit_tuples(source.routes, payload, root_id, now, True)
+            tracker.complete_one(root_id, now)
+        gap = cl.think_gap(source.rng)
+        sim.schedule_event(gap, self._kind_client, client)
+
+    def _cl_release(self, root: int) -> None:
+        """A root left the system (completed or dropped): free its
+        client's slot and, if the client was waiting on the cap, issue
+        its held request immediately.  Idempotent per root."""
+        client = self._cl_roots.pop(root, None)
+        if client is None:
+            return
+        client.outstanding -= 1
+        if client.waiting:
+            client.waiting = False
+            self._client_try_issue(client)
 
     def _on_finish(self, op: _OperatorRuntime, executor: _Executor) -> None:
         """Service completion: emit downstream tuples, then pull the
@@ -1081,6 +1362,10 @@ class TopologyRuntime:
             return
         if self._paused or executor.busy:
             return
+        if self._bp and not self._bp_can_serve(op):
+            # A successor queue is full: leave the executor idle; the
+            # successor's drain wakes this operator's predecessor side.
+            return
         queue = executor.queue
         if not queue:
             return
@@ -1128,6 +1413,9 @@ class TopologyRuntime:
         seq = sim._seq
         sim._seq = seq + 1
         _heappush(sim._queue, (time, seq, self._kind_finish, op, executor))
+        if self._bp and op.full and op.queued < self._queue_limit:
+            op.full = False
+            self._bp_release(op)
 
     def _on_tick(self, _a, _b) -> None:
         report = self._measurer.pull(self._sim.now)
@@ -1152,17 +1440,28 @@ class TopologyRuntime:
         """
         limit = self._queue_limit
         if limit is not None and op.queued >= limit:
-            self._drop(payload)
-            return
+            if self._bp:
+                # Backpressure: never drop.  Tuples already in flight
+                # (emitted before the queue filled) still land — the
+                # limit is a signal line, not a hard wall — and the
+                # full flag pauses everything upstream.
+                op.full = True
+            else:
+                self._drop(payload)
+                return
+        elif self._bp and limit is not None and op.queued == limit - 1:
+            op.full = True  # this enqueue reaches the limit
         if self._paused:
             op.held.append(payload)
             op.queued += 1
             return
         now = self._sim.now
+        can_start = not self._bp or self._bp_can_serve(op)
         if op.shared:
             op.shared_queue.append((payload, now))
             op.queued += 1
-            self._kick_shared(op)
+            if can_start:
+                self._kick_shared(op)
             return
         executors = op.executors
         n = len(executors)
@@ -1201,7 +1500,7 @@ class TopologyRuntime:
                     jheap[:] = sorted(
                         (ex.load, i) for i, ex in enumerate(executors)
                     )
-                if not executor.busy:
+                if can_start and not executor.busy:
                     self._begin_service(op, executor)
                 return
             if op.jsq:
@@ -1219,7 +1518,7 @@ class TopologyRuntime:
                 executor = executors[self._route_rng.randrange(n)]
             executor.queue.append((payload, now))
             op.queued += 1
-            if not executor.busy:
+            if can_start and not executor.busy:
                 self._begin_service(op, executor)
             return
         indices = grouping.select_tasks(payload, n, self._route_rng)
@@ -1243,20 +1542,25 @@ class TopologyRuntime:
                     jheap[:] = sorted(
                         (ex.load, i) for i, ex in enumerate(executors)
                     )
-            if not executor.busy:
+            if can_start and not executor.busy:
                 self._begin_service(op, executor)
 
     def _drop(self, payload: dict) -> None:
         self._dropped_tuples += 1
         # Abandon the whole tree: a dropped intermediate result means the
         # external tuple can never be fully processed.
-        self._tracker.drop_tree(payload["root"])
+        root = payload["root"]
+        self._tracker.drop_tree(root)
+        if self._cl is not None:
+            self._cl_release(root)
 
     # ------------------------------------------------------------------
     # bolt side
     # ------------------------------------------------------------------
     def _kick_shared(self, op: _OperatorRuntime) -> None:
         if self._paused:
+            return
+        if self._bp and not self._bp_can_serve(op):
             return
         shared_queue = op.shared_queue
         if not shared_queue:
@@ -1291,6 +1595,95 @@ class TopologyRuntime:
         executor.payload = payload
         executor.duration = duration
         sim.schedule_event(duration, self._kind_finish, op, executor)
+        if self._bp and op.full and op.queued < self._queue_limit:
+            op.full = False
+            self._bp_release(op)
+
+    # ------------------------------------------------------------------
+    # backpressure: full-queue signalling and upstream wake-ups
+    # ------------------------------------------------------------------
+    def _bp_can_serve(self, op: _OperatorRuntime) -> bool:
+        """False while any successor queue of ``op`` is full: starting
+        another service would emit straight into the congestion."""
+        for route in op.out_routes:
+            if route.op.full:
+                return False
+        return True
+
+    def _routes_full(self, routes: Tuple[_Route, ...]) -> bool:
+        """True when any emission target of these routes is full."""
+        for route in routes:
+            if route.op.full:
+                return True
+        return False
+
+    def _bp_release(self, op: _OperatorRuntime) -> None:
+        """``op``'s queue just drained below the limit: restart idle
+        predecessor executors and retry paused sources/clients.
+
+        Processing order (predecessors in precomputed tuple order, then
+        waiters FIFO) is deterministic; a waiter whose targets refilled
+        meanwhile re-parks with its original blocked timestamp.
+        """
+        for pred in op.bp_preds:
+            if not self._bp_can_serve(pred):
+                continue  # still gated by another full successor
+            if pred.shared:
+                self._kick_shared(pred)
+                continue
+            for executor in pred.executors:
+                if not executor.busy and executor.queue:
+                    self._begin_service(pred, executor)
+        if self._bp_waiters:
+            waiters = self._bp_waiters
+            self._bp_waiters = []
+            for waiter in waiters:
+                self._bp_retry(waiter)
+
+    def _bp_retry(self, waiter: Any) -> None:
+        """Resume one paused source/client, or re-park it."""
+        if self._routes_full(
+            waiter.routes
+            if isinstance(waiter, _SpoutSource)
+            else waiter.source.routes
+        ):
+            self._bp_waiters.append(waiter)
+            return
+        now = self._sim._now
+        since = waiter.blocked_since
+        if since is not None:
+            self._blocked_time += now - since
+            waiter.blocked_since = None
+        if isinstance(waiter, _SpoutSource):
+            # Emit the arrival that was deferred when the source
+            # paused, then resume the arrival process from now.
+            source = waiter
+            root_id = self._root_counter
+            self._root_counter = root_id + 1
+            self._external_tuples += 1
+            tracker = self._tracker
+            tracker.register_root(root_id, now)
+            payload = {"root": root_id}
+            self._emit_tuples(source.routes, payload, root_id, now, True)
+            tracker.complete_one(root_id, now)
+            gap = source.next_gap(now, source.rng)
+            self._sim.schedule_event(gap, self._kind_spout, source)
+        else:
+            self._client_issue(waiter)
+
+    def _bp_sync(self) -> None:
+        """Re-derive every full flag from current queue depths (after a
+        rebalance or churn resize moved tuples wholesale) and run the
+        release path for queues that drained."""
+        limit = self._queue_limit
+        drained: List[_OperatorRuntime] = []
+        for op_runtime in self._operators.values():
+            full = op_runtime.queued >= limit
+            if op_runtime.full and not full:
+                drained.append(op_runtime)
+            op_runtime.full = full
+        for op_runtime in drained:
+            self._bp_release(op_runtime)
 
     # ------------------------------------------------------------------
     # platform: placement, transfers and churn
@@ -1390,6 +1783,8 @@ class TopologyRuntime:
             for op, displaced in redeliveries:
                 for payload in displaced:
                     self._deliver(op, payload, None)
+            if self._bp:
+                self._bp_sync()
         delay = self._platform.failure.next_delay(
             machine, down, self._churn_rng
         )
@@ -1405,6 +1800,17 @@ class TopologyRuntime:
         self._measurer.record_sojourn(sojourn)
         self._completion_times.append(self._sim.now)
         self._completion_sojourns.append(sojourn)
+        if self._cl is not None:
+            # Feed the admission controller's latency EWMA, then give
+            # the client its slot back (possibly issuing immediately).
+            alpha = self._cl_alpha
+            ewma = self._latency_ewma
+            self._latency_ewma = (
+                sojourn
+                if ewma is None
+                else alpha * sojourn + (1.0 - alpha) * ewma
+            )
+            self._cl_release(root_id)
 
     def __repr__(self) -> str:
         return (

@@ -9,7 +9,11 @@ of a scenario, the way :mod:`repro.scenarios` made *what runs* and
   ``diurnal``, ``trace``), mirroring the scheduling-policy registry;
 - :mod:`repro.workloads.trace` — parsing timestamped CSV/NDJSON event
   files into :class:`Trace` objects with deterministic replay, loop
-  and bootstrap-resampling modes.
+  and bootstrap-resampling modes;
+- :mod:`repro.workloads.closed_loop` — :class:`ClosedLoopSource`
+  finite client populations (think times, outstanding-request caps,
+  latency-aware admission) that close the loop between measured
+  latency and offered load.
 
 A scenario opts in with one JSON field (``"arrival_model": {"kind":
 "mmpp2", ...}``); campaigns sweep model parameters as ordinary axes;
@@ -17,6 +21,13 @@ the ``burst`` fidelity grid measures how far the Poisson-based analytic
 model drifts under the traffic these models generate.
 """
 
+from repro.workloads.closed_loop import (
+    THINK_DISTRIBUTIONS,
+    ClosedLoopSource,
+    available_closed_loop_sources,
+    create_closed_loop_source,
+    register_closed_loop_source,
+)
 from repro.workloads.models import (
     ArrivalModel,
     DiurnalModel,
@@ -32,16 +43,21 @@ from repro.workloads.trace import TRACE_MODES, Trace, parse_csv, parse_ndjson
 
 __all__ = [
     "ArrivalModel",
+    "ClosedLoopSource",
     "DiurnalModel",
     "MMPP2Model",
     "PhasedModel",
     "PoissonModel",
+    "THINK_DISTRIBUTIONS",
     "TRACE_MODES",
     "Trace",
     "TraceModel",
     "available_arrival_models",
+    "available_closed_loop_sources",
     "create_arrival_model",
+    "create_closed_loop_source",
     "parse_csv",
     "parse_ndjson",
     "register_arrival_model",
+    "register_closed_loop_source",
 ]

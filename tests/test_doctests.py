@@ -18,6 +18,7 @@ import repro.randomness.distributions
 import repro.scenarios.registry
 import repro.scenarios.runner
 import repro.scenarios.spec
+import repro.workloads.closed_loop
 import repro.workloads.models
 import repro.workloads.trace
 
@@ -30,6 +31,7 @@ DOCUMENTED_MODULES = [
     repro.scenarios.registry,
     repro.scenarios.runner,
     repro.scenarios.spec,
+    repro.workloads.closed_loop,
     repro.workloads.models,
     repro.workloads.trace,
 ]
